@@ -1,0 +1,62 @@
+"""Ablation A4 — DKTG-Greedy vs the exact optimum (Section VI-C in vivo).
+
+The paper proves DKTG-Greedy achieves ``1 - gamma*(|W_Q|-1)/|W_Q|`` of
+the *idealised* optimum (score 1).  This bench measures the much
+stronger empirical statement: how close the greedy lands to the *true*
+optimum computed by exhaustive subset search, across the gamma range —
+and at what fraction of the exact solver's cost.
+
+``extra_info`` per row carries the achieved scores and the empirical
+ratio; the guarantee must hold on every row (asserted).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dktg import DKTGGreedySolver, greedy_approximation_ratio
+from repro.core.dktg_exact import DKTGExactSolver
+from repro.datasets.figure1 import case_study_graph, case_study_query
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return case_study_graph()
+
+
+@pytest.mark.parametrize("gamma", [0.1, 0.3, 0.5, 0.7, 0.9])
+def test_ablation_dktg_greedy(benchmark, graph, gamma):
+    query = case_study_query(gamma=gamma)
+    solver = DKTGGreedySolver(graph)
+    result = benchmark.pedantic(lambda: solver.solve(query), rounds=3, iterations=1)
+    benchmark.extra_info["score"] = round(result.score, 4)
+    benchmark.extra_info["diversity"] = round(result.diversity, 4)
+    assert result.groups
+
+
+@pytest.mark.parametrize("gamma", [0.1, 0.5, 0.9])
+def test_ablation_dktg_exact(benchmark, graph, gamma):
+    query = case_study_query(gamma=gamma)
+    solver = DKTGExactSolver(graph)
+    result = benchmark.pedantic(lambda: solver.solve(query), rounds=1, iterations=1)
+    benchmark.extra_info["score"] = round(result.score, 4)
+    assert result.groups
+
+
+@pytest.mark.parametrize("gamma", [0.1, 0.5, 0.9])
+def test_ablation_dktg_quality_gap(benchmark, graph, gamma):
+    query = case_study_query(gamma=gamma)
+    greedy_solver = DKTGGreedySolver(graph)
+    exact_solver = DKTGExactSolver(graph)
+
+    def both():
+        return greedy_solver.solve(query), exact_solver.solve(query)
+
+    greedy, exact = benchmark.pedantic(both, rounds=1, iterations=1)
+    ratio = greedy.score / exact.score if exact.score else 1.0
+    benchmark.extra_info["empirical_ratio"] = round(ratio, 4)
+    benchmark.extra_info["guarantee"] = round(
+        greedy_approximation_ratio(len(query.keywords), gamma), 4
+    )
+    assert exact.score >= greedy.score - 1e-9
+    assert ratio >= greedy_approximation_ratio(len(query.keywords), gamma) - 1e-9

@@ -1,0 +1,80 @@
+"""Ablation A3 — distance-oracle micro-costs: BFS vs NL vs NLRNL.
+
+Isolates the oracle from the search: times raw ``is_tenuous`` probes
+and bulk ``filter_candidates`` calls on identical probe sets, at a k
+below (k=2) and above (k=4) the NL index's typical stored depth — the
+regime boundary where NL starts paying on-demand expansion and NLRNL's
+whole-distance-range coverage wins (the Section V motivation).
+
+The PLL oracle (2-hop labels, the [37] technique that inspired
+Section V) joins the comparison as a library extension: exact at every
+k with a footprint far below either paper index.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import bench_dataset
+from repro.index.bfs import BFSOracle
+from repro.index.nl import NLIndex
+from repro.index.nlrnl import NLRNLIndex
+from repro.index.pll import PLLIndex
+
+_oracles: dict[str, object] = {}
+
+
+def oracle_for(kind: str):
+    graph, _ = bench_dataset("gowalla")
+    if kind not in _oracles:
+        factory = {
+            "bfs": BFSOracle,
+            "nl": NLIndex,
+            "nlrnl": NLRNLIndex,
+            "pll": PLLIndex,
+        }[kind]
+        _oracles[kind] = factory(graph)
+    return graph, _oracles[kind]
+
+
+def probe_pairs(graph, count=4000, seed=2):
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+@pytest.mark.parametrize("kind", ["bfs", "nl", "nlrnl", "pll"])
+@pytest.mark.parametrize("k", [2, 4])
+def test_ablation_pairwise_probes(benchmark, kind, k):
+    graph, oracle = oracle_for(kind)
+    pairs = probe_pairs(graph)
+
+    def run():
+        hits = 0
+        for u, v in pairs:
+            if oracle.is_tenuous(u, v, k):
+                hits += 1
+        return hits
+
+    hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["tenuous_fraction"] = round(hits / len(pairs), 3)
+
+
+@pytest.mark.parametrize("kind", ["bfs", "nl", "nlrnl", "pll"])
+@pytest.mark.parametrize("k", [2, 4])
+def test_ablation_bulk_filtering(benchmark, kind, k):
+    graph, oracle = oracle_for(kind)
+    rng = random.Random(7)
+    candidates = list(graph.vertices())
+    members = [rng.randrange(graph.num_vertices) for _ in range(30)]
+
+    def run():
+        surviving = 0
+        for member in members:
+            surviving += len(oracle.filter_candidates(candidates, member, k))
+        return surviving
+
+    surviving = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["surviving_total"] = surviving

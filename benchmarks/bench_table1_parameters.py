@@ -1,0 +1,74 @@
+"""Table I — parameter ranges and default values.
+
+Not a latency figure: this bench regenerates the paper's Table I (the
+evaluation grid every other figure sweeps over), checks that every cell
+of the grid yields answerable workloads on the dataset profiles, and
+times workload generation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_dataset
+from repro.analysis.tables import render_table
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.sweep import DEFAULTS, PARAMETER_TABLE
+
+
+def test_table1_print_and_validate(benchmark, capsys):
+    """Emit Table I in the paper's layout (run with ``-s`` to see it)."""
+    rows = [
+        {
+            "Parameter": parameter,
+            "Range": ", ".join(str(v) for v in values),
+            "Default": DEFAULTS[parameter],
+        }
+        for parameter, values in PARAMETER_TABLE.items()
+    ]
+    text = benchmark.pedantic(
+        lambda: render_table(rows, title="Table I: parameter ranges and defaults"),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(text)
+    assert set(PARAMETER_TABLE) == set(DEFAULTS)
+
+
+@pytest.mark.parametrize("dataset", ["dblp", "gowalla", "brightkite", "flickr"])
+def test_table1_grid_answerable(benchmark, dataset):
+    """Every Table I cell yields >= p qualified users on every dataset."""
+    graph, vocabulary = bench_dataset(dataset)
+    generator = WorkloadGenerator(graph, vocabulary, dataset_name=dataset)
+
+    def sweep_grid():
+        produced = 0
+        for parameter, values in PARAMETER_TABLE.items():
+            for value in values:
+                settings = dict(DEFAULTS)
+                settings[parameter] = value
+                workload = generator.generate(
+                    count=1,
+                    keyword_size=settings["keyword_size"],
+                    group_size=settings["group_size"],
+                    tenuity=settings["tenuity"],
+                    top_n=settings["top_n"],
+                    seed=3,
+                )
+                produced += len(workload)
+        return produced
+
+    produced = benchmark.pedantic(sweep_grid, rounds=1, iterations=1)
+    assert produced == sum(len(values) for values in PARAMETER_TABLE.values())
+
+
+def test_table1_workload_generation_cost(benchmark):
+    """Time 100-query workload generation at Table I defaults (Gowalla)."""
+    graph, vocabulary = bench_dataset("gowalla")
+    generator = WorkloadGenerator(graph, vocabulary, dataset_name="gowalla")
+    workload = benchmark.pedantic(
+        lambda: generator.generate(count=100, seed=5), rounds=1, iterations=1
+    )
+    assert len(workload) == 100

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Social-advertising seed selection — the paper's second motivation.
+
+"For social advertising in marketing campaigns, it is preferable to
+have seed users not familiar with each other so as to increase the
+propagation influence.  Moreover, the seed users should cover the
+keywords associated with the product."
+
+This example generates a synthetic location-based social network (the
+Gowalla profile), picks a product keyword set, and selects seed-user
+groups with growing social separation k.  It then *measures* why
+tenuity matters for seeding: the union of the seeds' k-hop
+neighbourhoods (a standard proxy for first-wave reach) grows as the
+seeds spread out, because tenuous seeds waste no reach on overlapping
+audiences.
+
+Run:  python examples/seed_user_marketing.py
+"""
+
+from repro import BranchAndBoundSolver, KTGQuery, NLRNLIndex
+from repro.core.strategies import VKCDegreeOrdering
+from repro.datasets import load_dataset
+from repro.workloads import WorkloadGenerator
+
+
+def reach(graph, seeds, hops=2):
+    """Distinct users within *hops* of any seed — first-wave audience."""
+    audience = set()
+    for seed in seeds:
+        audience |= set(graph.bfs_distances(seed, hops))
+    return len(audience)
+
+
+def main() -> None:
+    graph, vocabulary = load_dataset("gowalla", scale=0.4)
+    print(f"Campaign network: {graph}")
+
+    # Product keywords: drawn from the same vocabulary users carry, so
+    # the campaign matches real interests in the network.
+    generator = WorkloadGenerator(graph, vocabulary, dataset_name="gowalla")
+    product_keywords = generator.generate(
+        count=1, keyword_size=6, group_size=4, seed=42
+    ).queries[0].keywords
+    print(f"Product keywords: {', '.join(product_keywords)}\n")
+
+    oracle = NLRNLIndex(graph)
+    solver = BranchAndBoundSolver(
+        graph, oracle=oracle, strategy=VKCDegreeOrdering(graph.degrees())
+    )
+
+    print(f"{'k':>2} | {'coverage':>8} | {'audience reach':>14} | seeds")
+    print("-" * 60)
+    for k in (0, 1, 2, 3):
+        query = KTGQuery(
+            keywords=product_keywords, group_size=4, tenuity=k, top_n=1
+        )
+        result = solver.solve(query)
+        if not result.groups:
+            print(f"{k:>2} | {'-':>8} | {'-':>14} | (no tenuous group exists)")
+            continue
+        seeds = result.groups[0].members
+        audience = reach(graph, seeds)
+        seed_text = ", ".join(f"u{s}" for s in seeds)
+        print(
+            f"{k:>2} | {result.groups[0].coverage:>8.2f} | "
+            f"{audience:>14d} | {seed_text}"
+        )
+
+    print(
+        "\nTenuous seeds (larger k) reach a wider first-wave audience for "
+        "the same keyword coverage:\nseparated seeds do not compete for "
+        "the same friends."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — Keyword-based Socially Tenuous Group (KTG) queries.
+
+A production-quality reproduction of *"Keyword-based Socially Tenuous
+Group Queries"* (Zhu et al., ICDE 2023).  The library finds top-N groups
+of ``p`` members in an attributed social network such that every pair of
+members is socially distant (hop distance > ``k``) while the group
+jointly covers as many query keywords as possible.
+
+Quickstart
+----------
+>>> from repro import AttributedGraph, KTGQuery, BranchAndBoundSolver
+>>> graph = AttributedGraph(
+...     5,
+...     edges=[(0, 1), (1, 2), (3, 4)],
+...     keywords={0: ["db"], 2: ["ml"], 3: ["db", "ml"], 4: ["ir"]},
+... )
+>>> solver = BranchAndBoundSolver(graph)
+>>> result = solver.solve(KTGQuery(keywords=("db", "ml", "ir"), group_size=2, tenuity=1, top_n=1))
+>>> result.groups[0].coverage
+1.0
+
+Package layout
+--------------
+``repro.core``
+    Problem model and exact algorithms (KTG-VKC, KTG-VKC-DEG,
+    brute force, DKTG-Greedy).
+``repro.index``
+    Distance-check oracles: BFS, NL, NLRNL (Section V).
+``repro.baselines``
+    The TAGQ comparator used by the case study.
+``repro.datasets``
+    Synthetic social-network generation calibrated to the paper's
+    datasets, plus edge-list/keyword file I/O.
+``repro.workloads``
+    Query workload generation and the experiment harness.
+``repro.analysis``
+    Result aggregation, table rendering, case-study tooling.
+"""
+
+from repro.core import (
+    AttributedGraph,
+    BranchAndBoundSolver,
+    BruteForceSolver,
+    CoverageContext,
+    DKTGGreedySolver,
+    DKTGQuery,
+    DKTGResult,
+    Group,
+    KeywordTable,
+    KTGQuery,
+    KTGResult,
+    QueryValidationError,
+    ReproError,
+    SearchStats,
+    TopNPool,
+    make_solver,
+)
+from repro.index import BFSOracle, DistanceOracle, NLIndex, NLRNLIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AttributedGraph",
+    "KeywordTable",
+    "CoverageContext",
+    "KTGQuery",
+    "DKTGQuery",
+    "Group",
+    "TopNPool",
+    "KTGResult",
+    "DKTGResult",
+    "SearchStats",
+    "BranchAndBoundSolver",
+    "BruteForceSolver",
+    "DKTGGreedySolver",
+    "make_solver",
+    "DistanceOracle",
+    "BFSOracle",
+    "NLIndex",
+    "NLRNLIndex",
+    "ReproError",
+    "QueryValidationError",
+]

@@ -1,0 +1,43 @@
+"""Result analysis: quality metrics, tables, and the Figure 8 case study."""
+
+from repro.analysis.case_study import CaseStudyOutcome, render_case_study, run_case_study
+from repro.analysis.metrics import (
+    ResultQuality,
+    assess_result,
+    member_overlap_ratio,
+    verify_tenuity,
+)
+from repro.analysis.graphstats import GraphStatistics, compute_statistics, degree_histogram, hop_ball_profile
+from repro.analysis.tables import render_series, render_table, rows_to_csv, write_csv
+from repro.analysis.tenuity import (
+    group_tenuity,
+    is_k_distance_group,
+    kline_count,
+    ktenuity,
+    ktriangle_count,
+    tenuity_report,
+)
+
+__all__ = [
+    "CaseStudyOutcome",
+    "run_case_study",
+    "render_case_study",
+    "ResultQuality",
+    "assess_result",
+    "verify_tenuity",
+    "member_overlap_ratio",
+    "render_table",
+    "render_series",
+    "rows_to_csv",
+    "write_csv",
+    "GraphStatistics",
+    "compute_statistics",
+    "degree_histogram",
+    "hop_ball_profile",
+    "kline_count",
+    "ktriangle_count",
+    "ktenuity",
+    "group_tenuity",
+    "is_k_distance_group",
+    "tenuity_report",
+]

@@ -1,0 +1,108 @@
+"""The Figure 8 case study: KTG-VKC-DEG vs DKTG-Greedy vs TAGQ.
+
+Reproduces the paper's effectiveness comparison on the reviewer-selection
+scenario: all three algorithms answer the same query; the rendered
+report shows, per returned group, each member's keywords, per-member
+query-keyword coverage (flagging the TAGQ members with none — the
+paper's red lines), pairwise hop distances, and the result-set diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import ResultQuality, assess_result, member_overlap_ratio
+from repro.baselines.tagq import TAGQSolver
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.coverage import CoverageContext
+from repro.core.dktg import DKTGGreedySolver
+from repro.core.graph import AttributedGraph
+from repro.core.query import DKTGQuery
+from repro.core.results import Group
+from repro.core.strategies import VKCDegreeOrdering
+from repro.index.nlrnl import NLRNLIndex
+
+__all__ = ["CaseStudyOutcome", "run_case_study", "render_case_study"]
+
+
+@dataclass(frozen=True)
+class CaseStudyOutcome:
+    """Results of the three algorithms on one case-study query."""
+
+    graph: AttributedGraph
+    query: DKTGQuery
+    results: dict[str, tuple[Group, ...]]
+    quality: dict[str, ResultQuality]
+    overlap: dict[str, float]
+
+
+def run_case_study(
+    graph: AttributedGraph,
+    query: DKTGQuery,
+    tagq_max_tenuity: float = 0.0,
+) -> CaseStudyOutcome:
+    """Run KTG-VKC-DEG, DKTG-Greedy and TAGQ on the same query."""
+    oracle = NLRNLIndex(graph)
+    base = query.base_query()
+
+    ktg = BranchAndBoundSolver(
+        graph, oracle=oracle, strategy=VKCDegreeOrdering(graph.degrees())
+    ).solve(base)
+    dktg = DKTGGreedySolver(
+        graph,
+        inner_solver=BranchAndBoundSolver(
+            graph, oracle=oracle, strategy=VKCDegreeOrdering(graph.degrees())
+        ),
+    ).solve(query)
+    tagq = TAGQSolver(graph, oracle=oracle, max_tenuity=tagq_max_tenuity).solve(base)
+
+    results = {
+        "KTG-VKC-DEG": ktg.groups,
+        "DKTG-Greedy": dktg.groups,
+        "TAGQ": tagq.groups,
+    }
+    quality = {
+        name: assess_result(graph, query.keywords, groups)
+        for name, groups in results.items()
+    }
+    overlap = {name: member_overlap_ratio(groups) for name, groups in results.items()}
+    return CaseStudyOutcome(
+        graph=graph, query=query, results=results, quality=quality, overlap=overlap
+    )
+
+
+def render_case_study(outcome: CaseStudyOutcome) -> str:
+    """Render the case study as the paper's figure-8-style report."""
+    graph = outcome.graph
+    context = CoverageContext(graph, outcome.query.keywords)
+    lines: list[str] = [
+        f"Query keywords: {', '.join(outcome.query.keywords)}",
+        (
+            f"N={outcome.query.top_n} p={outcome.query.group_size} "
+            f"k={outcome.query.tenuity}"
+        ),
+        "",
+    ]
+    for name, groups in outcome.results.items():
+        quality = outcome.quality[name]
+        lines.append(
+            f"== {name}  (diversity={quality.diversity:.2f}, "
+            f"overlap={outcome.overlap[name]:.2f}, "
+            f"zero-coverage members={quality.zero_coverage_members})"
+        )
+        for rank, group in enumerate(groups, 1):
+            lines.append(f"  group {rank}: coverage={group.coverage:.2f}")
+            for member in group.members:
+                labels = ", ".join(graph.keyword_labels(member)) or "(none)"
+                flag = "  << no query keyword" if context.masks[member] == 0 else ""
+                lines.append(f"    u{member}: {labels}{flag}")
+            hops = []
+            for i, u in enumerate(group.members):
+                for v in group.members[i + 1 :]:
+                    distance = graph.hop_distance(u, v)
+                    hops.append(
+                        f"u{u}-u{v}:{'inf' if distance is None else distance}"
+                    )
+            lines.append(f"    hops: {'  '.join(hops)}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Structural statistics of attributed social networks.
+
+The synthetic dataset profiles claim to be "structurally comparable" to
+the paper's real graphs; this module provides the numbers behind that
+claim — degree distribution, clustering, hop-ball growth, component
+structure and keyword-frequency skew — and is what the calibration
+tests assert against.
+
+Everything is dependency-free and exact except hop statistics, which
+sample BFS sources on large graphs (exact under ``sample_size=None``).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.graph import AttributedGraph
+from repro.index._traversal import bfs_levels
+
+__all__ = ["GraphStatistics", "compute_statistics", "degree_histogram", "hop_ball_profile"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary structure of one graph (see :func:`compute_statistics`)."""
+
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+    degree_gini: float
+    clustering_coefficient: float
+    num_components: int
+    largest_component_fraction: float
+    estimated_diameter: int
+    hop_ball_fractions: tuple[float, ...]  # index i -> |ball(k=i+1)| / n
+    keywords_per_vertex: float
+    distinct_keywords: int
+
+    def row(self) -> dict:
+        return {
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "avg_degree": self.average_degree,
+            "max_degree": self.max_degree,
+            "degree_gini": self.degree_gini,
+            "clustering": self.clustering_coefficient,
+            "components": self.num_components,
+            "lcc_fraction": self.largest_component_fraction,
+            "diameter_est": self.estimated_diameter,
+            "ball_k2_fraction": (
+                self.hop_ball_fractions[1] if len(self.hop_ball_fractions) > 1 else 0.0
+            ),
+            "kw_per_vertex": self.keywords_per_vertex,
+            "distinct_kw": self.distinct_keywords,
+        }
+
+
+def degree_histogram(graph: AttributedGraph) -> dict[int, int]:
+    """``degree -> vertex count`` histogram."""
+    return dict(Counter(graph.degrees()))
+
+
+def _gini(values: list[int]) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, ->1 = skew)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    n = len(ordered)
+    cumulative = 0.0
+    for rank, value in enumerate(ordered, 1):
+        cumulative += rank * value
+    return (2.0 * cumulative) / (n * total) - (n + 1.0) / n
+
+
+def _clustering(graph: AttributedGraph, sample: list[int]) -> float:
+    """Mean local clustering coefficient over *sample* vertices."""
+    adjacency = graph.adjacency_view()
+    coefficients = []
+    for vertex in sample:
+        neighbors = adjacency[vertex]
+        degree = len(neighbors)
+        if degree < 2:
+            coefficients.append(0.0)
+            continue
+        links = 0
+        neighbor_list = list(neighbors)
+        for i, u in enumerate(neighbor_list):
+            adjacency_u = adjacency[u]
+            for v in neighbor_list[i + 1 :]:
+                if v in adjacency_u:
+                    links += 1
+        coefficients.append(2.0 * links / (degree * (degree - 1)))
+    return statistics.fmean(coefficients) if coefficients else 0.0
+
+
+def hop_ball_profile(
+    graph: AttributedGraph,
+    max_hops: int = 6,
+    sample_size: Optional[int] = 64,
+    seed: int = 0,
+) -> tuple[list[float], int]:
+    """Average ball sizes |{v : dist <= k}| / n for k = 1..max_hops,
+    plus the largest BFS depth seen (a diameter lower bound).
+
+    Sampling keeps this O(sample * (n + e)); ``sample_size=None`` uses
+    every vertex.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return [0.0] * max_hops, 0
+    if sample_size is None or sample_size >= n:
+        sources = list(range(n))
+    else:
+        sources = random.Random(seed).sample(range(n), sample_size)
+    adjacency = graph.adjacency_view()
+    totals = [0.0] * max_hops
+    deepest = 0
+    for source in sources:
+        levels = bfs_levels(adjacency, source)
+        deepest = max(deepest, len(levels))
+        running = 0
+        for depth in range(max_hops):
+            if depth < len(levels):
+                running += len(levels[depth])
+            totals[depth] += running
+    fractions = [total / (len(sources) * n) for total in totals]
+    return fractions, deepest
+
+
+def compute_statistics(
+    graph: AttributedGraph,
+    sample_size: Optional[int] = 64,
+    seed: int = 0,
+) -> GraphStatistics:
+    """Compute the full statistics summary of *graph*."""
+    n = graph.num_vertices
+    degrees = graph.degrees()
+    components = graph.connected_components()
+    component_sizes = Counter(components)
+
+    if n == 0:
+        sample: list[int] = []
+    elif sample_size is None or sample_size >= n:
+        sample = list(range(n))
+    else:
+        sample = random.Random(seed).sample(range(n), sample_size)
+
+    ball_fractions, deepest = hop_ball_profile(
+        graph, max_hops=6, sample_size=sample_size, seed=seed
+    )
+
+    keyword_counts = [len(graph.keywords_of(v)) for v in graph.vertices()]
+    distinct = len(
+        {keyword for v in graph.vertices() for keyword in graph.keywords_of(v)}
+    )
+
+    return GraphStatistics(
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree(),
+        max_degree=max(degrees, default=0),
+        degree_gini=_gini(degrees),
+        clustering_coefficient=_clustering(graph, sample),
+        num_components=len(component_sizes),
+        largest_component_fraction=(
+            max(component_sizes.values()) / n if n else 0.0
+        ),
+        estimated_diameter=deepest,
+        hop_ball_fractions=tuple(ball_fractions),
+        keywords_per_vertex=(
+            statistics.fmean(keyword_counts) if keyword_counts else 0.0
+        ),
+        distinct_keywords=distinct,
+    )

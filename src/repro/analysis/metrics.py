@@ -1,0 +1,106 @@
+"""Effectiveness metrics over query results.
+
+Latency is measured by :mod:`repro.workloads.runner`; this module covers
+the *quality* side used in the case study and the result analyses:
+coverage statistics, per-member coverage checks (KTG's guarantee that no
+member is off-topic), group overlap (the motivation for DKTG), and
+tenuity verification.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.coverage import CoverageContext
+from repro.core.dktg import result_diversity
+from repro.core.graph import AttributedGraph
+from repro.core.results import Group
+from repro.index.base import DistanceOracle
+
+__all__ = ["ResultQuality", "assess_result", "verify_tenuity", "member_overlap_ratio"]
+
+
+@dataclass(frozen=True)
+class ResultQuality:
+    """Quality summary of one result set against its query keywords."""
+
+    group_count: int
+    best_coverage: float
+    worst_coverage: float
+    mean_member_coverage: float
+    zero_coverage_members: int
+    diversity: float
+
+    def row(self) -> dict:
+        return {
+            "groups": self.group_count,
+            "best_cov": self.best_coverage,
+            "worst_cov": self.worst_coverage,
+            "mean_member_cov": self.mean_member_coverage,
+            "zero_members": self.zero_coverage_members,
+            "diversity": self.diversity,
+        }
+
+
+def assess_result(
+    graph: AttributedGraph,
+    query_keywords: Sequence[str],
+    groups: Sequence[Group],
+) -> ResultQuality:
+    """Summarise coverage/diversity quality of a result set.
+
+    ``zero_coverage_members`` counts members carrying no query keyword —
+    always 0 for KTG algorithms (a model guarantee), typically positive
+    for TAGQ (the case-study "red line" reviewers).
+    """
+    context = CoverageContext(graph, query_keywords)
+    member_coverages: list[float] = []
+    zero_members = 0
+    for group in groups:
+        for member in group.members:
+            coverage = context.vertex_coverage(member)
+            member_coverages.append(coverage)
+            if coverage == 0.0:
+                zero_members += 1
+    coverages = [group.coverage for group in groups]
+    return ResultQuality(
+        group_count=len(groups),
+        best_coverage=max(coverages, default=0.0),
+        worst_coverage=min(coverages, default=0.0),
+        mean_member_coverage=(
+            statistics.fmean(member_coverages) if member_coverages else 0.0
+        ),
+        zero_coverage_members=zero_members,
+        diversity=result_diversity([group.members for group in groups]),
+    )
+
+
+def verify_tenuity(
+    oracle: DistanceOracle,
+    groups: Sequence[Group],
+    k: int,
+) -> bool:
+    """Whether every group is a k-distance group (Definition 3)."""
+    for group in groups:
+        members = group.members
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if not oracle.is_tenuous(u, v, k):
+                    return False
+    return True
+
+
+def member_overlap_ratio(groups: Sequence[Group]) -> float:
+    """Fraction of member slots occupied by repeated vertices.
+
+    0.0 means all groups are pairwise disjoint (maximal diversity);
+    values near 1 mean the result is near-duplicates — the paper's
+    "u1u2u3 / u1u2u4 / u1u2u5" pathology that motivates DKTG.
+    """
+    total_slots = sum(group.size for group in groups)
+    if total_slots == 0:
+        return 0.0
+    distinct = len({member for group in groups for member in group.members})
+    return (total_slots - distinct) / total_slots

@@ -1,0 +1,123 @@
+"""Tabular rendering of experiment results.
+
+Benchmarks and the CLI print results as fixed-width ASCII tables (the
+paper's figures are line charts; a table of the same series carries the
+identical information in a terminal) and can persist them as CSV for
+external plotting.  Rendering is dependency-free.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+__all__ = ["render_table", "rows_to_csv", "write_csv", "render_series"]
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as a fixed-width table.
+
+    Column order follows *columns* when given, otherwise first-seen key
+    order across the rows.
+
+    >>> print(render_table([{"algo": "VKC", "ms": 12.5}]))
+    algo | ms
+    -----+------
+    VKC  | 12.50
+    """
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen)
+    if not columns:
+        return "(empty table)"
+
+    formatted = [
+        [_format_cell(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in formatted)) if formatted else len(column)
+        for i, column in enumerate(columns)
+    ]
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(column.ljust(width) for column, width in zip(columns, widths)))
+    out.append("-+-".join("-" * width for width in widths))
+    for line in formatted:
+        out.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(out)
+
+
+def render_series(
+    series: Mapping[str, Sequence[tuple[int, float]]],
+    x_label: str,
+    y_label: str = "mean_ms",
+    title: Optional[str] = None,
+) -> str:
+    """Render per-algorithm (x, y) series as one table with x as rows.
+
+    This is the figure-shaped view: one row per parameter value, one
+    column per algorithm — directly comparable with the paper's charts.
+    """
+    xs: list[int] = sorted({x for points in series.values() for x, _ in points})
+    algorithms = list(series)
+    rows = []
+    for x in xs:
+        row: dict[str, Cell] = {x_label: x}
+        for algorithm in algorithms:
+            lookup = dict(series[algorithm])
+            row[algorithm] = lookup.get(x)
+        rows.append(row)
+    heading = title or f"{y_label} by {x_label}"
+    return render_table(rows, columns=[x_label, *algorithms], title=heading)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Cell]], columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise dict-rows to CSV text."""
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key) for key in columns})
+    return buffer.getvalue()
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, Cell]],
+    path: Union[str, Path],
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write dict-rows to a CSV file."""
+    Path(path).write_text(rows_to_csv(rows, columns))

@@ -1,0 +1,141 @@
+"""Tenuity metrics from the paper and its related work (Section II-A).
+
+The literature measures how "tenuous" a group is in several ways; the
+paper surveys them and argues for its own *k-distance group* notion.
+This module implements the full family so results can be compared
+across models:
+
+* :func:`kline_count` — the number of *k-lines* (pairs within k hops),
+  the quantity Li [2] minimises;
+* :func:`ktriangle_count` — the number of *k-triangles* (triples whose
+  three pairwise distances are all within k), Shen et al. [1, 4];
+* :func:`ktenuity` — Li et al. [18]'s ratio of within-k pairs to all
+  pairs (also available as :func:`repro.baselines.tagq.k_tenuity`);
+* :func:`group_tenuity` — the paper's Definition 4: the smallest
+  pairwise social distance in the group;
+* :func:`is_k_distance_group` — Definition 3's predicate.
+
+All functions accept any :class:`~repro.index.base.DistanceOracle` (or
+a graph, falling back to BFS).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence, Union
+
+from repro.core.graph import AttributedGraph
+from repro.index.base import DistanceOracle
+from repro.index.bfs import BFSOracle
+
+__all__ = [
+    "kline_count",
+    "ktriangle_count",
+    "ktenuity",
+    "group_tenuity",
+    "is_k_distance_group",
+    "tenuity_report",
+]
+
+OracleLike = Union[AttributedGraph, DistanceOracle]
+
+
+def _as_oracle(source: OracleLike) -> DistanceOracle:
+    if isinstance(source, AttributedGraph):
+        return BFSOracle(source)
+    return source
+
+
+def kline_count(source: OracleLike, members: Sequence[int], k: int) -> int:
+    """Number of k-lines in the group (Definition 2 pairs).
+
+    Li [2]'s objective minimises this; a k-distance group has zero.
+
+    >>> g = AttributedGraph(3, [(0, 1)])
+    >>> kline_count(g, [0, 1, 2], 1)
+    1
+    """
+    oracle = _as_oracle(source)
+    return sum(
+        1 for u, v in combinations(members, 2) if not oracle.is_tenuous(u, v, k)
+    )
+
+
+def ktriangle_count(source: OracleLike, members: Sequence[int], k: int) -> int:
+    """Number of k-triangles (Shen et al. [1]): triples in which every
+    pair lies within k hops.
+
+    >>> g = AttributedGraph(3, [(0, 1), (1, 2), (0, 2)])
+    >>> ktriangle_count(g, [0, 1, 2], 1)
+    1
+    """
+    oracle = _as_oracle(source)
+    close = {
+        frozenset(pair)
+        for pair in combinations(members, 2)
+        if not oracle.is_tenuous(pair[0], pair[1], k)
+    }
+    count = 0
+    for a, b, c in combinations(members, 3):
+        if (
+            frozenset((a, b)) in close
+            and frozenset((b, c)) in close
+            and frozenset((a, c)) in close
+        ):
+            count += 1
+    return count
+
+
+def ktenuity(source: OracleLike, members: Sequence[int], k: int) -> float:
+    """Li et al. [18]'s k-tenuity: within-k pairs / all pairs.
+
+    The paper's critique: any positive value admits close pairs, so the
+    measure cannot *guarantee* tenuity the way Definition 3 does.
+    """
+    members = list(members)
+    total = len(members) * (len(members) - 1) // 2
+    if total == 0:
+        return 0.0
+    return kline_count(source, members, k) / total
+
+
+def group_tenuity(graph: AttributedGraph, members: Sequence[int]) -> float:
+    """Definition 4: the smallest pairwise social distance in the group.
+
+    Unreachable pairs contribute infinity; a group with fewer than two
+    members has tenuity infinity (no pair constrains it).
+    """
+    best = float("inf")
+    for u, v in combinations(members, 2):
+        distance = graph.hop_distance(u, v)
+        value = float("inf") if distance is None else float(distance)
+        if value < best:
+            best = value
+    return best
+
+
+def is_k_distance_group(source: OracleLike, members: Sequence[int], k: int) -> bool:
+    """Definition 3's predicate: every pairwise distance exceeds k."""
+    return kline_count(source, members, k) == 0
+
+
+def tenuity_report(
+    graph: AttributedGraph, members: Sequence[int], k: int
+) -> dict[str, float]:
+    """All metrics at once, as a flat row for tables.
+
+    >>> g = AttributedGraph(3, [(0, 1)])
+    >>> report = tenuity_report(g, [0, 1, 2], 1)
+    >>> report["k_lines"], report["k_distance_group"]
+    (1, False)
+    """
+    oracle = BFSOracle(graph)
+    return {
+        "k": k,
+        "size": len(members),
+        "k_lines": kline_count(oracle, members, k),
+        "k_triangles": ktriangle_count(oracle, members, k),
+        "k_tenuity": ktenuity(oracle, members, k),
+        "group_tenuity": group_tenuity(graph, members),
+        "k_distance_group": is_k_distance_group(oracle, members, k),
+    }

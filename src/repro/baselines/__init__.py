@@ -1,0 +1,18 @@
+"""Comparator algorithms from related work.
+
+* TAGQ (Li et al. [18]): average keyword coverage under a k-tenuity cap
+  — the Figure 8 comparator.
+* MinLine (Li [2]): minimise the number of k-lines — the related-work
+  model the paper contrasts its k-distance-group definition against.
+"""
+
+from repro.baselines.kline_min import MinLineGroup, MinLineResult, MinLineSolver
+from repro.baselines.tagq import TAGQSolver, k_tenuity
+
+__all__ = [
+    "TAGQSolver",
+    "k_tenuity",
+    "MinLineSolver",
+    "MinLineResult",
+    "MinLineGroup",
+]

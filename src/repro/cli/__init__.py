@@ -1,0 +1,5 @@
+"""Command-line interface for the KTG reproduction (``ktg`` / ``python -m repro``)."""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["main", "build_parser"]

@@ -1,0 +1,328 @@
+"""Command-line interface: ``ktg`` (or ``python -m repro``).
+
+Subcommands mirror the library's workflow:
+
+``ktg datasets``
+    List the built-in dataset profiles and their calibration.
+``ktg generate <profile> --edges out.edges --keywords out.kw``
+    Materialise a synthetic dataset to disk.
+``ktg query <profile> --keywords a,b,c [-p 3 -k 2 -n 3] [--algorithm ...]``
+    Answer one KTG query and print the groups.
+``ktg sweep <profile> --parameter group_size``
+    Run a Table I parameter sweep and print the figure-shaped table.
+``ktg case-study``
+    Print the Figure 8 effectiveness comparison.
+``ktg index-stats <profile>``
+    Compare NL vs NLRNL (and BFS/PLL) footprint and build time (Figure 9).
+``ktg stats <profile>``
+    Structural statistics of a dataset profile (calibration view).
+``ktg trace``
+    Render the branch-and-bound search tree of the paper's running
+    example (Figure 2).
+``ktg reproduce --experiment fig4``
+    Re-run one of the paper's experiments at reduced scale and check
+    its qualitative findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import __version__
+from repro.analysis.case_study import render_case_study, run_case_study
+from repro.analysis.graphstats import compute_statistics
+from repro.analysis.tables import render_series, render_table, write_csv
+from repro.core.errors import ReproError
+from repro.core.query import DKTGQuery, KTGQuery
+from repro.datasets.figure1 import case_study_graph, case_study_query
+from repro.datasets.io import write_graph
+from repro.datasets.registry import PROFILES, load_dataset
+from repro.index.stats import measure_footprint
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.strategies import strategy_by_name
+from repro.core.trace import TracingSolver
+from repro.datasets.figure1 import figure1_example, figure1_query
+from repro.workloads.runner import ALGORITHMS, ExperimentRunner
+from repro.workloads.experiments import experiment_ids, reproduce
+from repro.workloads.sweep import PARAMETER_TABLE, run_parameter_sweep
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="ktg",
+        description="Keyword-based socially tenuous group queries (ICDE 2023 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list built-in dataset profiles")
+
+    generate = commands.add_parser("generate", help="write a synthetic dataset to disk")
+    generate.add_argument("profile", choices=sorted(PROFILES))
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--edges", required=True, help="output edge-list path")
+    generate.add_argument("--keywords", required=True, help="output keyword-table path")
+
+    query = commands.add_parser("query", help="answer one KTG/DKTG query")
+    query.add_argument("profile", choices=sorted(PROFILES))
+    query.add_argument("--scale", type=float, default=1.0)
+    query.add_argument(
+        "--keywords",
+        required=True,
+        help="comma-separated query keywords (use vocabulary labels, e.g. kw003)",
+    )
+    query.add_argument("-p", "--group-size", type=int, default=3)
+    query.add_argument("-k", "--tenuity", type=int, default=2)
+    query.add_argument("-n", "--top-n", type=int, default=3)
+    query.add_argument(
+        "--algorithm",
+        default="KTG-VKC-DEG-NLRNL",
+        choices=sorted(ALGORITHMS),
+    )
+    query.add_argument("--gamma", type=float, default=0.5, help="DKTG diversity weight")
+
+    sweep = commands.add_parser("sweep", help="run a Table I parameter sweep")
+    sweep.add_argument("profile", choices=sorted(PROFILES))
+    sweep.add_argument("--parameter", required=True, choices=sorted(PARAMETER_TABLE))
+    sweep.add_argument("--scale", type=float, default=0.5)
+    sweep.add_argument("--queries", type=int, default=10)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated algorithm names (default: all)",
+    )
+    sweep.add_argument("--csv", default=None, help="also write rows to this CSV path")
+
+    commands.add_parser("case-study", help="print the Figure 8 effectiveness comparison")
+
+    index_stats = commands.add_parser(
+        "index-stats", help="compare NL vs NLRNL footprints (Figure 9)"
+    )
+    index_stats.add_argument("profile", choices=sorted(PROFILES))
+    index_stats.add_argument("--scale", type=float, default=0.5)
+    index_stats.add_argument(
+        "--all-oracles",
+        action="store_true",
+        help="also measure the BFS and PLL oracles",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="structural statistics of a dataset profile"
+    )
+    stats.add_argument("profile", choices=sorted(PROFILES))
+    stats.add_argument("--scale", type=float, default=0.5)
+
+    trace = commands.add_parser(
+        "trace", help="render the Figure 2 search tree of the running example"
+    )
+    trace.add_argument(
+        "--strategy",
+        default="vkc",
+        choices=["qkc", "vkc", "vkc-deg"],
+    )
+    trace.add_argument("--max-depth", type=int, default=None)
+
+    repro_cmd = commands.add_parser(
+        "reproduce", help="re-run a paper experiment and check its findings"
+    )
+    repro_cmd.add_argument("--experiment", required=True, choices=experiment_ids())
+    repro_cmd.add_argument("--dataset", default="gowalla", choices=sorted(PROFILES))
+    repro_cmd.add_argument("--scale", type=float, default=0.25)
+    repro_cmd.add_argument("--queries", type=int, default=3)
+    repro_cmd.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved Unix tool.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "case-study":
+        return _cmd_case_study()
+    if args.command == "index-stats":
+        return _cmd_index_stats(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_datasets() -> int:
+    rows = [
+        {
+            "name": profile.name,
+            "paper_|V|": profile.paper_vertices,
+            "paper_|E|": profile.paper_edges,
+            "scaled_|V|": profile.scaled_vertices,
+            "m": profile.edges_per_vertex,
+            "description": profile.description,
+        }
+        for profile in PROFILES.values()
+    ]
+    print(render_table(rows, title="Built-in dataset profiles"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph, _ = load_dataset(args.profile, scale=args.scale, seed=args.seed)
+    write_graph(graph, args.edges, args.keywords)
+    print(
+        f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges "
+        f"to {args.edges} (+ keywords to {args.keywords})"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph, _ = load_dataset(args.profile, scale=args.scale)
+    labels = tuple(label.strip() for label in args.keywords.split(",") if label.strip())
+    spec = ALGORITHMS[args.algorithm]
+    if spec.diversified:
+        query: KTGQuery = DKTGQuery(
+            keywords=labels,
+            group_size=args.group_size,
+            tenuity=args.tenuity,
+            top_n=args.top_n,
+            gamma=args.gamma,
+        )
+    else:
+        query = KTGQuery(
+            keywords=labels,
+            group_size=args.group_size,
+            tenuity=args.tenuity,
+            top_n=args.top_n,
+        )
+    runner = ExperimentRunner(graph, dataset_name=args.profile)
+    oracle = runner.oracle_for(spec)
+    solver = spec.build_solver(graph, oracle)
+    result = solver.solve(query)
+    print(result)
+    print(f"(latency: {result.stats.elapsed_seconds * 1000:.1f} ms)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    graph, vocabulary = load_dataset(args.profile, scale=args.scale)
+    algorithms = (
+        [name.strip() for name in args.algorithms.split(",")]
+        if args.algorithms
+        else None
+    )
+    result = run_parameter_sweep(
+        graph,
+        args.parameter,
+        vocabulary=vocabulary,
+        dataset_name=args.profile,
+        algorithms=algorithms,
+        queries_per_setting=args.queries,
+        seed=args.seed,
+    )
+    series = {name: result.series(name) for name in result.algorithms()}
+    print(
+        render_series(
+            series,
+            x_label=args.parameter,
+            title=f"{args.profile}: mean latency (ms) vs {args.parameter}",
+        )
+    )
+    if args.csv:
+        write_csv(result.rows(), args.csv)
+        print(f"rows written to {args.csv}")
+    return 0
+
+
+def _cmd_case_study() -> int:
+    outcome = run_case_study(case_study_graph(), case_study_query())
+    print(render_case_study(outcome))
+    return 0
+
+
+def _cmd_index_stats(args: argparse.Namespace) -> int:
+    graph, _ = load_dataset(args.profile, scale=args.scale)
+    oracle_names = ("bfs", "nl", "nlrnl", "pll") if args.all_oracles else ("nl", "nlrnl")
+    rows = [measure_footprint(graph, name).row() for name in oracle_names]
+    print(render_table(rows, title=f"{args.profile}: index footprint (Figure 9)"))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph, _ = load_dataset(args.profile, scale=args.scale)
+    statistics = compute_statistics(graph)
+    print(
+        render_table(
+            [statistics.row()],
+            title=f"{args.profile} (scale {args.scale}): structural statistics",
+        )
+    )
+    fractions = ", ".join(
+        f"k={k}: {fraction:.3f}"
+        for k, fraction in enumerate(statistics.hop_ball_fractions, start=1)
+    )
+    print(f"hop-ball fractions: {fractions}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    outcome = reproduce(
+        args.experiment,
+        dataset=args.dataset,
+        scale=args.scale,
+        queries=args.queries,
+        seed=args.seed,
+    )
+    print(outcome.render())
+    return 0 if outcome.all_held else 2
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    graph = figure1_example()
+    solver = BranchAndBoundSolver(
+        graph, strategy=strategy_by_name(args.strategy, graph)
+    )
+    result, trace = TracingSolver(solver).solve(figure1_query())
+    print(trace.render(max_depth=args.max_depth))
+    print()
+    print(result)
+    print(
+        f"(nodes={trace.nodes}, pruned={trace.pruned}, accepted={trace.accepted})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,375 @@
+"""The branch-and-bound KTG solver (Algorithm 1 and its variants).
+
+One engine implements all three exact algorithms of the paper; they are
+obtained by plugging in an ordering strategy and a distance oracle:
+
+===================  =====================  ======================
+Paper name           strategy               oracle
+===================  =====================  ======================
+KTG-QKC-NLRNL        ``QKCOrdering``        ``NLRNLIndex``
+KTG-VKC-NL           ``VKCOrdering``        ``NLIndex``
+KTG-VKC-NLRNL        ``VKCOrdering``        ``NLRNLIndex``
+KTG-VKC-DEG-NLRNL    ``VKCDegreeOrdering``  ``NLRNLIndex``
+===================  =====================  ======================
+
+The search maintains the intermediate group ``S_I`` (as a covered-keyword
+mask plus member list) and the ordered remaining candidate set ``S_R``.
+At each node it tries each candidate in order; choosing candidate ``v``
+k-line-filters the candidates after ``v`` against ``v`` (Theorem 3),
+re-orders them per the strategy, and recurses.  Keyword pruning
+(Theorem 2) cuts branches whose coverage upper bound cannot beat the
+current top-N threshold ``C_max``; under VKC ordering the candidate list
+is VKC-sorted, so the bound is read off the list head in O(p).
+
+Both rules can be disabled (``keyword_pruning=False`` /
+``kline_filtering=False``) for the pruning ablation; with filtering off
+the solver falls back to checking all pairwise distances when a group
+reaches size ``p``, which preserves exactness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.coverage import CoverageContext
+from repro.core.errors import IndexBuildError
+from repro.core.graph import AttributedGraph
+from repro.core.pruning import keyword_prune_bound
+from repro.core.query import KTGQuery
+from repro.core.results import Group, TopNPool
+from repro.core.strategies import OrderingStrategy, VKCOrdering
+from repro.index.base import DistanceOracle
+from repro.index.bfs import BFSOracle
+
+__all__ = ["SearchStats", "KTGResult", "BranchAndBoundSolver"]
+
+
+class _BudgetExhausted(Exception):
+    """Internal signal: a node/time budget stopped the search."""
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation for one solver run.
+
+    ``nodes_expanded`` counts search-tree nodes entered;
+    ``keyword_prunes`` counts branches cut by Theorem 2;
+    ``kline_removed`` counts candidates dropped by Theorem 3;
+    ``first_feasible_node`` records how many nodes were expanded before
+    the first feasible group was found (the quantity the VKC-DEG
+    ordering is designed to minimise).
+    """
+
+    nodes_expanded: int = 0
+    feasible_groups: int = 0
+    keyword_prunes: int = 0
+    kline_removed: int = 0
+    offers_accepted: int = 0
+    elapsed_seconds: float = 0.0
+    first_feasible_node: Optional[int] = None
+    #: True when a node/time budget stopped the search early; the result
+    #: is then the best found so far (anytime behaviour), not certified
+    #: optimal.
+    budget_exhausted: bool = False
+
+
+@dataclass(frozen=True)
+class KTGResult:
+    """Outcome of one KTG query: the top-N groups plus instrumentation."""
+
+    query: KTGQuery
+    algorithm: str
+    groups: tuple[Group, ...]
+    stats: SearchStats = field(compare=False, default_factory=SearchStats)
+
+    @property
+    def best_coverage(self) -> float:
+        """Coverage of the best group (0.0 when no group was found)."""
+        return self.groups[0].coverage if self.groups else 0.0
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the search ran to completion (certified optimum)."""
+        return not self.stats.budget_exhausted
+
+    def member_sets(self) -> list[tuple[int, ...]]:
+        """Member tuples of the result groups, best first."""
+        return [group.members for group in self.groups]
+
+    def __str__(self) -> str:
+        lines = [f"{self.algorithm} for {self.query.describe()}:"]
+        lines.extend(f"  {rank}. {group}" for rank, group in enumerate(self.groups, 1))
+        if not self.groups:
+            lines.append("  (no feasible group)")
+        return "\n".join(lines)
+
+
+class BranchAndBoundSolver:
+    """Exact top-N KTG solver parameterised by strategy and oracle.
+
+    Parameters
+    ----------
+    graph:
+        The attributed social network.
+    oracle:
+        Distance oracle for k-line checks; defaults to a fresh
+        :class:`BFSOracle` (no precomputation).
+    strategy:
+        Candidate ordering; defaults to :class:`VKCOrdering`
+        (KTG-VKC of Algorithm 1).
+    keyword_pruning:
+        Apply Theorem 2 branch cutting (default on).
+    kline_filtering:
+        Apply Theorem 3 incremental candidate filtering (default on).
+        When off, tenuity is verified pairwise on complete groups.
+    use_union_bound:
+        Tighten the Theorem 2 bound with the union-of-masks bound
+        (library extension; see :mod:`repro.core.pruning`).
+    node_budget / time_budget:
+        Optional anytime limits (search-tree nodes / wall seconds).  The
+        problem is NP-hard, so production callers cap worst-case cost;
+        when a budget trips, the best groups found so far are returned
+        and ``result.is_exact`` is False.
+
+    Examples
+    --------
+    >>> g = AttributedGraph(4, [(0, 1)], {0: ["a"], 1: ["b"], 2: ["a", "b"], 3: ["b"]})
+    >>> solver = BranchAndBoundSolver(g)
+    >>> result = solver.solve(KTGQuery(keywords=("a", "b"), group_size=2, tenuity=1, top_n=1))
+    >>> result.groups[0].coverage
+    1.0
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        oracle: Optional[DistanceOracle] = None,
+        strategy: Optional[OrderingStrategy] = None,
+        keyword_pruning: bool = True,
+        kline_filtering: bool = True,
+        use_union_bound: bool = False,
+        node_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> None:
+        if node_budget is not None and node_budget < 1:
+            raise ValueError(f"node_budget must be positive, got {node_budget}")
+        if time_budget is not None and time_budget <= 0:
+            raise ValueError(f"time_budget must be positive, got {time_budget}")
+        self.graph = graph
+        self.oracle = oracle if oracle is not None else BFSOracle(graph)
+        self.strategy = strategy if strategy is not None else VKCOrdering()
+        self.keyword_pruning = keyword_pruning
+        self.kline_filtering = kline_filtering
+        self.use_union_bound = use_union_bound
+        self.node_budget = node_budget
+        self.time_budget = time_budget
+        self._deadline: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def algorithm_name(self) -> str:
+        """Paper-style label, e.g. ``KTG-VKC-DEG-NLRNL``."""
+        strategy_part = self.strategy.name.upper()
+        return f"KTG-{strategy_part}-{self.oracle.name.upper()}"
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        query: KTGQuery,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> KTGResult:
+        """Answer *query*, optionally restricted to a candidate subset.
+
+        The *candidates* override exists for DKTG-Greedy, which re-runs
+        the search with already-used members removed.  Candidates are
+        still required to cover at least one query keyword.
+        """
+        if self.oracle.is_stale():
+            raise IndexBuildError(
+                "the distance oracle was built on an older version of the "
+                "graph; call oracle.rebuild() (or oracle.insert_edge/"
+                "delete_edge for incremental indexes) before solving"
+            )
+        stats = SearchStats()
+        started = time.perf_counter()
+
+        context = CoverageContext(self.graph, query.keywords)
+        pool = TopNPool(query.top_n)
+
+        initial = self._initial_candidates(query, context, candidates, stats)
+        initial = self.strategy.initial_order(initial, context)
+
+        self._deadline = (
+            started + self.time_budget if self.time_budget is not None else None
+        )
+        try:
+            self._search(
+                members=[],
+                covered_mask=0,
+                remaining=initial,
+                query=query,
+                context=context,
+                pool=pool,
+                stats=stats,
+            )
+        except _BudgetExhausted:
+            stats.budget_exhausted = True
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        return KTGResult(
+            query=query,
+            algorithm=self.algorithm_name,
+            groups=tuple(pool.best()),
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _initial_candidates(
+        self,
+        query: KTGQuery,
+        context: CoverageContext,
+        candidates: Optional[Sequence[int]],
+        stats: SearchStats,
+    ) -> list[int]:
+        """Qualified users: cover >=1 query keyword, and (for the
+        multi-query-vertex extension) lie farther than k from every
+        anchor."""
+        if candidates is None:
+            qualified = context.qualified_vertices()
+        else:
+            masks = context.masks
+            qualified = [v for v in candidates if masks[v]]
+        for anchor in query.excluded_anchors:
+            before = len(qualified)
+            qualified = self.oracle.filter_candidates(qualified, anchor, query.tenuity)
+            qualified = [v for v in qualified if v != anchor]
+            stats.kline_removed += before - len(qualified)
+        return qualified
+
+    def _search(
+        self,
+        members: list[int],
+        covered_mask: int,
+        remaining: list[int],
+        query: KTGQuery,
+        context: CoverageContext,
+        pool: TopNPool,
+        stats: SearchStats,
+    ) -> None:
+        stats.nodes_expanded += 1
+        if self.node_budget is not None and stats.nodes_expanded > self.node_budget:
+            raise _BudgetExhausted
+        # Wall-clock checks are amortised: perf_counter every 256 nodes.
+        if (
+            self._deadline is not None
+            and stats.nodes_expanded % 256 == 0
+            and time.perf_counter() > self._deadline
+        ):
+            raise _BudgetExhausted
+        slots = query.group_size - len(members)
+        if len(remaining) < slots:
+            return
+
+        if self.keyword_pruning:
+            bound = keyword_prune_bound(
+                covered_mask,
+                remaining,
+                slots,
+                context,
+                presorted_by_vkc=self.strategy.resorts,
+                use_union_bound=self.use_union_bound,
+            )
+            if bound <= pool.threshold:
+                stats.keyword_prunes += 1
+                return
+
+        masks = context.masks
+        if slots == 1:
+            self._complete_groups(members, covered_mask, remaining, query, context, pool, stats)
+            return
+
+        for position, vertex in enumerate(remaining):
+            rest = remaining[position + 1 :]
+            if len(rest) < slots - 1:
+                break
+            new_mask = covered_mask | masks[vertex]
+            if self.kline_filtering:
+                before = len(rest)
+                rest = self.oracle.filter_candidates(rest, vertex, query.tenuity)
+                stats.kline_removed += before - len(rest)
+            # Re-sorting is only needed when the covered set actually
+            # changed: VKC values are a function of the covered mask, and
+            # filtering preserves relative order.
+            if self.strategy.resorts and new_mask != covered_mask:
+                rest = self.strategy.reorder(rest, new_mask, context)
+            members.append(vertex)
+            self._search(members, new_mask, rest, query, context, pool, stats)
+            members.pop()
+
+    def _complete_groups(
+        self,
+        members: list[int],
+        covered_mask: int,
+        remaining: list[int],
+        query: KTGQuery,
+        context: CoverageContext,
+        pool: TopNPool,
+        stats: SearchStats,
+    ) -> None:
+        """Leaf level: one slot left, every remaining candidate completes
+        a group.  Inlined (no recursion) because leaves dominate the node
+        count; under VKC ordering *remaining* is sorted by gain, so the
+        scan stops as soon as no completion can enter the pool."""
+        masks = context.masks
+        covered_bits = covered_mask.bit_count()
+        query_size = context.query_size
+        sorted_by_gain = self.strategy.resorts
+        uncovered = ~covered_mask
+        for vertex in remaining:
+            gain = (masks[vertex] & uncovered).bit_count()
+            coverage = (covered_bits + gain) / query_size
+            if (
+                sorted_by_gain
+                and self.keyword_pruning
+                and not pool.would_admit(coverage)
+            ):
+                stats.keyword_prunes += 1
+                break
+            if not self.kline_filtering:
+                members.append(vertex)
+                tenuous = self._pairwise_tenuous(members, query.tenuity)
+                members.pop()
+                if not tenuous:
+                    continue
+            stats.feasible_groups += 1
+            if stats.first_feasible_node is None:
+                stats.first_feasible_node = stats.nodes_expanded
+            members.append(vertex)
+            if pool.offer(members, coverage):
+                stats.offers_accepted += 1
+            members.pop()
+
+    def _pairwise_tenuous(self, members: Sequence[int], k: int) -> bool:
+        """Full pairwise tenuity check, used only when k-line filtering
+        is disabled (pruning ablation)."""
+        oracle = self.oracle
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if not oracle.is_tenuous(u, v, k):
+                    return False
+        return True
+
+
+def make_solver(
+    graph: AttributedGraph,
+    strategy_name: str = "vkc-deg",
+    oracle: Optional[DistanceOracle] = None,
+    **solver_options,
+) -> BranchAndBoundSolver:
+    """Convenience factory: build a solver from a strategy short name."""
+    from repro.core.strategies import strategy_by_name
+
+    strategy = strategy_by_name(strategy_name, graph)
+    return BranchAndBoundSolver(graph, oracle=oracle, strategy=strategy, **solver_options)

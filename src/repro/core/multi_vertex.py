@@ -1,0 +1,54 @@
+"""Multi-query-vertex extension (Section IV-B, Discussion).
+
+"To handle the scenarios in which the authors are familiar with the
+reviewers, our techniques can be extended to handle the query including
+multiple query vertices (i.e., the authors).  The main idea is to remove
+those reviewers who are familiar with the authors, i.e., only reviewers
+whose social distance from the authors is greater than k remain."
+
+The solvers already honour :attr:`repro.core.query.KTGQuery.excluded_anchors`;
+this module provides the standalone candidate-set transform for callers
+who prepare candidate pools themselves (e.g. the DKTG pipeline or custom
+workloads), plus a convenience wrapper that builds an anchored query.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.graph import AttributedGraph
+from repro.core.query import KTGQuery
+from repro.index.base import DistanceOracle
+
+__all__ = ["exclude_familiar", "anchored_query"]
+
+
+def exclude_familiar(
+    candidates: Sequence[int],
+    anchors: Iterable[int],
+    k: int,
+    oracle: DistanceOracle,
+) -> list[int]:
+    """Drop candidates within ``k`` hops of any anchor (and the anchors).
+
+    Returns the surviving candidates in their original relative order.
+
+    >>> g = AttributedGraph(4, [(0, 1), (1, 2), (2, 3)])
+    >>> from repro.index.bfs import BFSOracle
+    >>> exclude_familiar([0, 1, 2, 3], anchors=[0], k=1, oracle=BFSOracle(g))
+    [2, 3]
+    """
+    surviving = list(candidates)
+    for anchor in anchors:
+        surviving = oracle.filter_candidates(surviving, anchor, k)
+        surviving = [v for v in surviving if v != anchor]
+    return surviving
+
+
+def anchored_query(query: KTGQuery, authors: Iterable[int]) -> KTGQuery:
+    """Return *query* with *authors* attached as excluded anchors.
+
+    Anchors accumulate: authors already on the query are kept.
+    """
+    combined = tuple(dict.fromkeys((*query.excluded_anchors, *authors)))
+    return query.with_(excluded_anchors=combined)

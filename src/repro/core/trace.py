@@ -1,0 +1,188 @@
+"""Search-tree tracing: render the branch-and-bound exploration.
+
+The paper's Figure 2 draws the KTG-VKC search tree for the running
+example — which branches were entered, which were pruned, where the
+result groups were found.  :class:`TracingSolver` wraps any
+:class:`~repro.core.branch_and_bound.BranchAndBoundSolver` and records
+exactly that, then renders it as an indented ASCII tree.
+
+Intended uses: debugging ordering strategies ("why was this group found
+late?"), teaching material, and the Figure 2 regression test — the
+worked example's tree shape is pinned in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.branch_and_bound import BranchAndBoundSolver, KTGResult, SearchStats
+from repro.core.coverage import CoverageContext
+from repro.core.pruning import keyword_prune_bound
+from repro.core.query import KTGQuery
+from repro.core.results import TopNPool
+
+__all__ = ["TraceNode", "SearchTrace", "TracingSolver"]
+
+
+@dataclass
+class TraceNode:
+    """One node of the recorded search tree."""
+
+    members: tuple[int, ...]
+    outcome: str  # "explored" | "pruned" | "feasible" | "accepted" | "exhausted"
+    coverage: float = 0.0
+    children: list["TraceNode"] = field(default_factory=list)
+
+    def label(self) -> str:
+        inner = ", ".join(f"u{m}" for m in self.members) or "root"
+        suffix = ""
+        if self.outcome == "pruned":
+            suffix = "  [pruned by keyword bound]"
+        elif self.outcome == "accepted":
+            suffix = f"  [result, coverage={self.coverage:.2f}]"
+        elif self.outcome == "feasible":
+            suffix = f"  [feasible, coverage={self.coverage:.2f}, not admitted]"
+        elif self.outcome == "exhausted":
+            suffix = "  [dead end: too few candidates]"
+        return f"{{{inner}}}{suffix}"
+
+
+@dataclass
+class SearchTrace:
+    """The full recorded tree plus summary counters."""
+
+    root: TraceNode
+    nodes: int = 0
+    pruned: int = 0
+    accepted: int = 0
+
+    def render(self, max_depth: Optional[int] = None) -> str:
+        """Indented ASCII rendering (Figure 2 style)."""
+        lines: list[str] = []
+
+        def walk(node: TraceNode, depth: int) -> None:
+            if max_depth is not None and depth > max_depth:
+                return
+            lines.append("  " * depth + node.label())
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+class TracingSolver:
+    """A solver wrapper that records the search tree while solving.
+
+    The wrapped solver's configuration (strategy, oracle, pruning
+    toggles) is honoured; the trace mirrors the solver's actual control
+    flow by re-running the identical recursion with recording hooks.
+
+    Examples
+    --------
+    >>> from repro.datasets import figure1_example, figure1_query
+    >>> graph = figure1_example()
+    >>> tracer = TracingSolver(BranchAndBoundSolver(graph))
+    >>> result, trace = tracer.solve(figure1_query())
+    >>> trace.accepted >= 2
+    True
+    >>> print(trace.render(max_depth=1))  # doctest: +ELLIPSIS
+    {root}...
+    """
+
+    def __init__(self, solver: BranchAndBoundSolver) -> None:
+        self.solver = solver
+
+    def solve(self, query: KTGQuery) -> tuple[KTGResult, SearchTrace]:
+        """Solve *query*, returning the result plus the recorded tree."""
+        solver = self.solver
+        context = CoverageContext(solver.graph, query.keywords)
+        pool = TopNPool(query.top_n)
+        root = TraceNode(members=(), outcome="explored")
+        trace = SearchTrace(root=root)
+
+        candidates = solver._initial_candidates(query, context, None, SearchStats())
+        candidates = solver.strategy.initial_order(candidates, context)
+        self._walk(root, [], 0, candidates, query, context, pool, trace)
+
+        result = KTGResult(
+            query=query,
+            algorithm=solver.algorithm_name + "-TRACED",
+            groups=tuple(pool.best()),
+        )
+        return result, trace
+
+    # ------------------------------------------------------------------
+    def _walk(
+        self,
+        node: TraceNode,
+        members: list[int],
+        covered_mask: int,
+        remaining: list[int],
+        query: KTGQuery,
+        context: CoverageContext,
+        pool: TopNPool,
+        trace: SearchTrace,
+    ) -> None:
+        solver = self.solver
+        trace.nodes += 1
+        slots = query.group_size - len(members)
+
+        if len(remaining) < slots:
+            node.outcome = "exhausted"
+            return
+
+        if solver.keyword_pruning:
+            bound = keyword_prune_bound(
+                covered_mask,
+                remaining,
+                slots,
+                context,
+                presorted_by_vkc=solver.strategy.resorts,
+                use_union_bound=solver.use_union_bound,
+            )
+            if bound <= pool.threshold:
+                node.outcome = "pruned"
+                trace.pruned += 1
+                return
+
+        masks = context.masks
+        for position, vertex in enumerate(remaining):
+            rest = remaining[position + 1 :]
+            if len(rest) < slots - 1:
+                break
+            new_mask = covered_mask | masks[vertex]
+            child = TraceNode(members=tuple((*members, vertex)), outcome="explored")
+            node.children.append(child)
+
+            if slots == 1:
+                coverage = context.coverage_of_mask(new_mask)
+                child.coverage = coverage
+                # Mirror the solver's leaf early-break: under VKC-sorted
+                # candidates, once a completion cannot enter the pool no
+                # later completion can either.
+                if (
+                    solver.strategy.resorts
+                    and solver.keyword_pruning
+                    and not pool.would_admit(coverage)
+                ):
+                    child.outcome = "pruned"
+                    trace.pruned += 1
+                    break
+                members.append(vertex)
+                if pool.offer(members, coverage):
+                    child.outcome = "accepted"
+                    trace.accepted += 1
+                else:
+                    child.outcome = "feasible"
+                members.pop()
+                continue
+
+            if solver.kline_filtering:
+                rest = solver.oracle.filter_candidates(rest, vertex, query.tenuity)
+            if solver.strategy.resorts and new_mask != covered_mask:
+                rest = solver.strategy.reorder(rest, new_mask, context)
+            members.append(vertex)
+            self._walk(child, members, new_mask, rest, query, context, pool, trace)
+            members.pop()

@@ -1,0 +1,160 @@
+"""Independent validation of KTG/DKTG results.
+
+An exact solver for an NP-hard problem is only trustworthy if its
+output can be audited without trusting the solver: this module checks a
+result against the *definitions* (Section III) using nothing but plain
+BFS and set arithmetic.  The test suite uses it to cross-examine every
+solver; downstream deployments can run it on sampled production queries
+as a canary.
+
+:func:`validate_ktg_result` checks Definition 7's three conditions per
+group plus coverage bookkeeping; :func:`validate_dktg_result`
+additionally recomputes the diversity and combined score.  Violations
+raise :class:`ResultValidationError` with a precise description; the
+functions return quietly on success.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.branch_and_bound import KTGResult
+from repro.core.coverage import CoverageContext
+from repro.core.dktg import DKTGResult, dktg_score, result_diversity
+from repro.core.errors import ReproError
+from repro.core.graph import AttributedGraph
+from repro.core.query import DKTGQuery, KTGQuery
+from repro.core.results import Group
+
+__all__ = ["ResultValidationError", "validate_ktg_result", "validate_dktg_result"]
+
+_TOLERANCE = 1e-9
+
+
+class ResultValidationError(ReproError, AssertionError):
+    """A result violates the KTG/DKTG definitions."""
+
+
+def _check_group(
+    graph: AttributedGraph,
+    query: KTGQuery,
+    context: CoverageContext,
+    group: Group,
+    rank: int,
+) -> None:
+    members = group.members
+    if len(members) != query.group_size:
+        raise ResultValidationError(
+            f"group {rank} has {len(members)} members, query requires "
+            f"p={query.group_size}"
+        )
+    if len(set(members)) != len(members):
+        raise ResultValidationError(f"group {rank} repeats a member: {members}")
+
+    for member in members:
+        if not 0 <= member < graph.num_vertices:
+            raise ResultValidationError(
+                f"group {rank} references unknown vertex {member}"
+            )
+        if context.masks[member] == 0:
+            raise ResultValidationError(
+                f"group {rank} member u{member} covers no query keyword "
+                "(Definition 7 requires QKC(v) > 0)"
+            )
+
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            distance = graph.hop_distance(u, v)
+            if distance is not None and distance <= query.tenuity:
+                raise ResultValidationError(
+                    f"group {rank} pair (u{u}, u{v}) is a {query.tenuity}-line: "
+                    f"distance {distance} <= k={query.tenuity}"
+                )
+
+    expected_coverage = context.group_coverage(members)
+    if abs(group.coverage - expected_coverage) > _TOLERANCE:
+        raise ResultValidationError(
+            f"group {rank} reports coverage {group.coverage}, recomputed "
+            f"{expected_coverage}"
+        )
+
+    for anchor in query.excluded_anchors:
+        for member in members:
+            if member == anchor:
+                raise ResultValidationError(
+                    f"group {rank} contains excluded anchor u{anchor}"
+                )
+            distance = graph.hop_distance(member, anchor)
+            if distance is not None and distance <= query.tenuity:
+                raise ResultValidationError(
+                    f"group {rank} member u{member} is within k of anchor "
+                    f"u{anchor} (distance {distance})"
+                )
+
+
+def validate_ktg_result(graph: AttributedGraph, result: KTGResult) -> None:
+    """Audit a KTG result against Definition 7.
+
+    Checks every group's size, member qualification, pairwise tenuity,
+    anchor exclusion and reported coverage, plus the descending coverage
+    ordering and the top-N cap.
+
+    >>> from repro.datasets import figure1_example, figure1_query
+    >>> from repro.core.branch_and_bound import BranchAndBoundSolver
+    >>> graph = figure1_example()
+    >>> validate_ktg_result(graph, BranchAndBoundSolver(graph).solve(figure1_query()))
+    """
+    query = result.query
+    context = CoverageContext(graph, query.keywords)
+
+    if len(result.groups) > query.top_n:
+        raise ResultValidationError(
+            f"result holds {len(result.groups)} groups, query asked for "
+            f"N={query.top_n}"
+        )
+    coverages = [group.coverage for group in result.groups]
+    if coverages != sorted(coverages, reverse=True):
+        raise ResultValidationError(
+            f"groups are not sorted by coverage descending: {coverages}"
+        )
+    member_sets = {group.members for group in result.groups}
+    if len(member_sets) != len(result.groups):
+        raise ResultValidationError("result contains duplicate groups")
+
+    for rank, group in enumerate(result.groups, 1):
+        _check_group(graph, query, context, group, rank)
+
+
+def validate_dktg_result(graph: AttributedGraph, result: DKTGResult) -> None:
+    """Audit a DKTG result: per-group Definition 7 plus Equations 2-4.
+
+    Recomputes the diversity of the returned set and the combined score
+    and compares them against the reported values.
+    """
+    query = result.query
+    if not isinstance(query, DKTGQuery):
+        raise ResultValidationError("DKTG result does not carry a DKTG query")
+    context = CoverageContext(graph, query.keywords)
+
+    if len(result.groups) > query.top_n:
+        raise ResultValidationError(
+            f"result holds {len(result.groups)} groups, query asked for "
+            f"N={query.top_n}"
+        )
+    for rank, group in enumerate(result.groups, 1):
+        _check_group(graph, query, context, group, rank)
+
+    member_sets: Sequence[Sequence[int]] = [g.members for g in result.groups]
+    expected_diversity = result_diversity(member_sets)
+    if abs(result.diversity - expected_diversity) > _TOLERANCE:
+        raise ResultValidationError(
+            f"reported diversity {result.diversity}, recomputed "
+            f"{expected_diversity}"
+        )
+    expected_score = dktg_score(
+        [g.coverage for g in result.groups], member_sets, query.gamma
+    )
+    if abs(result.score - expected_score) > _TOLERANCE:
+        raise ResultValidationError(
+            f"reported score {result.score}, recomputed {expected_score}"
+        )

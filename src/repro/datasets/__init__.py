@@ -1,0 +1,46 @@
+"""Dataset substrate: synthetic social networks and file I/O.
+
+The paper's real datasets (DBLP, Gowalla, Brightkite, Flickr, Twitter)
+are unavailable offline; named profiles generate scaled synthetic
+equivalents with matching average degree and Zipfian keyword profiles.
+Curated example graphs reproduce the paper's Figure 1 running example
+and the Figure 8 case study.
+"""
+
+from repro.datasets.figure1 import (
+    CASE_STUDY_KEYWORDS,
+    case_study_graph,
+    case_study_query,
+    figure1_example,
+    figure1_query,
+)
+from repro.datasets.io import read_graph, write_graph
+from repro.datasets.keywords import KeywordModel, ZipfVocabulary, assign_keywords
+from repro.datasets.registry import DatasetProfile, PROFILES, load_dataset, profile_names
+from repro.datasets.synthetic import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    watts_strogatz_graph,
+)
+
+__all__ = [
+    "DatasetProfile",
+    "PROFILES",
+    "load_dataset",
+    "profile_names",
+    "KeywordModel",
+    "ZipfVocabulary",
+    "assign_keywords",
+    "powerlaw_cluster_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "erdos_renyi_graph",
+    "read_graph",
+    "write_graph",
+    "figure1_example",
+    "figure1_query",
+    "case_study_graph",
+    "case_study_query",
+    "CASE_STUDY_KEYWORDS",
+]

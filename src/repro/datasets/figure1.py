@@ -1,0 +1,142 @@
+"""Curated example graphs: the paper's running example and the case study.
+
+:func:`figure1_example` reconstructs the attributed network of Figure 1.
+The paper's figure is only partially recoverable from the text, so the
+reconstruction pins every structural fact the text states and verifies
+the headline behaviour:
+
+* the 1-hop neighbours of ``u0`` are ``{u1, u2, u3, u4, u9, u11}``
+  (Section V-B storage example);
+* the 1-hop neighbours of ``u3`` are ``{u0, u2, u4, u9}`` and
+  ``dist(u3, u5) = 3`` (the NL/NLRNL probe walkthroughs);
+* the vertices within 2 hops of ``u8`` are exactly
+  ``{u0, u3, u4, u6, u7}`` (the k-line filtering example);
+* ``u6`` and ``u7`` are directly connected (the introduction);
+* for the running query ``<{SN, QP, DQ, GQ, GD}, p=3, k=1, N=2>`` the
+  optimum coverage is 0.8 (no feasible group covers ``GQ``), with
+  ``{u10, u1, u4}`` and ``{u10, u1, u5}`` among the optimal ties —
+  matching the result the paper reports.
+
+:func:`case_study_graph` is a 29-vertex "reviewer selection" network for
+the Figure 8 effectiveness study: one all-covering senior author-like
+hub that conflicts with every qualified reviewer, single-topic reviewers
+reachable only through shared middlemen, and topic-free outsiders far
+from everyone.  On this graph TAGQ (average-coverage objective) selects
+zero-coverage outsiders while KTG never does, reproducing the "red
+line" observation.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import AttributedGraph
+from repro.core.query import DKTGQuery, KTGQuery
+
+__all__ = [
+    "figure1_example",
+    "figure1_query",
+    "case_study_graph",
+    "case_study_query",
+    "CASE_STUDY_KEYWORDS",
+]
+
+
+def figure1_example() -> AttributedGraph:
+    """The Figure 1 running example (12 reviewers, database keywords)."""
+    edges = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 9), (0, 11),
+        (1, 2), (2, 3), (3, 4), (3, 9),
+        (4, 6), (4, 8),
+        (6, 7), (6, 10), (7, 8),
+        (5, 11), (10, 11),
+    ]
+    keywords = {
+        0: ["SN", "GD", "DQ"],   # social network, graph data, data quality
+        1: ["DQ"],
+        2: ["IR"],               # information retrieval
+        3: ["ML"],               # machine learning
+        4: ["GD"],
+        5: ["GD"],
+        6: ["SN", "GQ"],         # graph query
+        7: ["QP", "DQ"],         # query processing
+        8: ["KS"],               # keyword search
+        9: ["DM"],               # data mining
+        10: ["SN", "QP"],
+        11: ["DQ", "GD"],
+    }
+    return AttributedGraph(12, edges, keywords)
+
+
+def figure1_query() -> KTGQuery:
+    """The running query of Example 1: ``<{SN,QP,DQ,GQ,GD}, 3, 1, 2>``."""
+    return KTGQuery(
+        keywords=("SN", "QP", "DQ", "GQ", "GD"),
+        group_size=3,
+        tenuity=1,
+        top_n=2,
+    )
+
+
+#: Query keywords of the Figure 8 case study (Section VII-B).
+CASE_STUDY_KEYWORDS = (
+    "social network",
+    "database",
+    "community search",
+    "graph",
+    "query",
+)
+
+# Non-query expertise carried by middlemen and outsiders.
+_OFF_TOPIC = ["machine learning", "information retrieval", "data mining"]
+
+
+def case_study_graph() -> AttributedGraph:
+    """The 29-vertex reviewer network of the Figure 8 case study.
+
+    Layout: vertex 0 is the all-covering "senior" profile, vertex 1 a
+    broad junior colleague; vertices 7..28 (even structure) are hubs,
+    path extensions and single-topic reviewers; 13/14/15 are off-topic
+    outsiders at distance > 2 from everything that matters.
+    """
+    hubs = [7, 9, 11, 17, 19, 21, 23, 25, 26, 28]
+    satellite_of = {7: 2, 9: 3, 11: 4, 17: 16, 19: 18, 21: 20, 23: 22, 25: 6, 26: 5, 28: 27}
+
+    edges: list[tuple[int, int]] = [(0, 1)]
+    for hub in hubs:
+        edges.append((0, hub))
+        edges.append((1, hub))
+        edges.append((hub, satellite_of[hub]))
+    # Path extensions hanging the off-topic outsiders three hops out,
+    # plus one off-topic assistant (24) attached to hub 28.
+    edges.extend([(7, 8), (9, 10), (11, 12), (8, 13), (10, 14), (12, 15), (28, 24)])
+
+    keywords: dict[int, list[str]] = {
+        0: list(CASE_STUDY_KEYWORDS),
+        1: ["database", "graph", "query"],
+        2: ["social network"],
+        3: ["database"],
+        4: ["graph"],
+        5: ["query"],
+        6: ["community search"],
+        16: ["query"],
+        18: ["community search"],
+        20: ["social network"],
+        22: ["database", "graph"],
+        27: ["query"],
+        13: ["machine learning"],
+        14: ["information retrieval"],
+        15: ["data mining"],
+    }
+    for filler in (*hubs, 8, 10, 12, 24):
+        keywords.setdefault(filler, [_OFF_TOPIC[filler % len(_OFF_TOPIC)]])
+    return AttributedGraph(29, edges, keywords)
+
+
+def case_study_query(gamma: float = 0.5) -> DKTGQuery:
+    """The case-study query: ``N=3, p=3, k=2`` over the five DB keywords."""
+    return DKTGQuery(
+        keywords=CASE_STUDY_KEYWORDS,
+        group_size=3,
+        tenuity=2,
+        top_n=3,
+        gamma=gamma,
+    )

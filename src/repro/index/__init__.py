@@ -1,0 +1,31 @@
+"""Distance-check indexes (Section V).
+
+k-line filtering needs fast answers to "is dist(u, v) > k?".  Three
+oracles implement the same :class:`repro.index.base.DistanceOracle`
+interface: plain cutoff BFS, the NL index (h-hop neighbour lists with
+on-demand expansion), and the NLRNL index ((c-1)-hop lists plus reverse
+c-hop lists with id-halved storage and incremental maintenance).
+"""
+
+from repro.index.base import DistanceOracle, OracleStats
+from repro.index.bfs import BFSOracle
+from repro.index.nl import NLIndex
+from repro.index.nlrnl import NLRNLIndex
+from repro.index.pll import PLLIndex
+from repro.index.serialize import graph_fingerprint, load_index, save_index
+from repro.index.stats import IndexFootprint, measure_footprint, oracle_by_name
+
+__all__ = [
+    "DistanceOracle",
+    "OracleStats",
+    "BFSOracle",
+    "NLIndex",
+    "NLRNLIndex",
+    "PLLIndex",
+    "save_index",
+    "load_index",
+    "graph_fingerprint",
+    "IndexFootprint",
+    "measure_footprint",
+    "oracle_by_name",
+]

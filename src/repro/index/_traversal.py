@@ -1,0 +1,74 @@
+"""Shared breadth-first-search primitives for index construction.
+
+These helpers operate on a raw adjacency list (``Sequence[set[int]]``,
+as returned by :meth:`repro.core.graph.AttributedGraph.adjacency_view`)
+and use flat integer arrays instead of dicts, which is measurably faster
+for the thousands of BFS runs an index build performs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+__all__ = ["bfs_levels", "bfs_distance_array", "UNREACHABLE"]
+
+#: Sentinel distance for unreachable vertices in distance arrays.
+UNREACHABLE = -1
+
+
+def bfs_levels(
+    adjacency: Sequence[set[int]],
+    source: int,
+    max_depth: Optional[int] = None,
+) -> list[list[int]]:
+    """Return BFS levels from *source*: ``levels[d-1]`` is the vertex list
+    at hop distance exactly ``d``.
+
+    The source (distance 0) is not included.  Search stops at *max_depth*
+    hops when given, otherwise when the component is exhausted.  Trailing
+    empty levels are never produced.
+    """
+    n = len(adjacency)
+    seen = bytearray(n)
+    seen[source] = 1
+    levels: list[list[int]] = []
+    frontier = [source]
+    depth = 0
+    while frontier and (max_depth is None or depth < max_depth):
+        depth += 1
+        next_frontier: list[int] = []
+        append = next_frontier.append
+        for u in frontier:
+            for v in adjacency[u]:
+                if not seen[v]:
+                    seen[v] = 1
+                    append(v)
+        if not next_frontier:
+            break
+        levels.append(next_frontier)
+        frontier = next_frontier
+    return levels
+
+
+def bfs_distance_array(adjacency: Sequence[set[int]], source: int) -> list[int]:
+    """Return hop distances from *source* to every vertex.
+
+    Unreachable vertices get :data:`UNREACHABLE`; the source gets 0.
+    """
+    n = len(adjacency)
+    distances = [UNREACHABLE] * n
+    distances[source] = 0
+    frontier = [source]
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier: list[int] = []
+        append = next_frontier.append
+        for u in frontier:
+            for v in adjacency[u]:
+                if distances[v] == UNREACHABLE:
+                    distances[v] = depth
+                    append(v)
+        frontier = next_frontier
+    return distances

@@ -1,0 +1,117 @@
+"""Index-free distance oracle: cutoff breadth-first search.
+
+This is the baseline every index is validated against and the fallback
+when index build cost is not worth paying (one-shot queries on small
+graphs).  A tiny bounded memo of ``within_k`` frontiers is kept because
+k-line filtering tends to re-probe the handful of vertices that the
+branch-and-bound search repeatedly pushes into ``S_I``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.graph import AttributedGraph
+from repro.index.base import DistanceOracle
+
+__all__ = ["BFSOracle"]
+
+
+class BFSOracle(DistanceOracle):
+    """Answer distance probes with cutoff BFS, no precomputation.
+
+    Parameters
+    ----------
+    graph:
+        The attributed social network.
+    cache_size:
+        Maximum number of ``(vertex, k)`` frontier sets to memoise.
+        ``0`` disables the memo entirely (useful for measuring raw BFS
+        cost in the oracle ablation bench).
+    """
+
+    name = "bfs"
+
+    def __init__(self, graph: AttributedGraph, cache_size: int = 1024) -> None:
+        super().__init__(graph)
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self._cache_size = cache_size
+        self._cache: OrderedDict[tuple[int, int], set[int]] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def is_tenuous(self, u: int, v: int, k: int) -> bool:
+        self.check_k(k)
+        self.stats.probes += 1
+        if u == v:
+            return False
+        if k == 0:
+            return True
+        # Probe from whichever endpoint is already cached, else the
+        # lower-degree endpoint (smaller expected frontier).
+        if (u, k) in self._cache:
+            return v not in self._grow(u, k)
+        if (v, k) in self._cache:
+            return u not in self._grow(v, k)
+        if self.graph.degree(u) > self.graph.degree(v):
+            u, v = v, u
+        return v not in self._grow(u, k)
+
+    def within_k(self, vertex: int, k: int) -> set[int]:
+        self.check_k(k)
+        if k == 0:
+            return set()
+        return set(self._grow(vertex, k))
+
+    # ------------------------------------------------------------------
+    def _grow(self, vertex: int, k: int) -> set[int]:
+        """Return (and memoise) the set of vertices at distance 1..k."""
+        cached = self._cache.get((vertex, k))
+        if cached is not None:
+            self._cache.move_to_end((vertex, k))
+            return cached
+        adjacency = self.graph.adjacency_view()
+        seen = {vertex}
+        frontier = [vertex]
+        for _ in range(k):
+            next_frontier = []
+            for u in frontier:
+                for w in adjacency[u]:
+                    if w not in seen:
+                        seen.add(w)
+                        next_frontier.append(w)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        seen.discard(vertex)
+        if self._cache_size:
+            self._cache[(vertex, k)] = seen
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return seen
+
+    def filter_candidates(self, candidates: list[int], member: int, k: int) -> list[int]:
+        if k == 0:
+            self.stats.probes += len(candidates)
+            return [v for v in candidates if v != member]
+        blocked = self._grow(member, k)
+        self.stats.probes += len(candidates)
+        return [v for v in candidates if v != member and v not in blocked]
+
+    # ------------------------------------------------------------------
+    # The BFS oracle has no materialised state, so edits are free.
+    # ------------------------------------------------------------------
+    def supports_incremental_updates(self) -> bool:
+        return True
+
+    def insert_edge(self, u: int, v: int) -> None:
+        self.graph.add_edge(u, v)
+        self.rebuild()
+
+    def delete_edge(self, u: int, v: int) -> None:
+        self.graph.remove_edge(u, v)
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        self._cache.clear()
+        super().rebuild()

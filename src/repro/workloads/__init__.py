@@ -1,0 +1,42 @@
+"""Query workloads and the experiment harness (Section VII methodology)."""
+
+from repro.workloads.experiments import (
+    EXPERIMENTS,
+    ExperimentOutcome,
+    Finding,
+    experiment_ids,
+    reproduce,
+)
+from repro.workloads.generator import QueryWorkload, WorkloadGenerator
+from repro.workloads.runner import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    ExperimentRunner,
+    LatencyReport,
+)
+from repro.workloads.sweep import (
+    DEFAULTS,
+    PARAMETER_TABLE,
+    SweepPoint,
+    SweepResult,
+    run_parameter_sweep,
+)
+
+__all__ = [
+    "QueryWorkload",
+    "WorkloadGenerator",
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "ExperimentRunner",
+    "LatencyReport",
+    "PARAMETER_TABLE",
+    "DEFAULTS",
+    "SweepPoint",
+    "SweepResult",
+    "run_parameter_sweep",
+    "EXPERIMENTS",
+    "ExperimentOutcome",
+    "Finding",
+    "experiment_ids",
+    "reproduce",
+]

@@ -1,0 +1,157 @@
+"""Query-workload generation (Section VII methodology).
+
+The paper "randomly generate[s] four groups of queries corresponding to
+each dataset where each group consists of 100 queries" and reports the
+average latency.  :class:`WorkloadGenerator` reproduces that: given a
+graph and its keyword vocabulary it draws query keyword sets of the
+requested size, following the same Zipfian frequency model that
+assigned vertex profiles — so query keywords have realistic selectivity
+(popular keywords match many vertices, tail keywords few).
+
+Queries that no vertex could ever answer are avoided by construction
+when ``ensure_answerable`` is on (the default): each drawn keyword set
+must be covered by at least ``group_size`` qualified vertices, else it
+is redrawn (bounded retries, then :class:`WorkloadError`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.core.coverage import CoverageContext
+from repro.core.errors import WorkloadError
+from repro.core.graph import AttributedGraph
+from repro.core.query import DKTGQuery, KTGQuery
+from repro.datasets.keywords import ZipfVocabulary
+
+__all__ = ["WorkloadGenerator", "QueryWorkload"]
+
+RandomLike = Union[random.Random, int, None]
+
+_MAX_REDRAWS = 200
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A generated batch of queries plus its provenance."""
+
+    dataset: str
+    queries: tuple[KTGQuery, ...]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[KTGQuery]:
+        return iter(self.queries)
+
+    def as_dktg(self, gamma: float = 0.5) -> "QueryWorkload":
+        """The same workload with every query lifted to a DKTG query."""
+        lifted = tuple(
+            DKTGQuery(
+                keywords=q.keywords,
+                group_size=q.group_size,
+                tenuity=q.tenuity,
+                top_n=q.top_n,
+                excluded_anchors=q.excluded_anchors,
+                gamma=gamma,
+            )
+            for q in self.queries
+        )
+        return QueryWorkload(dataset=self.dataset, queries=lifted, seed=self.seed)
+
+
+class WorkloadGenerator:
+    """Draws random KTG queries against one attributed graph.
+
+    Parameters
+    ----------
+    graph:
+        The target graph.
+    vocabulary:
+        The keyword vocabulary to draw query keywords from.  When
+        omitted, keywords are drawn uniformly from the labels actually
+        present on the graph (covers externally loaded datasets).
+    dataset_name:
+        Recorded on generated workloads for reporting.
+    ensure_answerable:
+        Redraw keyword sets until at least ``group_size`` vertices
+        qualify (cover >= 1 query keyword).
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        vocabulary: Optional[ZipfVocabulary] = None,
+        dataset_name: str = "unnamed",
+        ensure_answerable: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.dataset_name = dataset_name
+        self.ensure_answerable = ensure_answerable
+        if vocabulary is not None:
+            self._vocabulary = vocabulary
+        else:
+            labels = sorted(graph.keyword_table)
+            if not labels:
+                raise WorkloadError(
+                    "graph carries no keywords; cannot generate query workloads"
+                )
+            self._vocabulary = ZipfVocabulary(labels, exponent=0.0)
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        count: int = 100,
+        keyword_size: int = 6,
+        group_size: int = 3,
+        tenuity: int = 2,
+        top_n: int = 3,
+        seed: int = 0,
+    ) -> QueryWorkload:
+        """Generate *count* queries with the given shape (Table I defaults)."""
+        if count < 1:
+            raise WorkloadError(f"query count must be >= 1, got {count}")
+        if keyword_size < 1:
+            raise WorkloadError(f"keyword_size must be >= 1, got {keyword_size}")
+        if keyword_size > len(self._vocabulary):
+            raise WorkloadError(
+                f"keyword_size {keyword_size} exceeds vocabulary size "
+                f"{len(self._vocabulary)}"
+            )
+        rng = random.Random(seed)
+        queries = [
+            KTGQuery(
+                keywords=tuple(self._draw_keywords(keyword_size, group_size, rng)),
+                group_size=group_size,
+                tenuity=tenuity,
+                top_n=top_n,
+            )
+            for _ in range(count)
+        ]
+        return QueryWorkload(dataset=self.dataset_name, queries=tuple(queries), seed=seed)
+
+    # ------------------------------------------------------------------
+    def _draw_keywords(
+        self, keyword_size: int, group_size: int, rng: random.Random
+    ) -> list[str]:
+        for _ in range(_MAX_REDRAWS):
+            labels = self._vocabulary.sample_distinct(keyword_size, rng)
+            if not self.ensure_answerable or self._answerable(labels, group_size):
+                return labels
+        raise WorkloadError(
+            f"could not draw an answerable {keyword_size}-keyword query in "
+            f"{_MAX_REDRAWS} attempts; the graph may carry too few keywords"
+        )
+
+    def _answerable(self, labels: Sequence[str], group_size: int) -> bool:
+        context = CoverageContext(self.graph, labels)
+        qualified = 0
+        for mask in context.masks:
+            if mask:
+                qualified += 1
+                if qualified >= group_size:
+                    return True
+        return False

@@ -1,0 +1,141 @@
+"""Parameter sweeps reproducing the evaluation grid of Table I.
+
+The paper varies one parameter at a time while the rest stay at their
+defaults (Table I), runs 100 random queries per setting, and plots mean
+latency per algorithm (Figures 3-6).  :func:`run_parameter_sweep` is
+that loop; each figure's benchmark is a thin call into it.
+
+Table I ranges are reproduced verbatim.  The paper's bold defaults are
+not recoverable from the text dump, so the defaults below pick the
+canonical midpoints used throughout the worked examples (``p=3, k=2,
+|W_Q|=6, N=3``); EXPERIMENTS.md records this choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.errors import WorkloadError
+from repro.core.graph import AttributedGraph
+from repro.datasets.keywords import ZipfVocabulary
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.runner import ALGORITHMS, AlgorithmSpec, ExperimentRunner, LatencyReport
+
+__all__ = [
+    "PARAMETER_TABLE",
+    "DEFAULTS",
+    "SweepPoint",
+    "SweepResult",
+    "run_parameter_sweep",
+]
+
+#: Table I — parameter ranges of the paper's evaluation.
+PARAMETER_TABLE: dict[str, list[int]] = {
+    "group_size": [3, 4, 5, 6, 7],
+    "tenuity": [1, 2, 3, 4],
+    "keyword_size": [4, 5, 6, 7, 8],
+    "top_n": [3, 5, 7, 9, 11],
+}
+
+#: Default setting for every parameter not being varied.
+DEFAULTS: dict[str, int] = {
+    "group_size": 3,
+    "tenuity": 2,
+    "keyword_size": 6,
+    "top_n": 3,
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, algorithm) measurement."""
+
+    parameter: str
+    value: int
+    report: LatencyReport
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one sweep, organised for plotting/tabulation."""
+
+    parameter: str
+    dataset: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, algorithm: str) -> list[tuple[int, float]]:
+        """(value, mean latency ms) pairs for one algorithm, value-sorted."""
+        pairs = [
+            (point.value, point.report.mean_ms)
+            for point in self.points
+            if point.report.algorithm == algorithm
+        ]
+        return sorted(pairs)
+
+    def algorithms(self) -> list[str]:
+        return sorted({point.report.algorithm for point in self.points})
+
+    def rows(self) -> list[dict]:
+        """Flat rows (one per point) for table/CSV rendering."""
+        rows = []
+        for point in self.points:
+            row = point.report.row()
+            row[self.parameter] = point.value
+            rows.append(row)
+        return rows
+
+
+def run_parameter_sweep(
+    graph: AttributedGraph,
+    parameter: str,
+    vocabulary: Optional[ZipfVocabulary] = None,
+    dataset_name: str = "unnamed",
+    values: Optional[Sequence[int]] = None,
+    algorithms: Optional[Sequence[str | AlgorithmSpec]] = None,
+    queries_per_setting: int = 100,
+    seed: int = 0,
+    overrides: Optional[dict[str, int]] = None,
+) -> SweepResult:
+    """Vary *parameter* over *values*, fixing the rest at Table I defaults.
+
+    ``overrides`` replaces individual defaults (e.g. a quick bench run
+    with ``{"keyword_size": 4}``).  The same workload seed is reused for
+    every algorithm at a given value, so algorithms are compared on
+    identical query batches — exactly the paper's methodology.
+    """
+    if parameter not in PARAMETER_TABLE:
+        raise WorkloadError(
+            f"unknown sweep parameter {parameter!r}; "
+            f"expected one of {sorted(PARAMETER_TABLE)}"
+        )
+    if values is None:
+        values = PARAMETER_TABLE[parameter]
+    if algorithms is None:
+        algorithms = [name for name in ALGORITHMS]
+
+    settings = dict(DEFAULTS)
+    if overrides:
+        settings.update(overrides)
+
+    generator = WorkloadGenerator(graph, vocabulary, dataset_name=dataset_name)
+    runner = ExperimentRunner(graph, dataset_name=dataset_name)
+    result = SweepResult(parameter=parameter, dataset=dataset_name)
+
+    for value in values:
+        point_settings = dict(settings)
+        point_settings[parameter] = value
+        workload = generator.generate(
+            count=queries_per_setting,
+            keyword_size=point_settings["keyword_size"],
+            group_size=point_settings["group_size"],
+            tenuity=point_settings["tenuity"],
+            top_n=point_settings["top_n"],
+            seed=seed + value,
+        )
+        for algorithm in algorithms:
+            report = runner.run(algorithm, workload)
+            result.points.append(
+                SweepPoint(parameter=parameter, value=value, report=report)
+            )
+    return result

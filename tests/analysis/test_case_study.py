@@ -1,0 +1,67 @@
+"""Integration-style tests for the Figure 8 case study."""
+
+import pytest
+
+from repro.analysis.case_study import render_case_study, run_case_study
+from repro.datasets.figure1 import case_study_graph, case_study_query
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_case_study(case_study_graph(), case_study_query())
+
+
+class TestFigure8Findings:
+    """The paper's three qualitative observations, reproduced."""
+
+    def test_tagq_returns_zero_coverage_members(self, outcome):
+        assert outcome.quality["TAGQ"].zero_coverage_members > 0
+
+    def test_ktg_algorithms_never_do(self, outcome):
+        assert outcome.quality["KTG-VKC-DEG"].zero_coverage_members == 0
+        assert outcome.quality["DKTG-Greedy"].zero_coverage_members == 0
+
+    def test_dktg_is_most_diverse(self, outcome):
+        diversity = {name: q.diversity for name, q in outcome.quality.items()}
+        assert diversity["DKTG-Greedy"] == 1.0
+        assert diversity["DKTG-Greedy"] >= diversity["KTG-VKC-DEG"]
+        assert diversity["DKTG-Greedy"] >= diversity["TAGQ"]
+
+    def test_ktg_results_overlap(self, outcome):
+        assert outcome.overlap["KTG-VKC-DEG"] > 0
+        assert outcome.overlap["DKTG-Greedy"] == 0.0
+
+    def test_all_algorithms_satisfy_social_constraint(self, outcome):
+        graph = outcome.graph
+        k = outcome.query.tenuity
+        for groups in outcome.results.values():
+            for group in groups:
+                for i, u in enumerate(group.members):
+                    for v in group.members[i + 1 :]:
+                        distance = graph.hop_distance(u, v)
+                        assert distance is None or distance > k
+
+    def test_ktg_coverage_dominates_tagq(self, outcome):
+        ktg_best = max(g.coverage for g in outcome.results["KTG-VKC-DEG"])
+        tagq_best = max(g.coverage for g in outcome.results["TAGQ"])
+        assert ktg_best > tagq_best
+
+    def test_each_returns_requested_group_count(self, outcome):
+        for groups in outcome.results.values():
+            assert len(groups) == outcome.query.top_n
+
+
+class TestRendering:
+    def test_report_structure(self, outcome):
+        text = render_case_study(outcome)
+        assert "Query keywords:" in text
+        assert "KTG-VKC-DEG" in text
+        assert "DKTG-Greedy" in text
+        assert "TAGQ" in text
+        assert "<< no query keyword" in text
+        assert "hops:" in text
+
+    def test_report_flags_only_tagq_members(self, outcome):
+        text = render_case_study(outcome)
+        ktg_section = text.split("== TAGQ")[0]
+        assert "<< no query keyword" not in ktg_section

@@ -1,0 +1,118 @@
+"""Unit tests for graph statistics and the synthetic-profile calibration."""
+
+import pytest
+
+from repro.analysis.graphstats import (
+    compute_statistics,
+    degree_histogram,
+    hop_ball_profile,
+)
+from repro.core.graph import AttributedGraph
+from repro.datasets.registry import load_dataset
+from repro.datasets.synthetic import erdos_renyi_graph, powerlaw_cluster_graph
+
+
+class TestDegreeHistogram:
+    def test_path(self, path_graph):
+        assert degree_histogram(path_graph) == {1: 2, 2: 3}
+
+    def test_empty(self):
+        assert degree_histogram(AttributedGraph(0)) == {}
+
+
+class TestHopBallProfile:
+    def test_path_profile_exact(self, path_graph):
+        fractions, deepest = hop_ball_profile(path_graph, max_hops=4, sample_size=None)
+        # Average |ball(k=1)| over the path 0-1-2-3-4 is (1+2+2+2+1)/5.
+        assert fractions[0] == pytest.approx(8 / 25)
+        assert deepest == 4
+
+    def test_fractions_monotone(self, figure1):
+        fractions, _ = hop_ball_profile(figure1, sample_size=None)
+        assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_fraction_bounded_by_one(self, figure1):
+        fractions, _ = hop_ball_profile(figure1, sample_size=None)
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+    def test_empty_graph(self):
+        fractions, deepest = hop_ball_profile(AttributedGraph(0))
+        assert deepest == 0
+        assert all(f == 0.0 for f in fractions)
+
+
+class TestComputeStatistics:
+    def test_figure1_basics(self, figure1):
+        stats = compute_statistics(figure1, sample_size=None)
+        assert stats.num_vertices == 12
+        assert stats.num_edges == 17
+        assert stats.average_degree == pytest.approx(2 * 17 / 12)
+        assert stats.max_degree == 6
+        assert stats.num_components == 1
+        assert stats.largest_component_fraction == 1.0
+        assert stats.distinct_keywords == 9
+        assert stats.keywords_per_vertex > 1.0
+
+    def test_disconnected_components(self, disconnected_graph):
+        stats = compute_statistics(disconnected_graph, sample_size=None)
+        assert stats.num_components == 3
+        assert stats.largest_component_fraction == pytest.approx(3 / 6)
+
+    def test_clustering_of_triangle(self):
+        graph = AttributedGraph(3, [(0, 1), (1, 2), (0, 2)])
+        stats = compute_statistics(graph, sample_size=None)
+        assert stats.clustering_coefficient == pytest.approx(1.0)
+
+    def test_clustering_of_star_is_zero(self):
+        graph = AttributedGraph(5, [(0, i) for i in range(1, 5)])
+        stats = compute_statistics(graph, sample_size=None)
+        assert stats.clustering_coefficient == 0.0
+
+    def test_gini_zero_for_regular_graph(self):
+        ring = AttributedGraph(6, [(i, (i + 1) % 6) for i in range(6)])
+        stats = compute_statistics(ring, sample_size=None)
+        assert stats.degree_gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_row_shape(self, figure1):
+        row = compute_statistics(figure1).row()
+        assert {"vertices", "edges", "avg_degree", "clustering", "diameter_est"} <= set(row)
+
+    def test_empty_graph(self):
+        stats = compute_statistics(AttributedGraph(0))
+        assert stats.num_vertices == 0
+        assert stats.average_degree == 0.0
+
+
+class TestCalibrationClaims:
+    """The structural claims DESIGN.md makes about the synthetic profiles."""
+
+    def test_powerlaw_more_skewed_than_er(self):
+        powerlaw = powerlaw_cluster_graph(400, 3, 0.4, rng=0)
+        er = erdos_renyi_graph(400, 6 / 399, rng=0)
+        assert (
+            compute_statistics(powerlaw).degree_gini
+            > compute_statistics(er).degree_gini
+        )
+
+    def test_profiles_have_heavy_tails_and_one_component(self):
+        for name in ("gowalla", "brightkite"):
+            graph, _ = load_dataset(name, scale=0.3)
+            stats = compute_statistics(graph)
+            assert stats.degree_gini > 0.2, name
+            assert stats.num_components == 1, name
+
+    def test_twitter_is_densest_profile(self):
+        twitter, _ = load_dataset("twitter", scale=0.3)
+        brightkite, _ = load_dataset("brightkite", scale=0.3)
+        assert (
+            compute_statistics(twitter).average_degree
+            > compute_statistics(brightkite).average_degree
+        )
+
+    def test_k4_ball_leaves_candidates(self):
+        # The k-ball calibration: at the Table I maximum (k=4) the ball
+        # must not swallow the whole graph, or the KTG grid would be
+        # infeasible at small scale.
+        graph, _ = load_dataset("brightkite", scale=0.5)
+        fractions, _ = hop_ball_profile(graph, max_hops=4)
+        assert fractions[3] < 0.9

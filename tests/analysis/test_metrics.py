@@ -1,0 +1,78 @@
+"""Unit tests for effectiveness metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    assess_result,
+    member_overlap_ratio,
+    verify_tenuity,
+)
+from repro.core.results import Group
+from repro.index.bfs import BFSOracle
+
+
+class TestAssessResult:
+    def test_quality_fields(self, figure1):
+        groups = [Group.make([10, 1, 4], 0.8), Group.make([10, 1, 5], 0.8)]
+        quality = assess_result(figure1, ["SN", "QP", "DQ", "GQ", "GD"], groups)
+        assert quality.group_count == 2
+        assert quality.best_coverage == 0.8
+        assert quality.worst_coverage == 0.8
+        assert quality.zero_coverage_members == 0
+        assert 0 < quality.mean_member_coverage <= 1
+        assert 0 <= quality.diversity <= 1
+
+    def test_zero_coverage_members_flagged(self, figure1):
+        groups = [Group.make([2, 3, 9], 0.0)]  # none carry query keywords
+        quality = assess_result(figure1, ["SN"], groups)
+        assert quality.zero_coverage_members == 3
+
+    def test_empty_result(self, figure1):
+        quality = assess_result(figure1, ["SN"], [])
+        assert quality.group_count == 0
+        assert quality.best_coverage == 0.0
+        assert quality.mean_member_coverage == 0.0
+
+    def test_row_shape(self, figure1):
+        row = assess_result(figure1, ["SN"], [Group.make([10], 1.0)]).row()
+        assert set(row) == {
+            "groups",
+            "best_cov",
+            "worst_cov",
+            "mean_member_cov",
+            "zero_members",
+            "diversity",
+        }
+
+
+class TestVerifyTenuity:
+    def test_valid_groups_pass(self, figure1):
+        oracle = BFSOracle(figure1)
+        groups = [Group.make([10, 1, 4], 0.8)]
+        assert verify_tenuity(oracle, groups, 1)
+
+    def test_close_pair_fails(self, figure1):
+        oracle = BFSOracle(figure1)
+        groups = [Group.make([6, 7], 0.5)]  # adjacent
+        assert not verify_tenuity(oracle, groups, 1)
+
+    def test_empty_passes(self, figure1):
+        assert verify_tenuity(BFSOracle(figure1), [], 3)
+
+
+class TestOverlapRatio:
+    def test_disjoint_groups(self):
+        groups = [Group.make([1, 2], 1.0), Group.make([3, 4], 1.0)]
+        assert member_overlap_ratio(groups) == 0.0
+
+    def test_heavy_overlap(self):
+        groups = [
+            Group.make([1, 2, 3], 1.0),
+            Group.make([1, 2, 4], 1.0),
+            Group.make([1, 2, 5], 1.0),
+        ]
+        # 9 slots, 5 distinct members.
+        assert member_overlap_ratio(groups) == pytest.approx(4 / 9)
+
+    def test_empty(self):
+        assert member_overlap_ratio([]) == 0.0

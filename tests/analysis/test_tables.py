@@ -1,0 +1,65 @@
+"""Unit tests for table rendering and CSV output."""
+
+from repro.analysis.tables import render_series, render_table, rows_to_csv, write_csv
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "22" in lines[3]
+
+    def test_column_order_respected(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+    def test_missing_cells_dashed(self):
+        text = render_table([{"a": 1}, {"b": 2}])
+        assert "-" in text.splitlines()[2]
+
+    def test_float_formatting(self):
+        text = render_table([{"v": 1234.5678}, {"v": 12.3456}, {"v": 0.1234}, {"v": 0.0}])
+        assert "1,235" in text
+        assert "12.35" in text
+        assert "0.1234" in text
+
+    def test_title_prepended(self):
+        text = render_table([{"a": 1}], title="My table")
+        assert text.startswith("My table")
+
+    def test_empty(self):
+        assert render_table([]) == "(empty table)"
+
+
+class TestRenderSeries:
+    def test_figure_shape(self):
+        series = {
+            "ALG-A": [(1, 10.0), (2, 20.0)],
+            "ALG-B": [(1, 5.0), (2, 40.0)],
+        }
+        text = render_series(series, x_label="k")
+        lines = text.splitlines()
+        assert lines[1].startswith("k")
+        assert "ALG-A" in lines[1] and "ALG-B" in lines[1]
+        assert len(lines) == 5  # title + header + rule + 2 value rows
+
+    def test_missing_points_dashed(self):
+        series = {"A": [(1, 1.0)], "B": [(2, 2.0)]}
+        text = render_series(series, x_label="p")
+        assert "-" in text
+
+
+class TestCsv:
+    def test_rows_to_csv(self):
+        csv_text = rows_to_csv([{"a": 1, "b": "x"}])
+        assert csv_text.splitlines() == ["a,b", "1,x"]
+
+    def test_extras_ignored_with_explicit_columns(self):
+        csv_text = rows_to_csv([{"a": 1, "b": 2}], columns=["a"])
+        assert csv_text.splitlines() == ["a", "1"]
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv([{"x": 3}], path)
+        assert path.read_text().splitlines() == ["x", "3"]

@@ -1,0 +1,114 @@
+"""Unit tests for the tenuity-metric family."""
+
+import pytest
+
+from repro.analysis.tenuity import (
+    group_tenuity,
+    is_k_distance_group,
+    kline_count,
+    ktenuity,
+    ktriangle_count,
+    tenuity_report,
+)
+from repro.core.graph import AttributedGraph
+from repro.index.bfs import BFSOracle
+
+
+class TestKLineCount:
+    def test_triangle_is_three_klines(self, figure1):
+        # u6, u7, u8 are pairwise within 2 hops.
+        assert kline_count(figure1, [6, 7, 8], 2) == 3
+
+    def test_tenuous_group_has_zero(self, figure1):
+        assert kline_count(figure1, [10, 1, 4], 1) == 0
+
+    def test_accepts_oracle(self, figure1):
+        assert kline_count(BFSOracle(figure1), [6, 7], 1) == 1
+
+    def test_small_groups(self, figure1):
+        assert kline_count(figure1, [3], 2) == 0
+        assert kline_count(figure1, [], 2) == 0
+
+
+class TestKTriangleCount:
+    def test_figure1_triangle(self, figure1):
+        assert ktriangle_count(figure1, [6, 7, 8], 2) == 1
+
+    def test_open_wedge_is_not_triangle(self):
+        graph = AttributedGraph(3, [(0, 1), (1, 2)])
+        # At k=1, 0-1 and 1-2 are k-lines but 0-2 is not.
+        assert ktriangle_count(graph, [0, 1, 2], 1) == 0
+        assert ktriangle_count(graph, [0, 1, 2], 2) == 1
+
+    def test_counts_all_triples(self):
+        graph = AttributedGraph(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        assert ktriangle_count(graph, [0, 1, 2, 3], 1) == 4
+
+
+class TestKTenuity:
+    def test_matches_paper_definition(self, figure1):
+        # {u0, u1, u10} at k=1: one close pair of three.
+        assert ktenuity(figure1, [0, 1, 10], 1) == pytest.approx(1 / 3)
+
+    def test_zero_for_k_distance_group(self, figure1):
+        assert ktenuity(figure1, [10, 1, 4], 1) == 0.0
+
+    def test_positive_value_admits_close_pairs(self, figure1):
+        # The paper's critique of [18]: k-tenuity > 0 means a close pair
+        # exists — here even direct neighbours.
+        value = ktenuity(figure1, [6, 7, 2], 1)
+        assert value > 0
+        assert figure1.has_edge(6, 7)
+
+
+class TestGroupTenuity:
+    def test_definition4(self, figure1):
+        # Smallest pairwise distance in {u10, u1, u4}: min(3, 2, 2) = 2.
+        assert group_tenuity(figure1, [10, 1, 4]) == 2.0
+
+    def test_adjacent_pair_gives_one(self, figure1):
+        assert group_tenuity(figure1, [6, 7, 10]) == 1.0
+
+    def test_disconnected_pair_is_infinite(self, disconnected_graph):
+        assert group_tenuity(disconnected_graph, [0, 5]) == float("inf")
+
+    def test_trivial_groups_are_infinitely_tenuous(self, figure1):
+        assert group_tenuity(figure1, [3]) == float("inf")
+        assert group_tenuity(figure1, []) == float("inf")
+
+    def test_property1_monotone_in_k(self, figure1):
+        # A k1-distance group is a k2-distance group for k2 < k1.
+        members = [10, 1, 4]
+        assert is_k_distance_group(figure1, members, 1)
+        tenuity = group_tenuity(figure1, members)
+        for k in range(0, int(tenuity)):
+            assert is_k_distance_group(figure1, members, k)
+
+
+class TestIsKDistanceGroup:
+    def test_paper_running_example(self, figure1):
+        assert is_k_distance_group(figure1, [10, 1, 4], 1)
+        assert not is_k_distance_group(figure1, [6, 7, 10], 1)
+
+    def test_property2_subsets_inherit(self, figure1):
+        members = [10, 1, 4]
+        assert is_k_distance_group(figure1, members, 1)
+        for drop in members:
+            subset = [m for m in members if m != drop]
+            assert is_k_distance_group(figure1, subset, 1)
+
+
+class TestReport:
+    def test_report_consistency(self, figure1):
+        report = tenuity_report(figure1, [6, 7, 8], 2)
+        assert report["k_lines"] == 3
+        assert report["k_triangles"] == 1
+        assert report["k_tenuity"] == 1.0
+        assert report["group_tenuity"] == 1.0
+        assert report["k_distance_group"] is False
+        assert report["size"] == 3
+
+    def test_report_for_tenuous_group(self, figure1):
+        report = tenuity_report(figure1, [10, 1, 4], 1)
+        assert report["k_lines"] == 0
+        assert report["k_distance_group"] is True

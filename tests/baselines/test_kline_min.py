@@ -1,0 +1,96 @@
+"""Unit tests for the MinLine comparator (Li [2]'s model)."""
+
+import pytest
+
+from repro.analysis.tenuity import kline_count
+from repro.baselines.kline_min import MinLineSolver
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.graph import AttributedGraph
+from repro.core.query import KTGQuery
+from repro.index.nlrnl import NLRNLIndex
+
+
+class TestMinLineSolver:
+    def test_zero_kline_optimum_matches_ktg_feasibility(self, figure1, figure1_q):
+        result = MinLineSolver(figure1).solve(figure1_q)
+        assert result.best_kline_count == 0
+        # With zero k-lines achievable, the top MinLine group is a valid
+        # KTG group (and at the KTG-optimal coverage, since ties break
+        # by coverage).
+        best = result.groups[0]
+        assert best.coverage == pytest.approx(0.8)
+        assert kline_count(figure1, best.members, figure1_q.tenuity) == 0
+
+    def test_exactness_by_enumeration(self, figure1):
+        query = KTGQuery(keywords=("SN", "GD"), group_size=3, tenuity=2, top_n=1)
+        result = MinLineSolver(figure1).solve(query)
+        from itertools import combinations
+
+        from repro.core.coverage import CoverageContext
+
+        context = CoverageContext(figure1, query.keywords)
+        qualified = context.qualified_vertices()
+        best = min(
+            (
+                (
+                    kline_count(figure1, combo, query.tenuity),
+                    -context.group_coverage(combo),
+                )
+                for combo in combinations(qualified, query.group_size)
+            ),
+        )
+        assert (result.groups[0].kline_count, -result.groups[0].coverage) == pytest.approx(best)
+
+    def test_degrades_when_no_tenuous_group_exists(self, path_graph):
+        # All vertices on a 5-path: no pair of 3 at pairwise distance > 2
+        # among qualified {a..e}?  With k=4 nothing is tenuous, KTG is
+        # empty, MinLine still returns the least-connected group.
+        query = KTGQuery(
+            keywords=("a", "b", "c", "d", "e"), group_size=3, tenuity=4, top_n=1
+        )
+        ktg = BranchAndBoundSolver(path_graph).solve(query)
+        assert ktg.groups == ()
+        minline = MinLineSolver(path_graph).solve(query)
+        assert minline.groups
+        assert minline.best_kline_count > 0
+
+    def test_ranking_prefers_fewer_klines_then_coverage(self):
+        # Star with the only "b"-holder at the centre: every
+        # full-coverage pair contains the centre and is a k-line, while
+        # leaf pairs are 0-k-line with half coverage.  MinLine must
+        # prefer fewer k-lines over higher coverage.
+        graph = AttributedGraph(
+            4, [(1, 0), (1, 2), (1, 3)], {0: ["a"], 1: ["b"], 2: ["a"], 3: ["a"]}
+        )
+        query = KTGQuery(keywords=("a", "b"), group_size=2, tenuity=1, top_n=1)
+        result = MinLineSolver(graph).solve(query)
+        best = result.groups[0]
+        assert best.kline_count == 0
+        assert best.coverage == pytest.approx(0.5)
+        assert 1 not in best.members
+
+    def test_top_n_ordering(self, figure1, figure1_q):
+        result = MinLineSolver(figure1).solve(figure1_q.with_(top_n=5))
+        ranks = [
+            (group.kline_count, -group.coverage) for group in result.groups
+        ]
+        assert ranks == sorted(ranks)
+        assert len(result.groups) == 5
+
+    def test_members_all_qualified(self, figure1, figure1_q):
+        from repro.core.coverage import CoverageContext
+
+        context = CoverageContext(figure1, figure1_q.keywords)
+        result = MinLineSolver(figure1).solve(figure1_q)
+        for group in result.groups:
+            for member in group.members:
+                assert context.masks[member]
+
+    def test_works_with_index_oracle(self, figure1, figure1_q):
+        result = MinLineSolver(figure1, oracle=NLRNLIndex(figure1)).solve(figure1_q)
+        assert result.algorithm == "MINLINE-NLRNL"
+        assert result.best_kline_count == 0
+
+    def test_str_rendering(self, figure1, figure1_q):
+        group = MinLineSolver(figure1).solve(figure1_q).groups[0]
+        assert "k-lines=0" in str(group)

@@ -1,0 +1,100 @@
+"""Unit tests for the TAGQ comparator."""
+
+import pytest
+
+from repro.baselines.tagq import TAGQSolver, k_tenuity
+from repro.core.coverage import CoverageContext
+from repro.core.graph import AttributedGraph
+from repro.core.query import KTGQuery
+from repro.datasets.figure1 import case_study_graph, case_study_query
+from repro.index.bfs import BFSOracle
+
+
+class TestKTenuity:
+    def test_all_pairs_distant(self, figure1):
+        # u10, u1, u4 pairwise distance > 1.
+        assert k_tenuity(figure1, [10, 1, 4], 1) == 0.0
+
+    def test_all_pairs_close(self, figure1):
+        # Triangle u6, u7, u8 with pairwise distance <= 2.
+        assert k_tenuity(figure1, [6, 7, 8], 2) == 1.0
+
+    def test_fractional(self, figure1):
+        # u0-u1 are adjacent; u0-u10 and u1-u10 are 2+ hops at k=1.
+        value = k_tenuity(figure1, [0, 1, 10], 1)
+        assert value == pytest.approx(1 / 3)
+
+    def test_small_groups(self, figure1):
+        assert k_tenuity(figure1, [0], 2) == 0.0
+        assert k_tenuity(figure1, [], 2) == 0.0
+
+    def test_accepts_oracle(self, figure1):
+        oracle = BFSOracle(figure1)
+        assert k_tenuity(oracle, [6, 7], 1) == 1.0
+
+
+class TestSolver:
+    def test_invalid_max_tenuity_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            TAGQSolver(figure1, max_tenuity=1.5)
+
+    def test_maximises_average_coverage(self, figure1):
+        query = KTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=2, tenuity=1, top_n=1
+        )
+        result = TAGQSolver(figure1).solve(query)
+        context = CoverageContext(figure1, query.keywords)
+        best = result.groups[0]
+        # Verify optimality by brute force over all tenuous pairs.
+        expected = 0.0
+        for u in figure1.vertices():
+            for v in range(u + 1, figure1.num_vertices):
+                distance = figure1.hop_distance(u, v)
+                if distance is not None and distance <= 1:
+                    continue
+                average = (
+                    context.masks[u].bit_count() + context.masks[v].bit_count()
+                ) / (2 * 5)
+                expected = max(expected, average)
+        assert best.coverage == pytest.approx(expected)
+
+    def test_zero_coverage_members_allowed(self):
+        graph = case_study_graph()
+        query = case_study_query().base_query()
+        result = TAGQSolver(graph).solve(query)
+        context = CoverageContext(graph, query.keywords)
+        zero_members = [
+            member
+            for group in result.groups
+            for member in group.members
+            if context.masks[member] == 0
+        ]
+        assert zero_members, "case study should surface TAGQ's red-line members"
+
+    def test_respects_tenuity_cap_zero(self):
+        graph = case_study_graph()
+        query = case_study_query().base_query()
+        result = TAGQSolver(graph, max_tenuity=0.0).solve(query)
+        for group in result.groups:
+            assert k_tenuity(graph, group.members, query.tenuity) == 0.0
+
+    def test_positive_cap_admits_close_pairs(self, figure1):
+        query = KTGQuery(keywords=("SN", "QP", "DQ"), group_size=3, tenuity=2, top_n=1)
+        strict = TAGQSolver(figure1, max_tenuity=0.0).solve(query)
+        relaxed = TAGQSolver(figure1, max_tenuity=1.0).solve(query)
+        # Relaxing the cap can only improve the objective.
+        assert relaxed.best_coverage >= strict.best_coverage
+        # With no constraint the best trio is simply the 3 best vertices.
+        context = CoverageContext(figure1, query.keywords)
+        top3 = sorted(
+            (context.masks[v].bit_count() for v in figure1.vertices()), reverse=True
+        )[:3]
+        assert relaxed.best_coverage == pytest.approx(sum(top3) / (3 * 3))
+
+    def test_algorithm_name(self, figure1):
+        assert TAGQSolver(figure1).algorithm_name == "TAGQ-BFS"
+
+    def test_empty_when_group_too_large(self):
+        graph = AttributedGraph(3, [], {0: ["a"]})
+        query = KTGQuery(keywords=("a",), group_size=5, tenuity=1)
+        assert TAGQSolver(graph).solve(query).groups == ()

@@ -1,0 +1,174 @@
+"""Unit tests for the ``ktg`` command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "facebook", "--edges", "e", "--keywords", "k"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "ktg" in capsys.readouterr().out
+
+
+class TestDatasetsCommand:
+    def test_lists_profiles(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dblp", "gowalla", "brightkite", "flickr", "twitter"):
+            assert name in out
+
+
+class TestGenerateCommand:
+    def test_writes_files(self, tmp_path, capsys):
+        edges = tmp_path / "g.edges"
+        keywords = tmp_path / "g.kw"
+        code = main(
+            [
+                "generate",
+                "brightkite",
+                "--scale",
+                "0.05",
+                "--edges",
+                str(edges),
+                "--keywords",
+                str(keywords),
+            ]
+        )
+        assert code == 0
+        assert edges.exists() and keywords.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def test_runs_query(self, capsys):
+        code = main(
+            [
+                "query",
+                "brightkite",
+                "--scale",
+                "0.1",
+                "--keywords",
+                "kw000,kw001,kw002",
+                "-p",
+                "2",
+                "-k",
+                "1",
+                "-n",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "KTG-VKC-DEG-NLRNL" in out
+        assert "latency" in out
+
+    def test_dktg_algorithm(self, capsys):
+        code = main(
+            [
+                "query",
+                "brightkite",
+                "--scale",
+                "0.1",
+                "--keywords",
+                "kw000,kw001",
+                "-p",
+                "2",
+                "--algorithm",
+                "DKTG-GREEDY",
+            ]
+        )
+        assert code == 0
+        assert "DKTG" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            [
+                "sweep",
+                "brightkite",
+                "--parameter",
+                "top_n",
+                "--scale",
+                "0.1",
+                "--queries",
+                "1",
+                "--algorithms",
+                "KTG-VKC-NLRNL",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        out = capsys.readouterr().out
+        assert "mean latency" in out
+
+
+class TestCaseStudyCommand:
+    def test_prints_report(self, capsys):
+        assert main(["case-study"]) == 0
+        out = capsys.readouterr().out
+        assert "TAGQ" in out and "no query keyword" in out
+
+
+class TestIndexStatsCommand:
+    def test_prints_footprints(self, capsys):
+        assert main(["index-stats", "brightkite", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "nl" in out and "nlrnl" in out and "entries" in out
+
+
+class TestStatsCommand:
+    def test_prints_statistics(self, capsys):
+        assert main(["stats", "brightkite", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "avg_degree" in out
+        assert "hop-ball fractions" in out
+
+
+class TestTraceCommand:
+    def test_renders_tree(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "{root}" in out
+        assert "nodes=" in out
+
+    def test_strategy_and_depth_flags(self, capsys):
+        assert main(["trace", "--strategy", "vkc-deg", "--max-depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "{root}" in out
+
+
+class TestIndexStatsAllOracles:
+    def test_includes_pll_and_bfs(self, capsys):
+        assert main(["index-stats", "brightkite", "--scale", "0.1", "--all-oracles"]) == 0
+        out = capsys.readouterr().out
+        assert "pll" in out and "bfs" in out
+
+
+class TestReproduceCommand:
+    def test_fig8_reports_findings(self, capsys):
+        code = main(["reproduce", "--experiment", "fig8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[HELD" in out
+        assert "## fig8" in out
+
+    def test_fig9_exit_code_tracks_findings(self, capsys):
+        code = main(["reproduce", "--experiment", "fig9", "--scale", "0.15"])
+        out = capsys.readouterr().out
+        assert "nlrnl_entries" in out
+        assert code in (0, 2)  # 2 when a timing-based claim diverges

@@ -1,0 +1,66 @@
+"""Unit tests for the brute-force baseline."""
+
+import pytest
+
+from repro.core.bruteforce import BruteForceSolver
+from repro.core.coverage import CoverageContext
+from repro.core.query import KTGQuery
+from repro.index.nlrnl import NLRNLIndex
+
+
+class TestBruteForce:
+    def test_figure1_optimum(self, figure1, figure1_q):
+        result = BruteForceSolver(figure1).solve(figure1_q)
+        assert [round(g.coverage, 9) for g in result.groups] == [0.8, 0.8]
+
+    def test_generate_and_test_matches_grown(self, figure1, figure1_q):
+        grown = BruteForceSolver(figure1, check_prefix_tenuity=True).solve(figure1_q)
+        naive = BruteForceSolver(figure1, check_prefix_tenuity=False).solve(figure1_q)
+        assert [g.coverage for g in grown.groups] == [g.coverage for g in naive.groups]
+
+    def test_naive_enumerates_all_combinations(self, figure1, figure1_q):
+        naive = BruteForceSolver(figure1, check_prefix_tenuity=False).solve(figure1_q)
+        from math import comb
+
+        # 8 qualified vertices, p = 3.
+        assert naive.stats.nodes_expanded == comb(8, 3)
+
+    def test_grown_expands_fewer_nodes(self, figure1, figure1_q):
+        grown = BruteForceSolver(figure1).solve(figure1_q)
+        naive = BruteForceSolver(figure1, check_prefix_tenuity=False).solve(figure1_q)
+        assert grown.stats.feasible_groups == naive.stats.feasible_groups
+
+    def test_results_are_feasible(self, figure1, figure1_q):
+        result = BruteForceSolver(figure1).solve(figure1_q)
+        context = CoverageContext(figure1, figure1_q.keywords)
+        for group in result.groups:
+            assert len(group.members) == figure1_q.group_size
+            for member in group.members:
+                assert context.masks[member]
+            for i, u in enumerate(group.members):
+                for v in group.members[i + 1 :]:
+                    assert figure1.hop_distance(u, v) > figure1_q.tenuity
+
+    def test_with_index_oracle(self, figure1, figure1_q):
+        result = BruteForceSolver(figure1, oracle=NLRNLIndex(figure1)).solve(figure1_q)
+        assert result.best_coverage == pytest.approx(0.8)
+        assert result.algorithm == "KTG-BRUTE-NLRNL"
+
+    def test_candidate_restriction(self, figure1, figure1_q):
+        result = BruteForceSolver(figure1).solve(figure1_q, candidates=[10, 1, 4, 5])
+        assert result.best_coverage == pytest.approx(0.8)
+        for group in result.groups:
+            assert set(group.members) <= {10, 1, 4, 5}
+
+    def test_anchor_exclusion(self, figure1):
+        query = KTGQuery(
+            keywords=("SN", "GD"), group_size=2, tenuity=1, excluded_anchors=(0,)
+        )
+        result = BruteForceSolver(figure1).solve(query)
+        blocked = {0} | set(figure1.neighbors(0))
+        for group in result.groups:
+            assert not blocked & set(group.members)
+
+    def test_empty_when_infeasible(self, figure1):
+        query = KTGQuery(keywords=("SN",), group_size=10, tenuity=1)
+        assert BruteForceSolver(figure1).solve(query).groups == ()

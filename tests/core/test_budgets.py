@@ -1,0 +1,79 @@
+"""Unit tests for anytime node/time budgets on the solver."""
+
+import pytest
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.coverage import CoverageContext
+from repro.core.query import KTGQuery
+from tests.conftest import make_random_attributed_graph
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = make_random_attributed_graph(num_vertices=60, seed=2, vocabulary_size=10)
+    labels = sorted(graph.keyword_table)[:6]
+    query = KTGQuery(keywords=tuple(labels), group_size=4, tenuity=2, top_n=3)
+    return graph, query
+
+
+class TestValidation:
+    def test_bad_budgets_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            BranchAndBoundSolver(figure1, node_budget=0)
+        with pytest.raises(ValueError):
+            BranchAndBoundSolver(figure1, time_budget=0.0)
+
+
+class TestNodeBudget:
+    def test_unbudgeted_run_is_exact(self, setting):
+        graph, query = setting
+        result = BranchAndBoundSolver(graph).solve(query)
+        assert result.is_exact
+        assert not result.stats.budget_exhausted
+
+    def test_budget_caps_nodes(self, setting):
+        graph, query = setting
+        result = BranchAndBoundSolver(graph, node_budget=50).solve(query)
+        assert result.stats.nodes_expanded <= 51
+        assert not result.is_exact
+
+    def test_budget_result_is_anytime_valid(self, setting):
+        """Budgeted results are still feasible k-distance groups."""
+        graph, query = setting
+        result = BranchAndBoundSolver(graph, node_budget=500).solve(query)
+        context = CoverageContext(graph, query.keywords)
+        for group in result.groups:
+            assert len(group.members) == query.group_size
+            for member in group.members:
+                assert context.masks[member]
+            for i, u in enumerate(group.members):
+                for v in group.members[i + 1 :]:
+                    distance = graph.hop_distance(u, v)
+                    assert distance is None or distance > query.tenuity
+
+    def test_budget_never_beats_exact(self, setting):
+        graph, query = setting
+        exact = BranchAndBoundSolver(graph).solve(query)
+        capped = BranchAndBoundSolver(graph, node_budget=300).solve(query)
+        assert capped.best_coverage <= exact.best_coverage + 1e-12
+
+    def test_large_budget_equals_exact(self, setting):
+        graph, query = setting
+        exact = BranchAndBoundSolver(graph).solve(query)
+        roomy = BranchAndBoundSolver(graph, node_budget=10_000_000).solve(query)
+        assert roomy.is_exact
+        assert [g.coverage for g in roomy.groups] == [g.coverage for g in exact.groups]
+
+
+class TestTimeBudget:
+    def test_time_budget_trips(self, setting):
+        graph, query = setting
+        result = BranchAndBoundSolver(graph, time_budget=0.001).solve(query)
+        # The search is large enough that 1ms cannot finish it.
+        assert not result.is_exact
+        assert result.stats.elapsed_seconds < 1.0
+
+    def test_generous_time_budget_is_exact(self, figure1, figure1_q):
+        result = BranchAndBoundSolver(figure1, time_budget=60.0).solve(figure1_q)
+        assert result.is_exact
+        assert [round(g.coverage, 9) for g in result.groups] == [0.8, 0.8]

@@ -1,0 +1,118 @@
+"""Unit tests for coverage math (Definitions 5, 6, 8)."""
+
+import pytest
+
+from repro.core.coverage import CoverageContext, popcount
+from repro.core.errors import QueryValidationError
+from repro.core.graph import AttributedGraph
+
+
+@pytest.fixture
+def ctx(figure1):
+    return CoverageContext(figure1, ["SN", "QP", "DQ", "GQ", "GD"])
+
+
+class TestConstruction:
+    def test_empty_keywords_rejected(self, figure1):
+        with pytest.raises(QueryValidationError):
+            CoverageContext(figure1, [])
+
+    def test_duplicates_collapse(self, figure1):
+        context = CoverageContext(figure1, ["SN", "SN", "QP"])
+        assert context.query_size == 2
+        assert context.query_labels == ("SN", "QP")
+
+    def test_unknown_labels_still_occupy_bits(self, figure1):
+        context = CoverageContext(figure1, ["SN", "NOPE"])
+        assert context.query_size == 2
+        # Nobody covers NOPE, so full coverage is impossible.
+        assert all(mask != context.full_mask for mask in context.masks)
+
+    def test_full_mask(self, ctx):
+        assert ctx.full_mask == 0b11111
+
+
+class TestDefinition5:
+    """Query keyword coverage of a vertex."""
+
+    def test_paper_example_u4_u6(self, ctx):
+        # Section III example: QKC(u4)=0.2, QKC(u6)=0.4.
+        assert ctx.vertex_coverage(4) == pytest.approx(0.2)
+        assert ctx.vertex_coverage(6) == pytest.approx(0.4)
+
+    def test_vertex_without_query_keywords(self, ctx):
+        assert ctx.vertex_coverage(2) == 0.0
+
+    def test_mask_of_matches_coverage(self, ctx):
+        for vertex in range(12):
+            assert ctx.mask_of(vertex).bit_count() / 5 == pytest.approx(
+                ctx.vertex_coverage(vertex)
+            )
+
+
+class TestDefinition6:
+    """Query keyword coverage of a group."""
+
+    def test_paper_example_groups(self, ctx):
+        # F1 = {u5, u7} covers {GD, QP, DQ} in our reconstruction; the
+        # union is what matters: group coverage counts distinct keywords.
+        assert ctx.group_coverage([4, 6]) == pytest.approx(0.6)  # F2 of the paper
+
+    def test_union_not_sum(self, ctx):
+        # u0 covers {SN, GD, DQ}, u11 covers {DQ, GD}: union is 3 not 5.
+        assert ctx.group_coverage([0, 11]) == pytest.approx(0.6)
+
+    def test_empty_group(self, ctx):
+        assert ctx.group_coverage([]) == 0.0
+
+    def test_running_example_result_coverage(self, ctx):
+        assert ctx.group_coverage([10, 1, 4]) == pytest.approx(0.8)
+        assert ctx.group_coverage([10, 1, 5]) == pytest.approx(0.8)
+
+
+class TestDefinition8:
+    """Valid keyword coverage w.r.t. an intermediate result."""
+
+    def test_valid_coverage_excludes_covered(self, ctx):
+        # S_I = {u0} covers {SN, GD, DQ}; u10 = {SN, QP} adds only QP.
+        assert ctx.valid_coverage(10, [0]) == pytest.approx(0.2)
+
+    def test_valid_coverage_empty_intermediate_is_qkc(self, ctx):
+        for vertex in range(12):
+            assert ctx.valid_coverage(vertex, []) == pytest.approx(
+                ctx.vertex_coverage(vertex)
+            )
+
+    def test_valid_mask(self, ctx):
+        covered = ctx.union_mask([0])
+        assert ctx.valid_mask(10, covered).bit_count() == 1
+        assert ctx.valid_mask(1, covered) == 0  # u1={DQ} already covered
+
+    def test_fully_covered_gives_zero(self, ctx):
+        covered = ctx.full_mask
+        assert all(ctx.valid_mask(v, covered) == 0 for v in range(12))
+
+
+class TestHelpers:
+    def test_qualified_vertices(self, ctx):
+        # Vertices with at least one query keyword in Figure 1.
+        assert ctx.qualified_vertices() == [0, 1, 4, 5, 6, 7, 10, 11]
+
+    def test_labels_of_mask_round_trip(self, ctx):
+        mask = ctx.mask_of(10)
+        assert ctx.labels_of_mask(mask) == ["SN", "QP"]
+
+    def test_coverage_of_mask(self, ctx):
+        assert ctx.coverage_of_mask(0b101) == pytest.approx(0.4)
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_repr(self, ctx):
+        assert "|W_Q|=5" in repr(ctx)
+
+    def test_isolated_keywordless_graph(self):
+        graph = AttributedGraph(3)
+        context = CoverageContext(graph, ["a"])
+        assert context.qualified_vertices() == []

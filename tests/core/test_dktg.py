@@ -1,0 +1,182 @@
+"""Unit tests for DKTG: diversity math and the greedy solver."""
+
+import pytest
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.dktg import (
+    DKTGGreedySolver,
+    dktg_score,
+    greedy_approximation_ratio,
+    pair_diversity,
+    result_diversity,
+)
+from repro.core.query import DKTGQuery
+from repro.core.strategies import VKCDegreeOrdering
+from repro.datasets.figure1 import case_study_graph, case_study_query
+from repro.index.nlrnl import NLRNLIndex
+
+
+class TestPairDiversity:
+    """Equation 2: Jaccard distance on member sets."""
+
+    def test_disjoint_groups(self):
+        assert pair_diversity((1, 2, 3), (4, 5, 6)) == 1.0
+
+    def test_identical_groups(self):
+        assert pair_diversity((1, 2), (2, 1)) == 0.0
+
+    def test_paper_example(self):
+        # Section VI: groups sharing 2 of 3 members -> (4-2)/4 = 0.5.
+        assert pair_diversity((10, 5, 1), (10, 5, 2)) == 0.5
+
+    def test_symmetry(self):
+        assert pair_diversity((1, 2), (2, 3)) == pair_diversity((2, 3), (1, 2))
+
+    def test_empty_groups(self):
+        assert pair_diversity((), ()) == 0.0
+
+    def test_bounds(self):
+        for a, b in [((1,), (1, 2)), ((1, 2, 3), (3, 4)), ((1,), (2,))]:
+            assert 0.0 <= pair_diversity(a, b) <= 1.0
+
+
+class TestResultDiversity:
+    """Equation 3: average over all group pairs."""
+
+    def test_paper_example_full_diversity(self):
+        # Section VI example: {u10,u5,u1} and {u11,u7,u2} -> (6-0)/6 = 1.
+        assert result_diversity([(10, 5, 1), (11, 7, 2)]) == 1.0
+
+    def test_single_group_defined_as_one(self):
+        assert result_diversity([(1, 2, 3)]) == 1.0
+
+    def test_empty_defined_as_one(self):
+        assert result_diversity([]) == 1.0
+
+    def test_average_of_pairs(self):
+        groups = [(1, 2), (1, 3), (4, 5)]
+        expected = (
+            pair_diversity((1, 2), (1, 3))
+            + pair_diversity((1, 2), (4, 5))
+            + pair_diversity((1, 3), (4, 5))
+        ) / 3
+        assert result_diversity(groups) == pytest.approx(expected)
+
+
+class TestScore:
+    """Equation 4: gamma * min coverage + (1-gamma) * diversity."""
+
+    def test_weighting(self):
+        score = dktg_score([0.8, 0.6], [(1, 2), (3, 4)], gamma=0.5)
+        assert score == pytest.approx(0.5 * 0.6 + 0.5 * 1.0)
+
+    def test_gamma_extremes(self):
+        groups = [(1, 2), (1, 3)]
+        assert dktg_score([1.0, 0.4], groups, gamma=1.0) == pytest.approx(0.4)
+        assert dktg_score([1.0, 0.4], groups, gamma=0.0) == pytest.approx(
+            result_diversity(groups)
+        )
+
+    def test_empty_result_scores_zero(self):
+        assert dktg_score([], [], gamma=0.5) == 0.0
+
+
+class TestApproximationRatio:
+    def test_paper_formula(self):
+        # 1 - gamma*(|W_Q|-1)/|W_Q|.
+        assert greedy_approximation_ratio(5, 0.5) == pytest.approx(1 - 0.5 * 4 / 5)
+
+    def test_single_keyword_is_exact(self):
+        assert greedy_approximation_ratio(1, 0.7) == 1.0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_approximation_ratio(0, 0.5)
+
+
+class TestGreedySolver:
+    def test_groups_are_pairwise_disjoint(self, figure1):
+        query = DKTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"),
+            group_size=3,
+            tenuity=1,
+            top_n=2,
+        )
+        result = DKTGGreedySolver(figure1).solve(query)
+        assert len(result.groups) == 2
+        members_a = set(result.groups[0].members)
+        members_b = set(result.groups[1].members)
+        assert not members_a & members_b
+        assert result.diversity == 1.0
+
+    def test_first_group_is_optimal_coverage(self, figure1):
+        query = DKTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"),
+            group_size=3,
+            tenuity=1,
+            top_n=2,
+        )
+        result = DKTGGreedySolver(figure1).solve(query)
+        assert result.groups[0].coverage == pytest.approx(0.8)
+
+    def test_later_rounds_may_degrade_coverage(self):
+        graph = case_study_graph()
+        result = DKTGGreedySolver(graph).solve(case_study_query())
+        coverages = [group.coverage for group in result.groups]
+        assert coverages == sorted(coverages, reverse=True)
+        assert len(result.groups) == 3
+
+    def test_score_matches_equation4(self):
+        graph = case_study_graph()
+        query = case_study_query(gamma=0.3)
+        result = DKTGGreedySolver(graph).solve(query)
+        expected = dktg_score(
+            [g.coverage for g in result.groups],
+            [g.members for g in result.groups],
+            0.3,
+        )
+        assert result.score == pytest.approx(expected)
+
+    def test_score_meets_greedy_guarantee(self):
+        graph = case_study_graph()
+        query = case_study_query()
+        result = DKTGGreedySolver(graph).solve(query)
+        ratio = greedy_approximation_ratio(len(query.keywords), query.gamma)
+        # The guarantee bounds the score against the idealised optimum 1.
+        assert result.score >= ratio - 1e-9
+
+    def test_stops_when_no_group_remains(self, path_graph):
+        # After one group the candidate pool is exhausted.
+        query = DKTGQuery(keywords=("a", "e"), group_size=2, tenuity=2, top_n=5)
+        result = DKTGGreedySolver(path_graph).solve(query)
+        assert len(result.groups) == 1
+
+    def test_custom_inner_solver(self, figure1):
+        inner = BranchAndBoundSolver(
+            figure1,
+            oracle=NLRNLIndex(figure1),
+            strategy=VKCDegreeOrdering(figure1.degrees()),
+        )
+        solver = DKTGGreedySolver(figure1, inner_solver=inner)
+        assert solver.algorithm_name == "DKTG-GREEDY-NLRNL"
+        query = DKTGQuery(keywords=("SN", "GD"), group_size=2, tenuity=1, top_n=2)
+        result = solver.solve(query)
+        assert result.groups
+
+    def test_conflicting_oracle_and_inner_rejected(self, figure1):
+        inner = BranchAndBoundSolver(figure1)
+        with pytest.raises(ValueError):
+            DKTGGreedySolver(figure1, oracle=NLRNLIndex(figure1), inner_solver=inner)
+
+    def test_stats_accumulate_over_rounds(self, figure1):
+        query = DKTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=3, tenuity=1, top_n=2
+        )
+        result = DKTGGreedySolver(figure1).solve(query)
+        assert result.stats.nodes_expanded > 0
+        assert result.stats.elapsed_seconds > 0
+
+    def test_str_rendering(self, figure1):
+        query = DKTGQuery(keywords=("SN", "GD"), group_size=2, tenuity=1, top_n=2)
+        text = str(DKTGGreedySolver(figure1).solve(query))
+        assert "diversity=" in text and "score=" in text

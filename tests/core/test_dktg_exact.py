@@ -1,0 +1,117 @@
+"""Unit tests for the exact DKTG solver and greedy-vs-exact comparisons."""
+
+import pytest
+
+from repro.core.dktg import (
+    DKTGGreedySolver,
+    dktg_score,
+    greedy_approximation_ratio,
+)
+from repro.core.dktg_exact import DKTGExactSolver
+from repro.core.graph import AttributedGraph
+from repro.core.query import DKTGQuery
+from repro.datasets.figure1 import case_study_graph, case_study_query, figure1_example
+
+
+class TestExactSolver:
+    def test_invalid_cap_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            DKTGExactSolver(figure1, max_groups=0)
+
+    def test_score_matches_equation4(self, figure1):
+        query = DKTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=3, tenuity=1, top_n=2
+        )
+        result = DKTGExactSolver(figure1).solve(query)
+        assert result.score == pytest.approx(
+            dktg_score(
+                [g.coverage for g in result.groups],
+                [g.members for g in result.groups],
+                query.gamma,
+            )
+        )
+
+    def test_exact_dominates_greedy(self):
+        for gamma in (0.2, 0.5, 0.8):
+            graph = case_study_graph()
+            query = case_study_query(gamma=gamma)
+            exact = DKTGExactSolver(graph).solve(query)
+            greedy = DKTGGreedySolver(graph).solve(query)
+            assert exact.score >= greedy.score - 1e-9, gamma
+
+    def test_exact_beats_naive_topn_when_diversity_matters(self):
+        # Three high-coverage overlapping groups vs disjoint ones: the
+        # exact solver must prefer the disjoint set at low gamma.
+        graph = figure1_example()
+        query = DKTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"),
+            group_size=3,
+            tenuity=1,
+            top_n=2,
+            gamma=0.1,
+        )
+        result = DKTGExactSolver(graph).solve(query)
+        # With gamma=0.1 diversity dominates: expect disjoint groups.
+        members_a = set(result.groups[0].members)
+        members_b = set(result.groups[1].members)
+        assert not members_a & members_b
+        assert result.diversity == 1.0
+
+    def test_greedy_meets_paper_guarantee_against_true_optimum(self):
+        graph = case_study_graph()
+        query = case_study_query()
+        exact = DKTGExactSolver(graph).solve(query)
+        greedy = DKTGGreedySolver(graph).solve(query)
+        ratio = greedy_approximation_ratio(len(query.keywords), query.gamma)
+        if exact.score > 0:
+            assert greedy.score / exact.score >= ratio - 1e-9
+
+    def test_partial_result_when_few_groups_exist(self):
+        graph = AttributedGraph(
+            4, [(0, 1)], {0: ["a"], 1: ["a"], 2: ["a"], 3: ["a"]}
+        )
+        query = DKTGQuery(keywords=("a",), group_size=2, tenuity=1, top_n=5)
+        result = DKTGExactSolver(graph).solve(query)
+        assert 0 < len(result.groups) <= 5
+
+    def test_empty_when_infeasible(self, figure1):
+        query = DKTGQuery(keywords=("NOPE",), group_size=2, tenuity=1, top_n=2)
+        result = DKTGExactSolver(figure1).solve(query)
+        assert result.groups == ()
+        assert result.score == 0.0
+
+    def test_group_cap_applies(self, figure1):
+        query = DKTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=3, tenuity=1, top_n=2
+        )
+        capped = DKTGExactSolver(figure1, max_groups=3).solve(query)
+        assert capped.stats.feasible_groups >= 3
+        assert len(capped.groups) == 2
+
+    def test_algorithm_name(self, figure1):
+        assert DKTGExactSolver(figure1).algorithm_name == "DKTG-EXACT"
+
+
+class TestGreedyQualityOnRandomInstances:
+    def test_greedy_close_to_exact_on_small_graphs(self):
+        from tests.conftest import make_random_attributed_graph
+
+        gaps = []
+        for seed in range(4):
+            graph = make_random_attributed_graph(
+                num_vertices=18, edges_per_vertex=2, seed=seed, vocabulary_size=8
+            )
+            labels = sorted(graph.keyword_table)[:4]
+            if not labels:
+                continue
+            query = DKTGQuery(
+                keywords=tuple(labels), group_size=2, tenuity=1, top_n=2
+            )
+            exact = DKTGExactSolver(graph).solve(query)
+            greedy = DKTGGreedySolver(graph).solve(query)
+            assert exact.score >= greedy.score - 1e-9
+            if exact.score > 0:
+                gaps.append(greedy.score / exact.score)
+        if gaps:
+            guarantee = greedy_approximation_ratio(4, 0.5)
+            assert min(gaps) >= guarantee - 1e-9

@@ -1,0 +1,48 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    DatasetError,
+    GraphConstructionError,
+    IndexBuildError,
+    IndexUpdateError,
+    InfeasibleQueryError,
+    QueryValidationError,
+    ReproError,
+    UnknownVertexError,
+    WorkloadError,
+)
+
+
+@pytest.mark.parametrize(
+    "error_cls",
+    [
+        GraphConstructionError,
+        QueryValidationError,
+        InfeasibleQueryError,
+        IndexBuildError,
+        IndexUpdateError,
+        DatasetError,
+        WorkloadError,
+    ],
+)
+def test_all_derive_from_repro_error(error_cls):
+    assert issubclass(error_cls, ReproError)
+
+
+def test_unknown_vertex_is_keyerror_and_repro_error():
+    error = UnknownVertexError(42)
+    assert isinstance(error, KeyError)
+    assert isinstance(error, ReproError)
+    assert error.vertex == 42
+    assert "42" in str(error)
+
+
+def test_query_validation_is_value_error():
+    assert issubclass(QueryValidationError, ValueError)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise DatasetError("boom")

@@ -1,0 +1,103 @@
+"""Unit tests for the inverted keyword index."""
+
+import pytest
+
+from repro.core.coverage import CoverageContext
+from repro.core.errors import QueryValidationError
+from repro.core.graph import AttributedGraph
+from repro.core.keyword_index import KeywordIndex
+from tests.conftest import make_random_attributed_graph
+
+
+class TestPostings:
+    def test_vertices_with(self, figure1):
+        index = KeywordIndex(figure1)
+        assert index.vertices_with("SN") == (0, 6, 10)
+        assert index.vertices_with("GQ") == (6,)
+        assert index.vertices_with("missing") == ()
+
+    def test_document_frequency(self, figure1):
+        index = KeywordIndex(figure1)
+        assert index.document_frequency("GD") == 4
+        assert index.document_frequency("missing") == 0
+
+    def test_labels_sorted(self, figure1):
+        index = KeywordIndex(figure1)
+        assert index.labels() == sorted(index.labels())
+        assert "SN" in index.labels()
+
+    def test_empty_graph(self):
+        index = KeywordIndex(AttributedGraph(0))
+        assert index.labels() == []
+
+    def test_staleness(self, figure1):
+        index = KeywordIndex(figure1)
+        assert not index.is_stale()
+        figure1.set_keywords(2, ["SN"])
+        assert index.is_stale()
+
+
+class TestContextEquivalence:
+    @pytest.mark.parametrize(
+        "keywords",
+        [
+            ["SN"],
+            ["SN", "QP", "DQ", "GQ", "GD"],
+            ["SN", "missing", "GD"],
+            ["GD", "GD", "SN"],  # duplicates collapse
+        ],
+    )
+    def test_bit_for_bit_identical(self, figure1, keywords):
+        direct = CoverageContext(figure1, keywords)
+        indexed = KeywordIndex(figure1).context_for(keywords)
+        assert indexed.query_labels == direct.query_labels
+        assert indexed.query_size == direct.query_size
+        assert indexed.full_mask == direct.full_mask
+        assert indexed.masks == direct.masks
+
+    def test_equivalence_on_random_graph(self):
+        graph = make_random_attributed_graph(num_vertices=60, seed=11)
+        labels = sorted(graph.keyword_table)[:6]
+        direct = CoverageContext(graph, labels)
+        indexed = KeywordIndex(graph).context_for(labels)
+        assert indexed.masks == direct.masks
+
+    def test_empty_keywords_rejected(self, figure1):
+        with pytest.raises(QueryValidationError):
+            KeywordIndex(figure1).context_for([])
+
+    def test_context_drives_solver(self, figure1, figure1_q):
+        """A solver fed vertices from the indexed context agrees with
+        the direct path (smoke test of the drop-in claim)."""
+        from repro.core.branch_and_bound import BranchAndBoundSolver
+
+        index = KeywordIndex(figure1)
+        context = index.context_for(figure1_q.keywords)
+        solver = BranchAndBoundSolver(figure1)
+        direct = solver.solve(figure1_q)
+        restricted = solver.solve(
+            figure1_q, candidates=context.qualified_vertices()
+        )
+        assert [g.coverage for g in restricted.groups] == [
+            g.coverage for g in direct.groups
+        ]
+
+
+class TestQualifiedCount:
+    def test_matches_context(self, figure1):
+        index = KeywordIndex(figure1)
+        for keywords in (["SN"], ["SN", "GD"], ["missing"]):
+            expected = len(CoverageContext(figure1, keywords).qualified_vertices()) if keywords != ["missing"] else 0
+            if keywords == ["missing"]:
+                assert index.qualified_count(keywords) == 0
+            else:
+                assert index.qualified_count(keywords) == expected
+
+    def test_union_not_sum(self, figure1):
+        index = KeywordIndex(figure1)
+        # u0 carries SN and GD: counted once.
+        combined = index.qualified_count(["SN", "GD"])
+        assert combined < index.document_frequency("SN") + index.document_frequency("GD")
+
+    def test_repr(self, figure1):
+        assert "labels" in repr(KeywordIndex(figure1))

@@ -1,0 +1,58 @@
+"""Unit tests for the multi-query-vertex (authors) extension."""
+
+import pytest
+
+from repro.core.multi_vertex import anchored_query, exclude_familiar
+from repro.core.query import KTGQuery
+from repro.index.bfs import BFSOracle
+from repro.index.nlrnl import NLRNLIndex
+
+
+class TestExcludeFamiliar:
+    def test_drops_anchor_and_neighbourhood(self, figure1):
+        oracle = BFSOracle(figure1)
+        survivors = exclude_familiar(list(range(12)), anchors=[0], k=1, oracle=oracle)
+        assert 0 not in survivors
+        assert not set(figure1.neighbors(0)) & set(survivors)
+
+    def test_multiple_anchors_accumulate(self, figure1):
+        oracle = BFSOracle(figure1)
+        survivors = exclude_familiar(
+            list(range(12)), anchors=[0, 10], k=1, oracle=oracle
+        )
+        blocked = {0, 10} | set(figure1.neighbors(0)) | set(figure1.neighbors(10))
+        assert not blocked & set(survivors)
+
+    def test_preserves_order(self, figure1):
+        oracle = BFSOracle(figure1)
+        survivors = exclude_familiar([7, 5, 6, 8], anchors=[0], k=1, oracle=oracle)
+        assert survivors == [7, 5, 6, 8]
+
+    def test_k_zero_only_drops_anchor(self, figure1):
+        oracle = BFSOracle(figure1)
+        survivors = exclude_familiar(list(range(12)), anchors=[0], k=0, oracle=oracle)
+        assert survivors == [v for v in range(12) if v != 0]
+
+    def test_agrees_across_oracles(self, figure1):
+        bfs = exclude_familiar(list(range(12)), anchors=[4], k=2, oracle=BFSOracle(figure1))
+        nlrnl = exclude_familiar(
+            list(range(12)), anchors=[4], k=2, oracle=NLRNLIndex(figure1)
+        )
+        assert bfs == nlrnl
+
+
+class TestAnchoredQuery:
+    def test_attaches_anchors(self):
+        query = KTGQuery(keywords=("a",))
+        anchored = anchored_query(query, [3, 5])
+        assert anchored.excluded_anchors == (3, 5)
+
+    def test_accumulates_and_dedupes(self):
+        query = KTGQuery(keywords=("a",), excluded_anchors=(5,))
+        anchored = anchored_query(query, [3, 5])
+        assert anchored.excluded_anchors == (5, 3)
+
+    def test_original_query_unchanged(self):
+        query = KTGQuery(keywords=("a",))
+        anchored_query(query, [1])
+        assert query.excluded_anchors == ()

@@ -1,0 +1,114 @@
+"""Unit tests for the keyword-pruning bounds (Theorem 2 + union bound)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.coverage import CoverageContext
+from repro.core.graph import AttributedGraph
+from repro.core.pruning import keyword_prune_bound, top_vkc_bound, union_bound
+
+
+@pytest.fixture
+def ctx():
+    graph = AttributedGraph(
+        5,
+        [],
+        {
+            0: ["a", "b"],
+            1: ["b", "c"],
+            2: ["c"],
+            3: ["d"],
+            4: [],
+        },
+    )
+    return CoverageContext(graph, ["a", "b", "c", "d"])
+
+
+def best_completion(ctx, covered_mask, candidates, slots):
+    """True optimum over all completions (reference for admissibility)."""
+    best = covered_mask.bit_count()
+    for combo in combinations(candidates, min(slots, len(candidates))):
+        mask = covered_mask
+        for vertex in combo:
+            mask |= ctx.masks[vertex]
+        best = max(best, mask.bit_count())
+    return best / ctx.query_size
+
+
+class TestTopVKCBound:
+    def test_matches_paper_formula(self, ctx):
+        covered = ctx.masks[0]  # {a, b}
+        # Gains: v1 adds c (1), v2 adds c (1), v3 adds d (1).
+        bound = top_vkc_bound(covered, [1, 2, 3], slots=2, context=ctx)
+        assert bound == pytest.approx((2 + 2) / 4)
+
+    def test_presorted_uses_head(self, ctx):
+        covered = 0
+        # Candidates sorted by VKC desc: 0 (2), 1 (2), 2 (1), 3 (1).
+        bound = top_vkc_bound(covered, [0, 1, 2, 3], 2, ctx, presorted_by_vkc=True)
+        assert bound == pytest.approx(4 / 4)
+
+    def test_presorted_equals_unsorted_when_actually_sorted(self, ctx):
+        covered = ctx.masks[3]
+        ordered = sorted(
+            [0, 1, 2], key=lambda v: -(ctx.masks[v] & ~covered).bit_count()
+        )
+        assert top_vkc_bound(covered, ordered, 2, ctx, True) == pytest.approx(
+            top_vkc_bound(covered, ordered, 2, ctx, False)
+        )
+
+    def test_admissible_exhaustively(self, ctx):
+        candidates = [0, 1, 2, 3, 4]
+        for slots in (1, 2, 3):
+            for covered_seed in ([], [0], [1, 3]):
+                covered = ctx.union_mask(covered_seed)
+                rest = [v for v in candidates if v not in covered_seed]
+                ordered = sorted(
+                    rest, key=lambda v: -(ctx.masks[v] & ~covered).bit_count()
+                )
+                bound = top_vkc_bound(covered, ordered, slots, ctx, True)
+                assert bound >= best_completion(ctx, covered, rest, slots) - 1e-12
+
+    def test_double_counts_shared_keywords(self, ctx):
+        # Both 1 and 2 add only "c"; the VKC sum counts it twice, making
+        # the bound looser than the truth.
+        covered = ctx.masks[0]
+        bound = top_vkc_bound(covered, [1, 2], 2, ctx)
+        truth = best_completion(ctx, covered, [1, 2], 2)
+        assert bound > truth
+
+
+class TestUnionBound:
+    def test_tight_when_masks_overlap(self, ctx):
+        covered = ctx.masks[0]
+        assert union_bound(covered, [1, 2], ctx) == pytest.approx(3 / 4)
+
+    def test_admissible_exhaustively(self, ctx):
+        for covered_seed in ([], [0], [2]):
+            covered = ctx.union_mask(covered_seed)
+            rest = [v for v in range(5) if v not in covered_seed]
+            for slots in (1, 2, 3):
+                assert union_bound(covered, rest, ctx) >= best_completion(
+                    ctx, covered, rest, slots
+                ) - 1e-12
+
+    def test_ignores_slot_limit(self, ctx):
+        # With 1 slot the union bound can exceed what one member adds.
+        bound = union_bound(0, [0, 3], ctx)
+        assert bound == pytest.approx(3 / 4)
+        assert bound > best_completion(ctx, 0, [0, 3], 1)
+
+
+class TestCombinedBound:
+    def test_takes_minimum_when_union_enabled(self, ctx):
+        covered = ctx.masks[0]
+        ordered = [1, 2]
+        plain = keyword_prune_bound(covered, ordered, 2, ctx, True, False)
+        combined = keyword_prune_bound(covered, ordered, 2, ctx, True, True)
+        assert combined <= plain
+        assert combined == pytest.approx(union_bound(covered, ordered, ctx))
+
+    def test_empty_candidates(self, ctx):
+        covered = ctx.masks[0]
+        assert keyword_prune_bound(covered, [], 2, ctx) == pytest.approx(2 / 4)

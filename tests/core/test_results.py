@@ -1,0 +1,124 @@
+"""Unit tests for Group and the top-N result pool semantics."""
+
+import pytest
+
+from repro.core.results import Group, TopNPool
+
+
+class TestGroup:
+    def test_make_sorts_members(self):
+        group = Group.make([3, 1, 2], 0.5)
+        assert group.members == (1, 2, 3)
+
+    def test_equality_ignores_discovery_order(self):
+        assert Group.make([2, 1], 0.5) == Group.make([1, 2], 0.5)
+
+    def test_ordering_by_coverage_then_members(self):
+        low = Group.make([1], 0.2)
+        high = Group.make([2], 0.9)
+        assert low < high
+
+    def test_size_and_overlap(self):
+        a = Group.make([1, 2, 3], 1.0)
+        b = Group.make([3, 4, 5], 1.0)
+        assert a.size == 3
+        assert a.overlap(b) == 1
+
+    def test_str(self):
+        assert str(Group.make([2, 1], 0.75)) == "{u1, u2} (coverage=0.750)"
+
+
+class TestTopNPoolBasics:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TopNPool(0)
+
+    def test_threshold_zero_until_full(self):
+        pool = TopNPool(2)
+        assert pool.threshold == 0.0
+        pool.offer([1, 2], 0.9)
+        assert pool.threshold == 0.0
+        pool.offer([3, 4], 0.5)
+        assert pool.threshold == 0.5
+
+    def test_len_and_is_full(self):
+        pool = TopNPool(2)
+        assert len(pool) == 0 and not pool.is_full()
+        pool.offer([1], 0.1)
+        pool.offer([2], 0.2)
+        assert len(pool) == 2 and pool.is_full()
+
+
+class TestStrictImprovementSemantics:
+    """The paper's updateRS: ties never displace earlier discoveries."""
+
+    def test_tie_with_threshold_rejected(self):
+        pool = TopNPool(2)
+        pool.offer([1, 2], 0.8)
+        pool.offer([3, 4], 0.8)
+        assert not pool.offer([5, 6], 0.8)
+        members = {group.members for group in pool.best()}
+        assert members == {(1, 2), (3, 4)}
+
+    def test_strict_improvement_evicts_worst(self):
+        pool = TopNPool(2)
+        pool.offer([1, 2], 0.5)
+        pool.offer([3, 4], 0.8)
+        assert pool.offer([5, 6], 0.9)
+        coverages = [group.coverage for group in pool.best()]
+        assert coverages == [0.9, 0.8]
+
+    def test_would_admit(self):
+        pool = TopNPool(1)
+        assert pool.would_admit(0.0)
+        pool.offer([1], 0.5)
+        assert not pool.would_admit(0.5)
+        assert pool.would_admit(0.6)
+
+    def test_duplicate_member_sets_rejected(self):
+        pool = TopNPool(3)
+        assert pool.offer([1, 2], 0.5)
+        assert not pool.offer([2, 1], 0.9)
+        assert len(pool) == 1
+
+    def test_eviction_releases_membership(self):
+        pool = TopNPool(1)
+        pool.offer([1, 2], 0.5)
+        pool.offer([3, 4], 0.8)
+        # (1,2) was evicted, so it may be re-offered (e.g. by a greedy
+        # caller re-running a search) subject to the threshold.
+        assert not pool.contains_members([1, 2])
+        assert pool.offer([1, 2], 0.9)
+
+
+class TestBestOrdering:
+    def test_best_sorted_by_coverage_desc(self):
+        pool = TopNPool(3)
+        pool.offer([1], 0.3)
+        pool.offer([2], 0.9)
+        pool.offer([3], 0.6)
+        assert [g.coverage for g in pool.best()] == [0.9, 0.6, 0.3]
+
+    def test_ties_listed_in_discovery_order(self):
+        pool = TopNPool(3)
+        pool.offer([5], 0.5)
+        pool.offer([1], 0.5)
+        pool.offer([9], 0.5)
+        assert [g.members for g in pool.best()] == [(5,), (1,), (9,)]
+
+    def test_best_coverage(self):
+        pool = TopNPool(2)
+        assert pool.best_coverage() is None
+        pool.offer([1], 0.4)
+        pool.offer([2], 0.7)
+        assert pool.best_coverage() == 0.7
+
+    def test_member_union(self):
+        pool = TopNPool(2)
+        pool.offer([1, 2], 0.5)
+        pool.offer([2, 3], 0.6)
+        assert pool.member_union() == {1, 2, 3}
+
+    def test_repr(self):
+        pool = TopNPool(2)
+        assert "0/2" in repr(pool)

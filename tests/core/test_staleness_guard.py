@@ -1,0 +1,48 @@
+"""Unit tests for the stale-oracle safety guard on solvers."""
+
+import pytest
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.bruteforce import BruteForceSolver
+from repro.core.errors import IndexBuildError
+from repro.index.nlrnl import NLRNLIndex
+
+
+class TestStalenessGuard:
+    def test_bb_solver_refuses_stale_oracle(self, figure1, figure1_q):
+        oracle = NLRNLIndex(figure1)
+        solver = BranchAndBoundSolver(figure1, oracle=oracle)
+        figure1.add_edge(5, 9)
+        with pytest.raises(IndexBuildError, match="older version"):
+            solver.solve(figure1_q)
+
+    def test_brute_force_refuses_stale_oracle(self, figure1, figure1_q):
+        oracle = NLRNLIndex(figure1)
+        solver = BruteForceSolver(figure1, oracle=oracle)
+        figure1.add_edge(5, 9)
+        with pytest.raises(IndexBuildError, match="older version"):
+            solver.solve(figure1_q)
+
+    def test_rebuild_clears_the_guard(self, figure1, figure1_q):
+        oracle = NLRNLIndex(figure1)
+        solver = BranchAndBoundSolver(figure1, oracle=oracle)
+        figure1.add_edge(5, 9)
+        oracle.rebuild()
+        result = solver.solve(figure1_q)
+        assert result.groups
+
+    def test_incremental_update_keeps_oracle_usable(self, figure1, figure1_q):
+        oracle = NLRNLIndex(figure1)
+        solver = BranchAndBoundSolver(figure1, oracle=oracle)
+        oracle.insert_edge(5, 9)  # mutates graph AND index together
+        result = solver.solve(figure1_q)
+        assert result.groups
+
+    def test_guard_catches_keyword_changes_too(self, figure1, figure1_q):
+        oracle = NLRNLIndex(figure1)
+        solver = BranchAndBoundSolver(figure1, oracle=oracle)
+        figure1.set_keywords(2, ["SN"])
+        # Keyword edits bump the version; distances are unchanged but a
+        # conservative guard is preferred over a silent wrong answer.
+        with pytest.raises(IndexBuildError):
+            solver.solve(figure1_q)

@@ -1,0 +1,100 @@
+"""Unit tests for candidate-ordering strategies."""
+
+import pytest
+
+from repro.core.coverage import CoverageContext
+from repro.core.graph import AttributedGraph
+from repro.core.strategies import (
+    QKCOrdering,
+    VKCDegreeOrdering,
+    VKCOrdering,
+    strategy_by_name,
+)
+
+
+@pytest.fixture
+def ctx(figure1):
+    return CoverageContext(figure1, ["SN", "QP", "DQ", "GQ", "GD"])
+
+
+class TestQKCOrdering:
+    def test_sorts_by_static_coverage_desc(self, ctx):
+        strategy = QKCOrdering()
+        order = strategy.initial_order([1, 4, 0, 10], ctx)
+        # u0 covers 3, u10 covers 2, u1/u4 cover 1 each.
+        assert order[0] == 0
+        assert order[1] == 10
+
+    def test_never_resorts(self, ctx):
+        strategy = QKCOrdering()
+        assert strategy.resorts is False
+        candidates = [10, 1, 4]
+        assert strategy.reorder(candidates, 0b111, ctx) is candidates
+
+
+class TestVKCOrdering:
+    def test_initial_equals_qkc_head(self, ctx):
+        order = VKCOrdering().initial_order([1, 4, 0, 10], ctx)
+        assert order[0] == 0
+
+    def test_reorder_accounts_for_covered(self, ctx):
+        # With u0's keywords covered, u10 (adds QP) outranks u11 (adds
+        # nothing) and u6 (adds GQ) ties with u10 by count.
+        covered = ctx.union_mask([0])
+        order = VKCOrdering().reorder([11, 10, 1], covered, ctx)
+        assert order[0] == 10
+        assert order[-1] in (11, 1)
+
+    def test_reorder_is_stable_for_ties(self, ctx):
+        covered = ctx.full_mask  # everyone's VKC is 0
+        candidates = [4, 1, 11, 5]
+        assert VKCOrdering().reorder(candidates, covered, ctx) == candidates
+
+
+class TestVKCDegreeOrdering:
+    def test_degree_breaks_ties_ascending(self, ctx, figure1):
+        strategy = VKCDegreeOrdering(figure1.degrees(), "ascending")
+        covered = ctx.full_mask  # all gains 0 -> pure degree ordering
+        order = strategy.reorder([0, 5, 10, 3], covered, ctx)
+        degrees = [figure1.degree(v) for v in order]
+        assert degrees == sorted(degrees)
+
+    def test_degree_breaks_ties_descending(self, ctx, figure1):
+        strategy = VKCDegreeOrdering(figure1.degrees(), "descending")
+        covered = ctx.full_mask
+        order = strategy.reorder([0, 5, 10, 3], covered, ctx)
+        degrees = [figure1.degree(v) for v in order]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_vkc_dominates_degree(self, ctx, figure1):
+        strategy = VKCDegreeOrdering(figure1.degrees())
+        # u0 has the highest VKC but also the highest degree: VKC wins.
+        order = strategy.initial_order([5, 0, 1], ctx)
+        assert order[0] == 0
+
+    def test_invalid_direction_rejected(self, figure1):
+        with pytest.raises(ValueError, match="degree_order"):
+            VKCDegreeOrdering(figure1.degrees(), "sideways")
+
+    def test_repr_mentions_direction(self, figure1):
+        assert "ascending" in repr(VKCDegreeOrdering(figure1.degrees()))
+
+
+class TestFactory:
+    def test_by_name(self, figure1):
+        assert isinstance(strategy_by_name("qkc"), QKCOrdering)
+        assert isinstance(strategy_by_name("vkc"), VKCOrdering)
+        assert isinstance(strategy_by_name("vkc-deg", figure1), VKCDegreeOrdering)
+        assert isinstance(strategy_by_name("VKC_DEG", figure1), VKCDegreeOrdering)
+
+    def test_vkc_deg_requires_graph(self):
+        with pytest.raises(ValueError, match="requires the graph"):
+            strategy_by_name("vkc-deg")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            strategy_by_name("nope")
+
+    def test_options_forwarded(self, figure1):
+        strategy = strategy_by_name("vkc-deg", figure1, degree_order="descending")
+        assert strategy.degree_order == "descending"

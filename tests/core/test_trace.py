@@ -1,0 +1,99 @@
+"""Unit tests for the search-tree tracer (Figure 2 machinery)."""
+
+import pytest
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.query import KTGQuery
+from repro.core.strategies import QKCOrdering, VKCDegreeOrdering
+from repro.core.trace import TracingSolver
+from repro.index.nlrnl import NLRNLIndex
+
+
+class TestTraceFidelity:
+    def test_result_matches_untraced_solver(self, figure1, figure1_q):
+        solver = BranchAndBoundSolver(figure1)
+        plain = solver.solve(figure1_q)
+        traced, trace = TracingSolver(solver).solve(figure1_q)
+        assert [g.coverage for g in traced.groups] == [
+            g.coverage for g in plain.groups
+        ]
+        assert [g.members for g in traced.groups] == [
+            g.members for g in plain.groups
+        ]
+
+    def test_node_count_matches_solver_stats(self, figure1, figure1_q):
+        solver = BranchAndBoundSolver(figure1)
+        plain = solver.solve(figure1_q)
+        _, trace = TracingSolver(solver).solve(figure1_q)
+        assert trace.nodes == plain.stats.nodes_expanded
+
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [lambda g: QKCOrdering(), lambda g: VKCDegreeOrdering(g.degrees())],
+    )
+    def test_fidelity_across_strategies(self, figure1, figure1_q, strategy_factory):
+        solver = BranchAndBoundSolver(
+            figure1,
+            oracle=NLRNLIndex(figure1),
+            strategy=strategy_factory(figure1),
+        )
+        plain = solver.solve(figure1_q)
+        traced, trace = TracingSolver(solver).solve(figure1_q)
+        assert [g.members for g in traced.groups] == [g.members for g in plain.groups]
+        assert trace.nodes == plain.stats.nodes_expanded
+
+
+class TestTraceStructure:
+    def test_accepted_nodes_recorded(self, figure1, figure1_q):
+        _, trace = TracingSolver(BranchAndBoundSolver(figure1)).solve(figure1_q)
+        assert trace.accepted == 2
+
+        accepted = []
+
+        def collect(node):
+            if node.outcome == "accepted":
+                accepted.append(node.members)
+            for child in node.children:
+                collect(child)
+
+        collect(trace.root)
+        assert len(accepted) == 2
+        assert all(len(members) == 3 for members in accepted)
+
+    def test_figure2_narrative_root_branches(self, figure1, figure1_q):
+        """The worked example's top-level branch order under VKC."""
+        _, trace = TracingSolver(BranchAndBoundSolver(figure1)).solve(figure1_q)
+        first_level = [child.members[0] for child in trace.root.children]
+        # VKC initial order puts u0 (3 query keywords) first, then the
+        # 2-keyword vertices.
+        assert first_level[0] == 0
+        assert set(first_level[1:3]) <= {6, 7, 10, 11}
+
+    def test_render_contains_outcomes(self, figure1, figure1_q):
+        _, trace = TracingSolver(BranchAndBoundSolver(figure1)).solve(figure1_q)
+        text = trace.render()
+        assert "{root}" in text
+        assert "[result, coverage=0.80]" in text
+
+    def test_render_depth_limit(self, figure1, figure1_q):
+        _, trace = TracingSolver(BranchAndBoundSolver(figure1)).solve(figure1_q)
+        shallow = trace.render(max_depth=1)
+        deep = trace.render()
+        assert len(shallow.splitlines()) < len(deep.splitlines())
+
+    def test_pruned_branches_marked(self, figure1):
+        # A query where pruning definitely triggers: N=1, ties abound.
+        query = KTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=3, tenuity=1, top_n=1
+        )
+        _, trace = TracingSolver(BranchAndBoundSolver(figure1)).solve(query)
+        assert trace.pruned > 0
+        assert "[pruned by keyword bound]" in trace.render()
+
+    def test_exhausted_marked_when_candidates_run_out(self):
+        from repro.core.graph import AttributedGraph
+
+        graph = AttributedGraph(3, [(0, 1), (1, 2), (0, 2)], {i: ["a"] for i in range(3)})
+        query = KTGQuery(keywords=("a",), group_size=2, tenuity=1, top_n=1)
+        _, trace = TracingSolver(BranchAndBoundSolver(graph)).solve(query)
+        assert "[dead end" in trace.render() or trace.root.outcome == "exhausted"

@@ -1,0 +1,134 @@
+"""Unit tests for the independent result validator."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.branch_and_bound import BranchAndBoundSolver, KTGResult
+from repro.core.dktg import DKTGGreedySolver
+from repro.core.query import DKTGQuery, KTGQuery
+from repro.core.results import Group
+from repro.core.validate import (
+    ResultValidationError,
+    validate_dktg_result,
+    validate_ktg_result,
+)
+
+
+def forged(result: KTGResult, groups) -> KTGResult:
+    return dataclasses.replace(result, groups=tuple(groups))
+
+
+@pytest.fixture
+def solved(figure1, figure1_q):
+    return BranchAndBoundSolver(figure1).solve(figure1_q)
+
+
+class TestValidKTGResults:
+    def test_solver_output_passes(self, figure1, solved):
+        validate_ktg_result(figure1, solved)
+
+    def test_empty_result_passes(self, figure1):
+        result = BranchAndBoundSolver(figure1).solve(
+            KTGQuery(keywords=("NOPE",), group_size=2)
+        )
+        validate_ktg_result(figure1, result)
+
+    def test_anchored_result_passes(self, figure1):
+        query = KTGQuery(
+            keywords=("SN", "GD"), group_size=2, tenuity=1, excluded_anchors=(0,)
+        )
+        result = BranchAndBoundSolver(figure1).solve(query)
+        validate_ktg_result(figure1, result)
+
+
+class TestForgedKTGResults:
+    def test_wrong_size_detected(self, figure1, solved):
+        bad = forged(solved, [Group.make([10, 1], 0.8)])
+        with pytest.raises(ResultValidationError, match="members"):
+            validate_ktg_result(figure1, bad)
+
+    def test_kline_detected(self, figure1, solved):
+        # u6 and u7 are adjacent: a 1-line at k=1.
+        bad = forged(solved, [Group.make([6, 7, 10], 0.8)])
+        with pytest.raises(ResultValidationError, match="-line"):
+            validate_ktg_result(figure1, bad)
+
+    def test_unqualified_member_detected(self, figure1, solved):
+        # u9 carries no query keyword; {u9, u1, u10} is tenuous at k=1.
+        bad = forged(solved, [Group.make([9, 1, 10], 0.6)])
+        with pytest.raises(ResultValidationError, match="covers no query keyword"):
+            validate_ktg_result(figure1, bad)
+
+    def test_wrong_coverage_detected(self, figure1, solved):
+        bad = forged(solved, [Group.make([10, 1, 4], 0.99)])
+        with pytest.raises(ResultValidationError, match="coverage"):
+            validate_ktg_result(figure1, bad)
+
+    def test_unknown_vertex_detected(self, figure1, solved):
+        bad = forged(solved, [Group.make([10, 1, 99], 0.8)])
+        with pytest.raises(ResultValidationError, match="unknown vertex"):
+            validate_ktg_result(figure1, bad)
+
+    def test_overfull_result_detected(self, figure1, solved):
+        groups = [
+            Group.make([10, 1, 4], 0.8),
+            Group.make([10, 1, 5], 0.8),
+            Group.make([0, 5, 6], 0.8),
+        ]
+        bad = forged(solved, groups)
+        with pytest.raises(ResultValidationError, match="asked for N=2"):
+            validate_ktg_result(figure1, bad)
+
+    def test_bad_ordering_detected(self, figure1):
+        query = KTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=3, tenuity=1, top_n=2
+        )
+        result = BranchAndBoundSolver(figure1).solve(query)
+        shuffled = forged(
+            result, [Group.make([10, 1, 4], 0.4), Group.make([10, 1, 5], 0.8)]
+        )
+        with pytest.raises(ResultValidationError, match="sorted"):
+            validate_ktg_result(figure1, shuffled)
+
+    def test_duplicate_groups_detected(self, figure1, solved):
+        bad = forged(solved, [Group.make([10, 1, 4], 0.8), Group.make([4, 1, 10], 0.8)])
+        with pytest.raises(ResultValidationError, match="duplicate"):
+            validate_ktg_result(figure1, bad)
+
+    def test_anchor_violation_detected(self, figure1):
+        query = KTGQuery(
+            keywords=("SN", "GD"), group_size=2, tenuity=1, excluded_anchors=(11,)
+        )
+        result = BranchAndBoundSolver(figure1).solve(query)
+        # u5 is adjacent to anchor u11; {u5, u4} covers GD only (0.5).
+        bad = forged(result, [Group.make([5, 4], 0.5)])
+        with pytest.raises(ResultValidationError, match="anchor"):
+            validate_ktg_result(figure1, bad)
+
+
+class TestDKTGValidation:
+    def test_greedy_output_passes(self, figure1):
+        query = DKTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=3, tenuity=1, top_n=2
+        )
+        result = DKTGGreedySolver(figure1).solve(query)
+        validate_dktg_result(figure1, result)
+
+    def test_wrong_diversity_detected(self, figure1):
+        query = DKTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=3, tenuity=1, top_n=2
+        )
+        result = DKTGGreedySolver(figure1).solve(query)
+        bad = dataclasses.replace(result, diversity=0.123)
+        with pytest.raises(ResultValidationError, match="diversity"):
+            validate_dktg_result(figure1, bad)
+
+    def test_wrong_score_detected(self, figure1):
+        query = DKTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=3, tenuity=1, top_n=2
+        )
+        result = DKTGGreedySolver(figure1).solve(query)
+        bad = dataclasses.replace(result, score=0.0001)
+        with pytest.raises(ResultValidationError, match="score"):
+            validate_dktg_result(figure1, bad)

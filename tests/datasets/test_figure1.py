@@ -1,0 +1,104 @@
+"""Unit tests for the curated example graphs (Figure 1 + case study)."""
+
+import pytest
+
+from repro.core.bruteforce import BruteForceSolver
+from repro.core.coverage import CoverageContext
+from repro.datasets.figure1 import (
+    CASE_STUDY_KEYWORDS,
+    case_study_graph,
+    case_study_query,
+    figure1_example,
+    figure1_query,
+)
+
+
+class TestFigure1DocumentedFacts:
+    """Every structural fact the paper's text states about Figure 1."""
+
+    def test_u0_one_hop_neighbours(self, figure1):
+        assert sorted(figure1.neighbors(0)) == [1, 2, 3, 4, 9, 11]
+
+    def test_u3_one_hop_neighbours(self, figure1):
+        assert sorted(figure1.neighbors(3)) == [0, 2, 4, 9]
+
+    def test_u3_u5_distance_is_three(self, figure1):
+        assert figure1.hop_distance(3, 5) == 3
+
+    def test_u8_two_hop_ball(self, figure1):
+        ball = {
+            v
+            for v in figure1.vertices()
+            if v != 8 and (d := figure1.hop_distance(8, v)) is not None and d <= 2
+        }
+        assert ball == {0, 3, 4, 6, 7}
+
+    def test_u6_u7_directly_connected(self, figure1):
+        assert figure1.has_edge(6, 7)
+
+    def test_running_query_optimum_is_08(self, figure1, figure1_q):
+        result = BruteForceSolver(figure1).solve(figure1_q)
+        assert result.best_coverage == pytest.approx(0.8)
+
+    def test_paper_reported_groups_are_optimal_and_feasible(self, figure1, figure1_q):
+        context = CoverageContext(figure1, figure1_q.keywords)
+        for members in [(10, 1, 4), (10, 1, 5)]:
+            assert context.group_coverage(members) == pytest.approx(0.8)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    assert figure1.hop_distance(u, v) > figure1_q.tenuity
+
+    def test_no_feasible_group_covers_everything(self, figure1, figure1_q):
+        # GQ is only on u6, and u6 conflicts (k=1) with every vertex
+        # that could supply QP, so full coverage is unreachable.
+        result = BruteForceSolver(figure1).solve(figure1_q.with_(top_n=50))
+        context = CoverageContext(figure1, figure1_q.keywords)
+        for group in result.groups:
+            assert context.union_mask(group.members) != context.full_mask
+
+    def test_factory_functions_fresh_instances(self):
+        assert figure1_example() is not figure1_example()
+        assert figure1_query() == figure1_query()
+
+
+class TestCaseStudyGraph:
+    def test_shape(self):
+        graph = case_study_graph()
+        assert graph.num_vertices == 29
+        assert len(set(graph.connected_components())) == 1
+
+    def test_senior_covers_everything(self):
+        graph = case_study_graph()
+        context = CoverageContext(graph, CASE_STUDY_KEYWORDS)
+        assert context.vertex_coverage(0) == 1.0
+
+    def test_outsiders_cover_nothing(self):
+        graph = case_study_graph()
+        context = CoverageContext(graph, CASE_STUDY_KEYWORDS)
+        for outsider in (13, 14, 15):
+            assert context.vertex_coverage(outsider) == 0.0
+
+    def test_outsiders_are_socially_distant(self):
+        graph = case_study_graph()
+        query = case_study_query()
+        for outsider in (13, 14, 15):
+            assert graph.hop_distance(0, outsider) > query.tenuity
+        assert graph.hop_distance(13, 14) > query.tenuity
+        assert graph.hop_distance(13, 15) > query.tenuity
+        assert graph.hop_distance(14, 15) > query.tenuity
+
+    def test_satellites_conflict_with_senior(self):
+        graph = case_study_graph()
+        query = case_study_query()
+        for satellite in (2, 3, 4, 16, 18, 20, 22):
+            assert graph.hop_distance(0, satellite) <= query.tenuity
+
+    def test_query_defaults(self):
+        query = case_study_query()
+        assert query.group_size == 3
+        assert query.tenuity == 2
+        assert query.top_n == 3
+        assert query.gamma == 0.5
+
+    def test_gamma_override(self):
+        assert case_study_query(gamma=0.2).gamma == 0.2

@@ -1,0 +1,96 @@
+"""Unit tests for dataset file I/O."""
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.io import read_edge_list, read_graph, read_keyword_table, write_graph
+
+
+class TestReadEdgeList:
+    def test_basic_parsing(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# comment\n0\t1\n1 2\n\n2,3\n")
+        assert read_edge_list(path) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_duplicates_and_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 0\n2 2\n")
+        assert read_edge_list(path) == [(0, 1)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 2\n")
+        with pytest.raises(DatasetError, match="expected 'u v'"):
+            read_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("a b\n")
+        with pytest.raises(DatasetError, match="non-integer"):
+            read_edge_list(path)
+
+    def test_negative_id_rejected(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("-1 2\n")
+        with pytest.raises(DatasetError, match="negative"):
+            read_edge_list(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="cannot read"):
+            read_edge_list(tmp_path / "nope.edges")
+
+
+class TestReadKeywordTable:
+    def test_basic_parsing(self, tmp_path):
+        path = tmp_path / "g.kw"
+        path.write_text("# header\n0\ta,b\n2\tc\n")
+        assert read_keyword_table(path) == {0: ["a", "b"], 2: ["c"]}
+
+    def test_space_separator_fallback(self, tmp_path):
+        path = tmp_path / "g.kw"
+        path.write_text("1 x,y\n")
+        assert read_keyword_table(path) == {1: ["x", "y"]}
+
+    def test_bad_vertex_rejected(self, tmp_path):
+        path = tmp_path / "g.kw"
+        path.write_text("abc\tx\n")
+        with pytest.raises(DatasetError, match="non-integer"):
+            read_keyword_table(path)
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_graph(self, figure1, tmp_path):
+        edges = tmp_path / "f.edges"
+        keywords = tmp_path / "f.kw"
+        write_graph(figure1, edges, keywords)
+        loaded, mapping = read_graph(edges, keywords)
+        assert loaded.num_vertices == figure1.num_vertices
+        assert sorted(loaded.edges()) == sorted(figure1.edges())
+        for vertex in figure1.vertices():
+            assert loaded.keyword_labels(mapping[vertex]) == figure1.keyword_labels(
+                vertex
+            )
+
+    def test_sparse_ids_compacted(self, tmp_path):
+        edges = tmp_path / "s.edges"
+        edges.write_text("10 20\n20 30\n")
+        graph, mapping = read_graph(edges)
+        assert graph.num_vertices == 3
+        assert mapping == {10: 0, 20: 1, 30: 2}
+        assert graph.has_edge(0, 1)
+
+    def test_keyword_only_vertices_included(self, tmp_path):
+        edges = tmp_path / "s.edges"
+        keywords = tmp_path / "s.kw"
+        edges.write_text("0 1\n")
+        keywords.write_text("5\tlonely\n")
+        graph, mapping = read_graph(edges, keywords)
+        assert graph.num_vertices == 3
+        assert graph.keyword_labels(mapping[5]) == ["lonely"]
+        assert graph.degree(mapping[5]) == 0
+
+    def test_write_without_keywords(self, figure1, tmp_path):
+        edges = tmp_path / "f.edges"
+        write_graph(figure1, edges)
+        graph, _ = read_graph(edges)
+        assert graph.num_edges == figure1.num_edges

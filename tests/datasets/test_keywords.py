@@ -1,0 +1,127 @@
+"""Unit tests for Zipfian keyword assignment."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.core.graph import AttributedGraph
+from repro.datasets.keywords import (
+    KeywordModel,
+    ZipfVocabulary,
+    assign_keywords,
+    default_vocabulary,
+)
+
+
+class TestDefaultVocabulary:
+    def test_labels_are_unique_and_sized(self):
+        labels = default_vocabulary(50)
+        assert len(labels) == 50
+        assert len(set(labels)) == 50
+
+    def test_zero_padding(self):
+        assert default_vocabulary(5)[0] == "kw000"
+
+    def test_invalid_size(self):
+        with pytest.raises(DatasetError):
+            default_vocabulary(0)
+
+
+class TestZipfVocabulary:
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            ZipfVocabulary([])
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(DatasetError):
+            ZipfVocabulary(["a"], exponent=-1)
+
+    def test_sampling_respects_rank_order(self):
+        vocabulary = ZipfVocabulary(default_vocabulary(20), exponent=1.2)
+        rng = random.Random(0)
+        counts = Counter(vocabulary.sample(rng) for _ in range(20000))
+        # Rank-1 keyword is sampled far more than a deep-tail keyword.
+        assert counts["kw000"] > 5 * counts.get("kw015", 1)
+
+    def test_uniform_at_zero_exponent(self):
+        vocabulary = ZipfVocabulary(["a", "b", "c", "d"], exponent=0.0)
+        rng = random.Random(1)
+        counts = Counter(vocabulary.sample(rng) for _ in range(8000))
+        for label in "abcd":
+            assert 0.8 * 2000 < counts[label] < 1.2 * 2000
+
+    def test_sample_distinct(self):
+        vocabulary = ZipfVocabulary(default_vocabulary(10), exponent=1.0)
+        picked = vocabulary.sample_distinct(10, random.Random(2))
+        assert sorted(picked) == default_vocabulary(10)
+
+    def test_sample_distinct_overdraw_rejected(self):
+        vocabulary = ZipfVocabulary(["a", "b"])
+        with pytest.raises(DatasetError):
+            vocabulary.sample_distinct(3, random.Random(0))
+
+    def test_frequency_of(self):
+        vocabulary = ZipfVocabulary(["a", "b"], exponent=1.0)
+        assert vocabulary.frequency_of("a") == pytest.approx(2 / 3)
+        assert vocabulary.frequency_of("b") == pytest.approx(1 / 3)
+        assert vocabulary.frequency_of("zz") == 0.0
+
+    def test_len(self):
+        assert len(ZipfVocabulary(["a", "b", "c"])) == 3
+
+
+class TestKeywordModel:
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(DatasetError):
+            KeywordModel(min_keywords=3, max_keywords=2)
+        with pytest.raises(DatasetError):
+            KeywordModel(vocabulary_size=3, max_keywords=5)
+
+    def test_build_vocabulary_default_labels(self):
+        vocabulary = KeywordModel(vocabulary_size=7).build_vocabulary()
+        assert len(vocabulary) == 7
+
+    def test_build_vocabulary_custom_labels(self):
+        vocabulary = KeywordModel(vocabulary_size=2, max_keywords=2).build_vocabulary(["x", "y"])
+        assert vocabulary.labels == ("x", "y")
+
+
+class TestAssignKeywords:
+    def test_every_vertex_in_range(self):
+        graph = AttributedGraph(50, [(i, i + 1) for i in range(49)])
+        model = KeywordModel(vocabulary_size=30, min_keywords=1, max_keywords=4)
+        assign_keywords(graph, model, rng=0)
+        for vertex in graph.vertices():
+            count = len(graph.keywords_of(vertex))
+            assert 1 <= count <= 4
+
+    def test_zero_keywords_allowed(self):
+        graph = AttributedGraph(30)
+        model = KeywordModel(vocabulary_size=10, min_keywords=0, max_keywords=0)
+        assign_keywords(graph, model, rng=0)
+        assert all(not graph.keywords_of(v) for v in graph.vertices())
+
+    def test_deterministic(self):
+        graphs = []
+        for _ in range(2):
+            graph = AttributedGraph(20)
+            assign_keywords(graph, KeywordModel(vocabulary_size=15), rng=9)
+            graphs.append([graph.keyword_labels(v) for v in graph.vertices()])
+        assert graphs[0] == graphs[1]
+
+    def test_returns_vocabulary(self):
+        graph = AttributedGraph(5)
+        vocabulary = assign_keywords(graph, KeywordModel(vocabulary_size=12), rng=1)
+        assert len(vocabulary) == 12
+
+    def test_shared_vocabulary_reused(self):
+        shared = ZipfVocabulary(["a", "b", "c", "d", "e"])
+        graph = AttributedGraph(5)
+        returned = assign_keywords(
+            graph, KeywordModel(vocabulary_size=5), rng=1, vocabulary=shared
+        )
+        assert returned is shared
+        for vertex in graph.vertices():
+            assert set(graph.keyword_labels(vertex)) <= set("abcde")

@@ -1,0 +1,82 @@
+"""Unit tests for the dataset profile registry."""
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.registry import PROFILES, load_dataset, profile_names
+
+
+class TestRegistryContents:
+    def test_all_paper_datasets_present(self):
+        assert set(profile_names()) == {
+            "dblp",
+            "gowalla",
+            "brightkite",
+            "flickr",
+            "twitter",
+            "dblp-large",
+        }
+
+    def test_paper_sizes_recorded(self):
+        assert PROFILES["dblp"].paper_vertices == 200_000
+        assert PROFILES["gowalla"].paper_edges == 559_200
+        assert PROFILES["twitter"].paper_vertices == 81_306
+
+    def test_relative_density_ordering_preserved(self):
+        # Twitter is the paper's densest graph, Brightkite the sparsest.
+        assert (
+            PROFILES["twitter"].edges_per_vertex
+            > PROFILES["gowalla"].edges_per_vertex
+            > PROFILES["brightkite"].edges_per_vertex
+        )
+
+    def test_paper_average_degree(self):
+        assert PROFILES["brightkite"].paper_average_degree == pytest.approx(
+            2 * 214_038 / 58_288
+        )
+
+
+class TestInstantiation:
+    def test_load_dataset_shapes(self):
+        graph, vocabulary = load_dataset("brightkite", scale=0.2)
+        assert graph.num_vertices == 280
+        assert graph.num_edges > 0
+        assert len(vocabulary) == 300
+
+    def test_unknown_name_rejected_with_listing(self):
+        with pytest.raises(DatasetError, match="available:"):
+            load_dataset("facebook")
+
+    def test_case_insensitive(self):
+        graph, _ = load_dataset("BRIGHTKITE", scale=0.1)
+        assert graph.num_vertices == 140
+
+    def test_deterministic_by_default(self):
+        a, _ = load_dataset("gowalla", scale=0.1)
+        b, _ = load_dataset("gowalla", scale=0.1)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert all(
+            a.keyword_labels(v) == b.keyword_labels(v) for v in a.vertices()
+        )
+
+    def test_seed_override_changes_graph(self):
+        a, _ = load_dataset("gowalla", scale=0.1)
+        b, _ = load_dataset("gowalla", scale=0.1, seed=999)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("dblp", scale=0)
+
+    def test_tiny_scale_clamped_to_generator_minimum(self):
+        graph, _ = load_dataset("twitter", scale=0.001)
+        assert graph.num_vertices >= PROFILES["twitter"].edges_per_vertex + 2
+
+    def test_every_vertex_has_keywords(self):
+        graph, _ = load_dataset("flickr", scale=0.1)
+        assert all(graph.keywords_of(v) for v in graph.vertices())
+
+    def test_denser_profile_is_denser(self):
+        twitter, _ = load_dataset("twitter", scale=0.25)
+        brightkite, _ = load_dataset("brightkite", scale=0.25)
+        assert twitter.average_degree() > 2 * brightkite.average_degree()

@@ -1,0 +1,128 @@
+"""Unit tests for the synthetic graph generators."""
+
+import random
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.synthetic import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestBarabasiAlbert:
+    def test_sizes(self):
+        graph = barabasi_albert_graph(100, 3, rng=0)
+        assert graph.num_vertices == 100
+        # Star start: 3 edges; each later vertex adds exactly 3.
+        assert graph.num_edges == 3 + 96 * 3
+
+    def test_deterministic(self):
+        a = barabasi_albert_graph(60, 2, rng=5)
+        b = barabasi_albert_graph(60, 2, rng=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = barabasi_albert_graph(60, 2, rng=1)
+        b = barabasi_albert_graph(60, 2, rng=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_connected(self):
+        graph = barabasi_albert_graph(80, 2, rng=3)
+        components = set(graph.connected_components())
+        assert len(components) == 1
+
+    def test_heavy_tail(self):
+        graph = barabasi_albert_graph(400, 2, rng=7)
+        degrees = sorted(graph.degrees(), reverse=True)
+        # The hub should dwarf the median degree.
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    @pytest.mark.parametrize("n,m", [(3, 3), (5, 0)])
+    def test_invalid_parameters(self, n, m):
+        with pytest.raises(DatasetError):
+            barabasi_albert_graph(n, m)
+
+
+class TestPowerlawCluster:
+    def test_sizes_and_connectivity(self):
+        graph = powerlaw_cluster_graph(120, 3, 0.5, rng=0)
+        assert graph.num_vertices == 120
+        assert len(set(graph.connected_components())) == 1
+        # Triad steps count toward the per-vertex budget, so the edge
+        # count matches plain preferential attachment: a 3-edge star,
+        # then 3 edges for each of the 116 remaining vertices.
+        assert graph.num_edges == 3 + 116 * 3
+
+    def test_triangles_increase_with_probability(self):
+        def triangle_count(graph):
+            adjacency = graph.adjacency_view()
+            count = 0
+            for u, v in graph.edges():
+                count += len(adjacency[u] & adjacency[v])
+            return count // 3
+
+        low = powerlaw_cluster_graph(250, 3, 0.0, rng=11)
+        high = powerlaw_cluster_graph(250, 3, 0.9, rng=11)
+        assert triangle_count(high) > triangle_count(low)
+
+    def test_deterministic(self):
+        a = powerlaw_cluster_graph(70, 2, 0.4, rng=9)
+        b = powerlaw_cluster_graph(70, 2, 0.4, rng=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_probability(self):
+        with pytest.raises(DatasetError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+
+class TestWattsStrogatz:
+    def test_ring_structure_at_zero_rewiring(self):
+        graph = watts_strogatz_graph(20, 4, 0.0, rng=0)
+        assert graph.num_edges == 20 * 2
+        assert all(degree == 4 for degree in graph.degrees())
+
+    def test_rewiring_preserves_edge_count(self):
+        graph = watts_strogatz_graph(40, 4, 0.3, rng=1)
+        assert graph.num_edges == 40 * 2
+
+    def test_full_rewiring_changes_ring(self):
+        ring = watts_strogatz_graph(30, 2, 0.0, rng=2)
+        rewired = watts_strogatz_graph(30, 2, 1.0, rng=2)
+        assert sorted(ring.edges()) != sorted(rewired.edges())
+
+    @pytest.mark.parametrize("n,k,beta", [(10, 3, 0.1), (10, 0, 0.1), (4, 4, 0.1), (10, 2, 2.0)])
+    def test_invalid_parameters(self, n, k, beta):
+        with pytest.raises(DatasetError):
+            watts_strogatz_graph(n, k, beta)
+
+
+class TestErdosRenyi:
+    def test_zero_probability(self):
+        assert erdos_renyi_graph(50, 0.0, rng=0).num_edges == 0
+
+    def test_full_probability(self):
+        graph = erdos_renyi_graph(10, 1.0, rng=0)
+        assert graph.num_edges == 45
+
+    def test_expected_density(self):
+        graph = erdos_renyi_graph(200, 0.05, rng=3)
+        expected = 0.05 * 200 * 199 / 2
+        assert expected * 0.7 < graph.num_edges < expected * 1.3
+
+    def test_deterministic(self):
+        a = erdos_renyi_graph(100, 0.04, rng=8)
+        b = erdos_renyi_graph(100, 0.04, rng=8)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_probability(self):
+        with pytest.raises(DatasetError):
+            erdos_renyi_graph(10, -0.1)
+
+    def test_accepts_random_instance(self):
+        rng = random.Random(4)
+        graph = erdos_renyi_graph(30, 0.1, rng=rng)
+        assert graph.num_vertices == 30

@@ -1,0 +1,75 @@
+"""Unit tests for the DistanceOracle base-class defaults."""
+
+import pytest
+
+from repro.core.graph import AttributedGraph
+from repro.index.base import DistanceOracle, OracleStats
+from repro.index.nlrnl import NLRNLIndex
+
+
+class MinimalOracle(DistanceOracle):
+    """Smallest possible oracle: exact answers via graph BFS."""
+
+    name = "minimal"
+
+    def is_tenuous(self, u, v, k):
+        self.check_k(k)
+        if u == v:
+            return False
+        distance = self.graph.hop_distance(u, v)
+        return distance is None or distance > k
+
+    def within_k(self, vertex, k):
+        return {
+            other
+            for other in self.graph.vertices()
+            if other != vertex and not self.is_tenuous(vertex, other, k)
+        }
+
+
+@pytest.fixture
+def oracle(path_graph):
+    return MinimalOracle(path_graph)
+
+
+class TestDefaults:
+    def test_default_filter_is_pairwise(self, oracle, path_graph):
+        filtered = oracle.filter_candidates(list(path_graph.vertices()), 2, 1)
+        assert filtered == [0, 4]
+
+    def test_default_updates_rebuild(self, oracle, path_graph):
+        assert not oracle.supports_incremental_updates()
+        oracle.insert_edge(0, 4)
+        assert not oracle.is_stale()
+        assert not oracle.is_tenuous(0, 4, 1)
+
+    def test_delete_edge_default(self, oracle, path_graph):
+        oracle.delete_edge(0, 1)
+        assert oracle.is_tenuous(0, 1, 10)
+
+    def test_check_k_rejects_negative(self, oracle):
+        with pytest.raises(ValueError):
+            oracle.check_k(-1)
+
+    def test_repr_mentions_entries(self, oracle):
+        assert "entries=0" in repr(oracle)
+
+
+class TestOracleStats:
+    def test_reset_usage_keeps_build_figures(self):
+        stats = OracleStats(entries=10, build_seconds=1.5, probes=7, expansions=3)
+        stats.reset_usage()
+        assert stats.probes == 0
+        assert stats.expansions == 0
+        assert stats.entries == 10
+        assert stats.build_seconds == 1.5
+
+
+class TestStaleness:
+    def test_built_index_not_stale(self, figure1):
+        assert not NLRNLIndex(figure1).is_stale()
+
+    def test_mutation_marks_stale(self, figure1):
+        index = NLRNLIndex(figure1)
+        figure1.set_keywords(0, ["changed"])
+        assert index.is_stale()

@@ -1,0 +1,124 @@
+"""Unit tests for the index-free BFS oracle."""
+
+import pytest
+
+from repro.core.graph import AttributedGraph
+from repro.index.bfs import BFSOracle
+
+
+def ground_truth_tenuous(graph, u, v, k):
+    if u == v:
+        return False
+    distance = graph.hop_distance(u, v)
+    return distance is None or distance > k
+
+
+class TestProbes:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4])
+    def test_matches_ground_truth(self, figure1, k):
+        oracle = BFSOracle(figure1)
+        for u in figure1.vertices():
+            for v in figure1.vertices():
+                assert oracle.is_tenuous(u, v, k) == ground_truth_tenuous(
+                    figure1, u, v, k
+                ), (u, v, k)
+
+    def test_self_never_tenuous(self, figure1):
+        oracle = BFSOracle(figure1)
+        assert not oracle.is_tenuous(3, 3, 5)
+
+    def test_unreachable_always_tenuous(self, disconnected_graph):
+        oracle = BFSOracle(disconnected_graph)
+        assert oracle.is_tenuous(0, 5, 100)
+
+    def test_negative_k_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            BFSOracle(figure1).is_tenuous(0, 1, -1)
+
+    def test_probe_counter(self, figure1):
+        oracle = BFSOracle(figure1)
+        oracle.is_tenuous(0, 1, 2)
+        oracle.is_tenuous(0, 2, 2)
+        assert oracle.stats.probes == 2
+
+
+class TestWithinK:
+    def test_within_zero_is_empty(self, figure1):
+        assert BFSOracle(figure1).within_k(0, 0) == set()
+
+    def test_within_k_matches_bfs(self, figure1):
+        oracle = BFSOracle(figure1)
+        for vertex in figure1.vertices():
+            for k in (1, 2, 3):
+                expected = {
+                    other
+                    for other, distance in figure1.bfs_distances(vertex, k).items()
+                    if other != vertex
+                }
+                assert oracle.within_k(vertex, k) == expected
+
+    def test_figure1_documented_ball(self, figure1):
+        assert BFSOracle(figure1).within_k(8, 2) == {0, 3, 4, 6, 7}
+
+
+class TestFilterCandidates:
+    def test_matches_pairwise(self, figure1):
+        oracle = BFSOracle(figure1)
+        candidates = list(figure1.vertices())
+        for member in (0, 8, 10):
+            for k in (1, 2):
+                filtered = oracle.filter_candidates(candidates, member, k)
+                expected = [
+                    v
+                    for v in candidates
+                    if v != member and ground_truth_tenuous(figure1, v, member, k)
+                ]
+                assert filtered == expected
+
+    def test_k_zero_only_removes_member(self, figure1):
+        oracle = BFSOracle(figure1)
+        filtered = oracle.filter_candidates([0, 1, 2], 1, 0)
+        assert filtered == [0, 2]
+
+
+class TestCaching:
+    def test_cache_disabled(self, figure1):
+        oracle = BFSOracle(figure1, cache_size=0)
+        assert oracle.is_tenuous(3, 5, 2)  # dist(u3, u5) = 3
+        assert oracle._cache == {}
+
+    def test_cache_bounded(self, figure1):
+        oracle = BFSOracle(figure1, cache_size=2)
+        for vertex in (0, 1, 2, 3):
+            oracle.within_k(vertex, 1)
+        assert len(oracle._cache) <= 2
+
+    def test_negative_cache_size_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            BFSOracle(figure1, cache_size=-1)
+
+    def test_cached_answers_stay_correct(self, figure1):
+        oracle = BFSOracle(figure1)
+        first = oracle.is_tenuous(3, 5, 3)
+        second = oracle.is_tenuous(3, 5, 3)
+        assert first == second == (figure1.hop_distance(3, 5) > 3)
+
+
+class TestUpdates:
+    def test_insert_edge_refreshes(self, path_graph):
+        oracle = BFSOracle(path_graph)
+        assert oracle.is_tenuous(0, 4, 2)
+        oracle.insert_edge(0, 4)
+        assert not oracle.is_tenuous(0, 4, 2)
+        assert not oracle.is_stale()
+
+    def test_delete_edge_refreshes(self, path_graph):
+        oracle = BFSOracle(path_graph)
+        assert not oracle.is_tenuous(0, 2, 2)
+        oracle.delete_edge(1, 2)
+        assert oracle.is_tenuous(0, 2, 2)
+
+    def test_staleness_detection(self, path_graph):
+        oracle = BFSOracle(path_graph)
+        path_graph.add_edge(0, 2)
+        assert oracle.is_stale()

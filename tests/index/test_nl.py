@@ -1,0 +1,137 @@
+"""Unit tests for the NL index (h-hop neighbour lists)."""
+
+import pytest
+
+from repro.core.errors import IndexBuildError
+from repro.core.graph import AttributedGraph
+from repro.index.bfs import BFSOracle
+from repro.index.nl import NLIndex, choose_peak_level
+
+
+class TestChoosePeakLevel:
+    def test_picks_maximum(self):
+        assert choose_peak_level([3, 10, 5]) == 2
+
+    def test_tie_prefers_smaller_level(self):
+        assert choose_peak_level([5, 5, 2]) == 1
+
+    def test_empty_profile(self):
+        assert choose_peak_level([]) == 1
+
+
+class TestConstruction:
+    def test_invalid_depth_rejected(self, figure1):
+        with pytest.raises(IndexBuildError):
+            NLIndex(figure1, depth=0)
+        with pytest.raises(IndexBuildError):
+            NLIndex(figure1, depth="deep")
+
+    def test_explicit_depth_stored(self, figure1):
+        index = NLIndex(figure1, depth=2)
+        assert index.depth == 2
+        assert index.stats.extra["depth"] == 2
+
+    def test_auto_depth_positive(self, figure1):
+        index = NLIndex(figure1)
+        assert index.depth >= 1
+
+    def test_levels_are_exact_distance_classes(self, figure1):
+        index = NLIndex(figure1, depth=3)
+        for vertex in figure1.vertices():
+            for depth, level in enumerate(index.level_sets(vertex), start=1):
+                for other in level:
+                    assert figure1.hop_distance(vertex, other) == depth
+
+    def test_entry_count_matches_levels(self, figure1):
+        index = NLIndex(figure1, depth=2)
+        total = sum(
+            len(level) for v in figure1.vertices() for level in index.level_sets(v)
+        )
+        assert index.stats.entries == total
+
+    def test_build_time_recorded(self, figure1):
+        assert NLIndex(figure1).stats.build_seconds > 0
+
+
+class TestProbes:
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4, 5])
+    def test_matches_bfs_ground_truth(self, figure1, depth, k):
+        index = NLIndex(figure1, depth=depth)
+        reference = BFSOracle(figure1)
+        for u in figure1.vertices():
+            for v in figure1.vertices():
+                assert index.is_tenuous(u, v, k) == reference.is_tenuous(u, v, k), (
+                    u,
+                    v,
+                    k,
+                    depth,
+                )
+
+    def test_deep_probe_requires_expansion(self):
+        graph = AttributedGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        index = NLIndex(graph, depth=1)
+        assert index.is_tenuous(0, 4, 3)  # dist 4 > 3
+        assert index.stats.expansions > 0
+
+    def test_expansions_are_cached(self):
+        graph = AttributedGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        index = NLIndex(graph, depth=1)
+        index.is_tenuous(0, 4, 3)
+        count = index.stats.expansions
+        # Re-probing the same pair reuses vertex 4's expanded levels.
+        index.is_tenuous(0, 4, 3)
+        assert index.stats.expansions == count
+
+    def test_no_expansion_when_depth_covers_k(self, figure1):
+        index = NLIndex(figure1, depth=4)
+        for u in figure1.vertices():
+            for v in figure1.vertices():
+                index.is_tenuous(u, v, 3)
+        assert index.stats.expansions == 0
+
+    def test_exhausted_component_short_circuits(self, disconnected_graph):
+        index = NLIndex(disconnected_graph, depth=1)
+        # Component of 0 has diameter 1; probing k=5 must not expand
+        # beyond the exhausted frontier.
+        assert index.is_tenuous(0, 3, 5)
+        assert index.is_tenuous(0, 5, 5)
+
+
+class TestWithinKAndFilter:
+    def test_within_k_matches_bfs(self, figure1):
+        index = NLIndex(figure1, depth=1)
+        reference = BFSOracle(figure1)
+        for vertex in figure1.vertices():
+            for k in (1, 2, 3):
+                assert index.within_k(vertex, k) == reference.within_k(vertex, k)
+
+    def test_filter_candidates_matches_bfs(self, figure1):
+        index = NLIndex(figure1, depth=2)
+        reference = BFSOracle(figure1)
+        candidates = list(figure1.vertices())
+        for member in (0, 4, 8):
+            for k in (1, 2, 3):
+                assert index.filter_candidates(candidates, member, k) == (
+                    reference.filter_candidates(candidates, member, k)
+                )
+
+    def test_figure1_documented_ball(self, figure1):
+        assert NLIndex(figure1, depth=1).within_k(8, 2) == {0, 3, 4, 6, 7}
+
+
+class TestRebuild:
+    def test_rebuild_after_mutation(self, path_graph):
+        index = NLIndex(path_graph, depth=2)
+        assert index.is_tenuous(0, 4, 3)
+        path_graph.add_edge(0, 4)
+        assert index.is_stale()
+        index.rebuild()
+        assert not index.is_tenuous(0, 4, 3)
+        assert not index.is_stale()
+
+    def test_insert_edge_helper_rebuilds(self, path_graph):
+        index = NLIndex(path_graph, depth=2)
+        index.insert_edge(0, 3)
+        assert not index.is_tenuous(0, 3, 1)
+        assert not index.supports_incremental_updates()

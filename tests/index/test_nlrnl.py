@@ -1,0 +1,140 @@
+"""Unit tests for the NLRNL index."""
+
+import pytest
+
+from repro.core.graph import AttributedGraph
+from repro.index.bfs import BFSOracle
+from repro.index.nlrnl import NLRNLIndex
+
+
+class TestConstruction:
+    def test_c_values_are_peak_levels(self, figure1):
+        index = NLRNLIndex(figure1)
+        for vertex in figure1.vertices():
+            levels = {}
+            for other in figure1.vertices():
+                if other == vertex:
+                    continue
+                distance = figure1.hop_distance(vertex, other)
+                if distance is not None:
+                    levels[distance] = levels.get(distance, 0) + 1
+            if levels:
+                peak = max(levels.values())
+                assert levels[index.c_value(vertex)] == peak
+
+    def test_id_halving(self, figure1):
+        index = NLRNLIndex(figure1)
+        for vertex in figure1.vertices():
+            assert all(other > vertex for other in index._depth_of[vertex])
+
+    def test_level_c_is_skipped(self, figure1):
+        index = NLRNLIndex(figure1)
+        for vertex in figure1.vertices():
+            c = index.c_value(vertex)
+            assert all(depth != c for depth in index._depth_of[vertex].values())
+
+    def test_entries_counted(self, figure1):
+        index = NLRNLIndex(figure1)
+        assert index.stats.entries == sum(
+            len(vertex_map) for vertex_map in index._depth_of
+        )
+
+    def test_smaller_than_unhalved_full_storage(self, figure1):
+        # The map stores at most half the (ordered) pair universe.
+        index = NLRNLIndex(figure1)
+        pairs = figure1.num_vertices * (figure1.num_vertices - 1) // 2
+        assert index.stats.entries <= pairs
+
+
+class TestProbes:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4, 5])
+    def test_matches_bfs_ground_truth(self, figure1, k):
+        index = NLRNLIndex(figure1)
+        reference = BFSOracle(figure1)
+        for u in figure1.vertices():
+            for v in figure1.vertices():
+                assert index.is_tenuous(u, v, k) == reference.is_tenuous(u, v, k), (
+                    u,
+                    v,
+                    k,
+                )
+
+    def test_symmetry(self, figure1):
+        index = NLRNLIndex(figure1)
+        for u in figure1.vertices():
+            for v in figure1.vertices():
+                assert index.is_tenuous(u, v, 2) == index.is_tenuous(v, u, 2)
+
+    def test_disconnected_pairs(self, disconnected_graph):
+        index = NLRNLIndex(disconnected_graph)
+        assert index.is_tenuous(0, 5, 100)
+        assert index.is_tenuous(0, 3, 100)
+        assert not index.is_tenuous(0, 1, 1)
+
+    def test_missing_pair_is_distance_c(self, figure1):
+        # For every same-component pair absent from the map, the true
+        # distance must equal the smaller vertex's c value.
+        index = NLRNLIndex(figure1)
+        for u in figure1.vertices():
+            for v in figure1.vertices():
+                if v <= u or v in index._depth_of[u]:
+                    continue
+                assert figure1.hop_distance(u, v) == index.c_value(u)
+
+    def test_distance_class_matches_bfs(self, figure1, disconnected_graph):
+        for graph in (figure1, disconnected_graph):
+            index = NLRNLIndex(graph)
+            for u in graph.vertices():
+                for v in graph.vertices():
+                    expected = graph.hop_distance(u, v)
+                    decoded = index.distance_class(u, v)
+                    if expected is None:
+                        assert decoded == float("inf")
+                    else:
+                        assert decoded == expected
+
+    def test_paper_probe_example(self, figure1):
+        # Checking dist(u3, u5) > 3: the paper's NLRNL walkthrough
+        # concludes "not greater than 3" (the distance is exactly 3).
+        index = NLRNLIndex(figure1)
+        assert not index.is_tenuous(3, 5, 3)
+        assert index.is_tenuous(3, 5, 2)
+
+
+class TestFilterCandidates:
+    def test_matches_bfs(self, figure1):
+        index = NLRNLIndex(figure1)
+        reference = BFSOracle(figure1)
+        candidates = list(figure1.vertices())
+        for member in figure1.vertices():
+            for k in (0, 1, 2, 3):
+                assert index.filter_candidates(candidates, member, k) == (
+                    reference.filter_candidates(candidates, member, k)
+                ), (member, k)
+
+    def test_within_k_matches_bfs(self, figure1):
+        index = NLRNLIndex(figure1)
+        reference = BFSOracle(figure1)
+        for vertex in figure1.vertices():
+            assert index.within_k(vertex, 2) == reference.within_k(vertex, 2)
+
+
+class TestSingletons:
+    def test_single_vertex_graph(self):
+        graph = AttributedGraph(1)
+        index = NLRNLIndex(graph)
+        assert index.stats.entries == 0
+        assert not index.is_tenuous(0, 0, 1)
+
+    def test_empty_graph(self):
+        index = NLRNLIndex(AttributedGraph(0))
+        assert index.stats.entries == 0
+
+    def test_star_graph(self):
+        graph = AttributedGraph(5, [(0, i) for i in range(1, 5)])
+        index = NLRNLIndex(graph)
+        reference = BFSOracle(graph)
+        for u in graph.vertices():
+            for v in graph.vertices():
+                for k in (0, 1, 2, 3):
+                    assert index.is_tenuous(u, v, k) == reference.is_tenuous(u, v, k)

@@ -1,0 +1,119 @@
+"""Unit tests for the pruned-landmark-labeling (2-hop) index."""
+
+import pytest
+
+from repro.core.graph import AttributedGraph
+from repro.index.bfs import BFSOracle
+from repro.index.pll import PLLIndex
+from tests.conftest import make_random_attributed_graph
+
+
+class TestQueryDistance:
+    def test_path_distances(self, path_graph):
+        pll = PLLIndex(path_graph)
+        for u in path_graph.vertices():
+            for v in path_graph.vertices():
+                assert pll.query_distance(u, v) == abs(u - v)
+
+    def test_unreachable_is_inf(self, disconnected_graph):
+        pll = PLLIndex(disconnected_graph)
+        assert pll.query_distance(0, 5) == float("inf")
+        assert pll.query_distance(0, 3) == float("inf")
+
+    def test_self_distance_zero(self, figure1):
+        pll = PLLIndex(figure1)
+        for v in figure1.vertices():
+            assert pll.query_distance(v, v) == 0
+
+    def test_matches_bfs_on_figure1(self, figure1):
+        pll = PLLIndex(figure1)
+        for u in figure1.vertices():
+            for v in figure1.vertices():
+                expected = figure1.hop_distance(u, v)
+                decoded = pll.query_distance(u, v)
+                assert decoded == (float("inf") if expected is None else expected)
+
+    def test_matches_bfs_on_random_graph(self):
+        graph = make_random_attributed_graph(num_vertices=50, seed=3)
+        pll = PLLIndex(graph)
+        for u in range(0, 50, 3):
+            for v in range(0, 50, 7):
+                expected = graph.hop_distance(u, v)
+                decoded = pll.query_distance(u, v)
+                assert decoded == (float("inf") if expected is None else expected)
+
+
+class TestProbes:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4])
+    def test_is_tenuous_matches_bfs(self, figure1, k):
+        pll = PLLIndex(figure1)
+        reference = BFSOracle(figure1)
+        for u in figure1.vertices():
+            for v in figure1.vertices():
+                assert pll.is_tenuous(u, v, k) == reference.is_tenuous(u, v, k)
+
+    def test_filter_candidates_matches_bfs(self, figure1):
+        pll = PLLIndex(figure1)
+        reference = BFSOracle(figure1)
+        candidates = list(figure1.vertices())
+        for member in figure1.vertices():
+            for k in (0, 1, 2, 3):
+                assert pll.filter_candidates(candidates, member, k) == (
+                    reference.filter_candidates(candidates, member, k)
+                )
+
+    def test_within_k_matches_bfs(self, figure1):
+        pll = PLLIndex(figure1)
+        reference = BFSOracle(figure1)
+        for vertex in figure1.vertices():
+            assert pll.within_k(vertex, 2) == reference.within_k(vertex, 2)
+
+
+class TestLabelStructure:
+    def test_pruning_keeps_labels_small(self):
+        graph = make_random_attributed_graph(num_vertices=80, seed=5)
+        pll = PLLIndex(graph)
+        # Without pruning every label would hold ~n entries; pruned
+        # labels on a social-ish graph are far smaller.
+        assert pll.average_label_size() < graph.num_vertices / 3
+
+    def test_entries_counted(self, figure1):
+        pll = PLLIndex(figure1)
+        assert pll.stats.entries == sum(
+            len(pll.label_of(v)) for v in figure1.vertices()
+        )
+
+    def test_hub_is_first_landmark(self, figure1):
+        pll = PLLIndex(figure1)
+        hub = max(figure1.vertices(), key=figure1.degree)
+        assert pll._order[0] == hub
+        # Every vertex in the hub's component has the hub in its label.
+        component = figure1.connected_components()
+        for vertex in figure1.vertices():
+            if component[vertex] == component[hub]:
+                assert hub in pll.label_of(vertex)
+
+    def test_labels_certify_exact_distances(self, figure1):
+        pll = PLLIndex(figure1)
+        for vertex in figure1.vertices():
+            for landmark, distance in pll.label_of(vertex).items():
+                assert figure1.hop_distance(vertex, landmark) == distance
+
+    def test_empty_and_singleton_graphs(self):
+        assert PLLIndex(AttributedGraph(0)).stats.entries == 0
+        single = PLLIndex(AttributedGraph(1))
+        assert not single.is_tenuous(0, 0, 3)
+
+
+class TestRebuild:
+    def test_rebuild_after_mutation(self, path_graph):
+        pll = PLLIndex(path_graph)
+        assert pll.is_tenuous(0, 4, 3)
+        pll.insert_edge(0, 4)
+        assert not pll.is_tenuous(0, 4, 3)
+        assert not pll.is_stale()
+
+    def test_delete_edge(self, path_graph):
+        pll = PLLIndex(path_graph)
+        pll.delete_edge(2, 3)
+        assert pll.query_distance(0, 4) == float("inf")

@@ -1,0 +1,133 @@
+"""Unit tests for index persistence (save/load round trips)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import IndexBuildError
+from repro.index.bfs import BFSOracle
+from repro.index.nl import NLIndex
+from repro.index.nlrnl import NLRNLIndex
+from repro.index.pll import PLLIndex
+from repro.index.serialize import graph_fingerprint, load_index, save_index
+from tests.conftest import make_random_attributed_graph
+
+
+@pytest.fixture
+def graph():
+    return make_random_attributed_graph(num_vertices=30, seed=4)
+
+
+def assert_probe_equivalent(a, b, graph):
+    for u in graph.vertices():
+        for v in graph.vertices():
+            for k in (0, 1, 2, 3, 4):
+                assert a.is_tenuous(u, v, k) == b.is_tenuous(u, v, k), (u, v, k)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("index_cls", [NLRNLIndex, PLLIndex])
+    def test_probe_equivalence(self, graph, tmp_path, index_cls):
+        original = index_cls(graph)
+        path = tmp_path / "index.json"
+        save_index(original, path)
+        loaded = load_index(graph, path)
+        assert type(loaded) is index_cls
+        assert loaded.stats.entries == original.stats.entries
+        assert_probe_equivalent(original, loaded, graph)
+
+    def test_nl_round_trip(self, graph, tmp_path):
+        original = NLIndex(graph, depth=2)
+        path = tmp_path / "index.json"
+        save_index(original, path)
+        loaded = load_index(graph, path)
+        assert loaded.depth == 2
+        assert_probe_equivalent(original, loaded, graph)
+
+    def test_loaded_nlrnl_still_updates(self, graph, tmp_path):
+        original = NLRNLIndex(graph)
+        path = tmp_path / "index.json"
+        save_index(original, path)
+        loaded = load_index(graph, path)
+        non_edge = next(
+            (u, v)
+            for u in graph.vertices()
+            for v in graph.vertices()
+            if u < v and not graph.has_edge(u, v)
+        )
+        loaded.insert_edge(*non_edge)
+        assert not loaded.is_tenuous(*non_edge, 1)
+        graph.remove_edge(*non_edge)  # restore for other assertions
+
+
+class TestFailureModes:
+    def test_bfs_oracle_not_serialisable(self, graph, tmp_path):
+        with pytest.raises(IndexBuildError, match="no serialisable state"):
+            save_index(BFSOracle(graph), tmp_path / "x.json")
+
+    def test_stale_index_rejected(self, graph, tmp_path):
+        index = NLRNLIndex(graph)
+        graph.add_edge(
+            *next(
+                (u, v)
+                for u in graph.vertices()
+                for v in graph.vertices()
+                if u < v and not graph.has_edge(u, v)
+            )
+        )
+        with pytest.raises(IndexBuildError, match="stale"):
+            save_index(index, tmp_path / "x.json")
+
+    def test_fingerprint_mismatch_rejected(self, graph, tmp_path):
+        index = NLRNLIndex(graph)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        other = make_random_attributed_graph(num_vertices=30, seed=99)
+        with pytest.raises(IndexBuildError, match="mismatch"):
+            load_index(other, path)
+
+    def test_bad_format_version_rejected(self, graph, tmp_path):
+        index = NLRNLIndex(graph)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        document = json.loads(path.read_text())
+        document["format"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(IndexBuildError, match="format"):
+            load_index(graph, path)
+
+    def test_unknown_kind_rejected(self, graph, tmp_path):
+        index = NLRNLIndex(graph)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        document = json.loads(path.read_text())
+        document["kind"] = "btree"
+        path.write_text(json.dumps(document))
+        with pytest.raises(IndexBuildError, match="unknown"):
+            load_index(graph, path)
+
+    def test_corrupt_file_rejected(self, graph, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text("{not json")
+        with pytest.raises(IndexBuildError, match="cannot load"):
+            load_index(graph, path)
+
+    def test_missing_file_rejected(self, graph, tmp_path):
+        with pytest.raises(IndexBuildError, match="cannot load"):
+            load_index(graph, tmp_path / "missing.json")
+
+
+class TestFingerprint:
+    def test_stable(self, graph):
+        assert graph_fingerprint(graph) == graph_fingerprint(graph)
+
+    def test_changes_with_edges(self, graph):
+        before = graph_fingerprint(graph)
+        non_edge = next(
+            (u, v)
+            for u in graph.vertices()
+            for v in graph.vertices()
+            if u < v and not graph.has_edge(u, v)
+        )
+        graph.add_edge(*non_edge)
+        assert graph_fingerprint(graph) != before

@@ -1,0 +1,127 @@
+"""Unit tests for dynamic NLRNL maintenance (edge insert/delete)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import IndexUpdateError
+from repro.core.graph import AttributedGraph
+from repro.index.bfs import BFSOracle
+from repro.index.nlrnl import NLRNLIndex
+from tests.conftest import make_random_attributed_graph
+
+
+def assert_index_consistent(index: NLRNLIndex):
+    """The updated index must answer every probe like fresh BFS."""
+    graph = index.graph
+    reference = BFSOracle(graph)
+    for u in graph.vertices():
+        for v in graph.vertices():
+            for k in (0, 1, 2, 3, 4):
+                assert index.is_tenuous(u, v, k) == reference.is_tenuous(u, v, k), (
+                    u,
+                    v,
+                    k,
+                )
+
+
+class TestInsert:
+    def test_shortcut_edge(self, path_graph):
+        index = NLRNLIndex(path_graph)
+        index.insert_edge(0, 4)
+        assert not index.is_tenuous(0, 4, 1)
+        assert_index_consistent(index)
+
+    def test_component_merge(self, disconnected_graph):
+        index = NLRNLIndex(disconnected_graph)
+        assert index.is_tenuous(0, 3, 10)
+        index.insert_edge(2, 3)
+        assert not index.is_tenuous(0, 3, 2)
+        assert_index_consistent(index)
+
+    def test_attach_isolated_vertex(self, disconnected_graph):
+        index = NLRNLIndex(disconnected_graph)
+        index.insert_edge(5, 0)
+        assert not index.is_tenuous(5, 1, 2)
+        assert_index_consistent(index)
+
+    def test_no_change_edge(self, figure1):
+        # Inserting an edge between vertices at distance 2 changes only
+        # that pair (|old diff| <= 1 elsewhere stays untouched).
+        index = NLRNLIndex(figure1)
+        index.insert_edge(1, 3)  # dist was 2 via u0/u2
+        assert_index_consistent(index)
+
+    def test_version_tracking(self, path_graph):
+        index = NLRNLIndex(path_graph)
+        index.insert_edge(0, 2)
+        assert not index.is_stale()
+
+
+class TestDelete:
+    def test_path_break(self, path_graph):
+        index = NLRNLIndex(path_graph)
+        index.delete_edge(2, 3)
+        assert index.is_tenuous(0, 4, 100)
+        assert_index_consistent(index)
+
+    def test_redundant_edge(self, figure1):
+        index = NLRNLIndex(figure1)
+        index.delete_edge(1, 2)  # 1 and 2 remain connected via u0
+        assert not index.is_tenuous(1, 2, 2)
+        assert_index_consistent(index)
+
+    def test_missing_edge_rejected(self, path_graph):
+        index = NLRNLIndex(path_graph)
+        with pytest.raises(IndexUpdateError):
+            index.delete_edge(0, 4)
+
+    def test_component_split(self, disconnected_graph):
+        index = NLRNLIndex(disconnected_graph)
+        index.delete_edge(3, 4)
+        assert index.is_tenuous(3, 4, 100)
+        assert_index_consistent(index)
+
+
+class TestRandomisedSequences:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mixed_update_sequence_stays_consistent(self, seed):
+        graph = make_random_attributed_graph(num_vertices=24, seed=seed)
+        index = NLRNLIndex(graph)
+        rng = random.Random(seed)
+        for _ in range(12):
+            u = rng.randrange(graph.num_vertices)
+            v = rng.randrange(graph.num_vertices)
+            if u == v:
+                continue
+            if graph.has_edge(u, v):
+                index.delete_edge(u, v)
+            else:
+                index.insert_edge(u, v)
+        assert_index_consistent(index)
+
+    def test_updates_match_full_rebuild(self):
+        graph = make_random_attributed_graph(num_vertices=20, seed=5)
+        index = NLRNLIndex(graph)
+        index.insert_edge(0, graph.num_vertices - 1)
+        index.delete_edge(0, graph.num_vertices - 1)
+        rebuilt = NLRNLIndex(graph)
+        for u in graph.vertices():
+            for v in graph.vertices():
+                assert index.distance_class(u, v) == rebuilt.distance_class(u, v)
+
+    def test_entry_count_stays_accurate(self):
+        graph = make_random_attributed_graph(num_vertices=20, seed=9)
+        index = NLRNLIndex(graph)
+        non_edge = next(
+            (u, v)
+            for u in graph.vertices()
+            for v in graph.vertices()
+            if u < v and not graph.has_edge(u, v)
+        )
+        index.insert_edge(*non_edge)
+        expected = sum(len(vertex_map) for vertex_map in index._depth_of)
+        assert index.stats.entries == expected
+
+    def test_supports_incremental_updates_flag(self, path_graph):
+        assert NLRNLIndex(path_graph).supports_incremental_updates()

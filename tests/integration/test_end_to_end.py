@@ -1,0 +1,106 @@
+"""End-to-end integration tests: datasets -> workloads -> solvers -> analysis."""
+
+import pytest
+
+from repro.analysis.metrics import assess_result, verify_tenuity
+from repro.analysis.tables import render_series
+from repro.core.dktg import DKTGGreedySolver
+from repro.datasets.io import read_graph, write_graph
+from repro.datasets.registry import load_dataset
+from repro.index.nlrnl import NLRNLIndex
+from repro.index.stats import measure_footprint
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.runner import ALGORITHMS, ExperimentRunner
+from repro.workloads.sweep import run_parameter_sweep
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("gowalla", scale=0.15)
+
+
+class TestFullPipeline:
+    def test_all_algorithms_complete_a_workload(self, dataset):
+        graph, vocabulary = dataset
+        generator = WorkloadGenerator(graph, vocabulary, dataset_name="gowalla")
+        workload = generator.generate(count=3, keyword_size=4, group_size=3, tenuity=2, seed=0)
+        runner = ExperimentRunner(graph, "gowalla")
+        oracle = NLRNLIndex(graph)
+        for name in ALGORITHMS:
+            results = []
+            report = runner.run(name, workload, result_hook=results.append)
+            assert report.query_count == 3
+            for query, result in zip(workload, results):
+                assert verify_tenuity(oracle, result.groups, query.tenuity)
+
+    def test_exact_algorithms_agree_on_workload(self, dataset):
+        graph, vocabulary = dataset
+        generator = WorkloadGenerator(graph, vocabulary, dataset_name="gowalla")
+        workload = generator.generate(count=3, keyword_size=4, group_size=3, tenuity=2, seed=1)
+        runner = ExperimentRunner(graph, "gowalla")
+        per_algorithm = {}
+        for name in ("KTG-QKC-NLRNL", "KTG-VKC-NL", "KTG-VKC-NLRNL", "KTG-VKC-DEG-NLRNL"):
+            collected = []
+            runner.run(name, workload, result_hook=collected.append)
+            per_algorithm[name] = [
+                [round(group.coverage, 9) for group in result.groups]
+                for result in collected
+            ]
+        baseline = per_algorithm.pop("KTG-QKC-NLRNL")
+        for name, profiles in per_algorithm.items():
+            assert profiles == baseline, name
+
+    def test_dktg_beats_ktg_on_diversity(self, dataset):
+        graph, vocabulary = dataset
+        generator = WorkloadGenerator(graph, vocabulary)
+        workload = generator.generate(count=3, keyword_size=5, group_size=3, tenuity=1, top_n=3, seed=4)
+        runner = ExperimentRunner(graph)
+        ktg_results, dktg_results = [], []
+        runner.run("KTG-VKC-DEG-NLRNL", workload, result_hook=ktg_results.append)
+        runner.run("DKTG-GREEDY", workload, result_hook=dktg_results.append)
+        for query, ktg, dktg in zip(workload, ktg_results, dktg_results):
+            ktg_quality = assess_result(graph, query.keywords, ktg.groups)
+            dktg_quality = assess_result(graph, query.keywords, dktg.groups)
+            assert dktg_quality.diversity >= ktg_quality.diversity
+
+    def test_sweep_to_rendered_figure(self, dataset):
+        graph, vocabulary = dataset
+        result = run_parameter_sweep(
+            graph,
+            "group_size",
+            vocabulary=vocabulary,
+            dataset_name="gowalla",
+            values=[3, 4],
+            algorithms=["KTG-VKC-NLRNL", "KTG-VKC-DEG-NLRNL"],
+            queries_per_setting=2,
+        )
+        series = {name: result.series(name) for name in result.algorithms()}
+        text = render_series(series, x_label="group_size")
+        assert "KTG-VKC-NLRNL" in text
+        assert "3" in text and "4" in text
+
+    def test_round_trip_dataset_still_solvable(self, dataset, tmp_path):
+        graph, vocabulary = dataset
+        write_graph(graph, tmp_path / "g.edges", tmp_path / "g.kw")
+        loaded, _ = read_graph(tmp_path / "g.edges", tmp_path / "g.kw")
+        generator = WorkloadGenerator(loaded, dataset_name="reloaded")
+        workload = generator.generate(count=2, keyword_size=3, group_size=2, seed=2)
+        report = ExperimentRunner(loaded).run("KTG-VKC-DEG-NLRNL", workload)
+        assert report.query_count == 2
+
+    def test_index_footprints_follow_figure9(self, dataset):
+        graph, _ = dataset
+        nl = measure_footprint(graph, "nl")
+        nlrnl = measure_footprint(graph, "nlrnl")
+        assert nlrnl.entries < nl.entries
+
+    def test_dktg_solver_directly(self, dataset):
+        graph, vocabulary = dataset
+        generator = WorkloadGenerator(graph, vocabulary)
+        workload = generator.generate(count=1, keyword_size=5, group_size=3, tenuity=1, top_n=3, seed=9)
+        query = workload.as_dktg().queries[0]
+        result = DKTGGreedySolver(graph).solve(query)
+        member_sets = [set(group.members) for group in result.groups]
+        for i, a in enumerate(member_sets):
+            for b in member_sets[i + 1 :]:
+                assert not a & b

@@ -1,0 +1,81 @@
+"""Property-based tests for coverage identities and diversity bounds."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coverage import CoverageContext
+from repro.core.dktg import dktg_score, pair_diversity, result_diversity
+from repro.core.graph import AttributedGraph
+
+KEYWORDS = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def keyworded_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    keywords = {
+        v: draw(st.lists(st.sampled_from(KEYWORDS), unique=True, max_size=4))
+        for v in range(n)
+    }
+    return AttributedGraph(n, [], keywords)
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=keyworded_graphs(), query=st.lists(st.sampled_from(KEYWORDS), unique=True, min_size=1, max_size=5))
+def test_coverage_identities(graph, query):
+    context = CoverageContext(graph, query)
+    vertices = list(graph.vertices())
+    # Group coverage equals the union-mask popcount ratio.
+    assert context.group_coverage(vertices) == context.coverage_of_mask(
+        context.union_mask(vertices)
+    )
+    for vertex in vertices:
+        # QKC(v) == VKC(v) against an empty intermediate set.
+        assert context.vertex_coverage(vertex) == context.valid_coverage(vertex, [])
+        # VKC is never negative and never exceeds QKC.
+        for other in vertices:
+            assert 0 <= context.valid_coverage(vertex, [other]) <= context.vertex_coverage(vertex)
+    # Monotonicity: adding members never reduces group coverage.
+    running = 0.0
+    for i in range(len(vertices)):
+        coverage = context.group_coverage(vertices[: i + 1])
+        assert coverage >= running
+        running = coverage
+
+
+groups_strategy = st.lists(
+    st.lists(st.integers(0, 10), unique=True, min_size=1, max_size=4).map(tuple),
+    min_size=0,
+    max_size=5,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(a=st.lists(st.integers(0, 10), unique=True, min_size=1, max_size=5).map(tuple),
+       b=st.lists(st.integers(0, 10), unique=True, min_size=1, max_size=5).map(tuple))
+def test_pair_diversity_properties(a, b):
+    value = pair_diversity(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == pair_diversity(b, a)
+    assert pair_diversity(a, a) == 0.0
+    if not set(a) & set(b):
+        assert value == 1.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(groups=groups_strategy)
+def test_result_diversity_bounds(groups):
+    value = result_diversity(groups)
+    assert 0.0 <= value <= 1.0
+    if len(groups) < 2:
+        assert value == 1.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    groups=groups_strategy,
+    gamma=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_score_bounds(groups, gamma):
+    coverages = [0.5] * len(groups)
+    value = dktg_score(coverages, groups, gamma)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,83 @@
+"""Property-based tests: budgets, keyword index, and comparator laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.tagq import TAGQSolver
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.coverage import CoverageContext
+from repro.core.graph import AttributedGraph
+from repro.core.keyword_index import KeywordIndex
+from repro.core.query import KTGQuery
+
+KEYWORDS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def attributed_graphs(draw):
+    n = draw(st.integers(min_value=3, max_value=14))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=2 * n)
+    )
+    keywords = {
+        v: draw(st.lists(st.sampled_from(KEYWORDS), unique=True, max_size=3))
+        for v in range(n)
+    }
+    return AttributedGraph(n, edges, keywords)
+
+
+@st.composite
+def queries(draw):
+    labels = tuple(
+        draw(st.lists(st.sampled_from(KEYWORDS), unique=True, min_size=1, max_size=4))
+    )
+    return KTGQuery(
+        keywords=labels,
+        group_size=draw(st.integers(1, 3)),
+        tenuity=draw(st.integers(0, 3)),
+        top_n=draw(st.integers(1, 3)),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=attributed_graphs(), query=queries(), budget=st.integers(1, 200))
+def test_budgeted_solver_is_sound_anytime(graph, query, budget):
+    """A node-budgeted run returns feasible groups and never beats the
+    certified optimum."""
+    exact = BranchAndBoundSolver(graph).solve(query)
+    capped = BranchAndBoundSolver(graph, node_budget=budget).solve(query)
+    assert capped.best_coverage <= exact.best_coverage + 1e-12
+    context = CoverageContext(graph, query.keywords)
+    for group in capped.groups:
+        assert len(group.members) == query.group_size
+        for member in group.members:
+            assert context.masks[member]
+        for i, u in enumerate(group.members):
+            for v in group.members[i + 1 :]:
+                distance = graph.hop_distance(u, v)
+                assert distance is None or distance > query.tenuity
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    labels=st.lists(st.sampled_from(KEYWORDS + ["zz"]), unique=True, min_size=1, max_size=5),
+)
+def test_keyword_index_contexts_are_identical(graph, labels):
+    direct = CoverageContext(graph, labels)
+    indexed = KeywordIndex(graph).context_for(labels)
+    assert indexed.masks == direct.masks
+    assert indexed.query_labels == direct.query_labels
+    assert indexed.full_mask == direct.full_mask
+    assert KeywordIndex(graph).qualified_count(labels) == len(
+        direct.qualified_vertices()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=attributed_graphs(), query=queries())
+def test_tagq_objective_monotone_in_tenuity_cap(graph, query):
+    """Relaxing TAGQ's tenuity cap can only improve its objective."""
+    strict = TAGQSolver(graph, max_tenuity=0.0).solve(query)
+    relaxed = TAGQSolver(graph, max_tenuity=1.0).solve(query)
+    assert relaxed.best_coverage >= strict.best_coverage - 1e-12

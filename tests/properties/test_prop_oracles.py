@@ -1,0 +1,73 @@
+"""Property-based tests: all distance oracles agree with BFS ground truth."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import AttributedGraph
+from repro.index.bfs import BFSOracle
+from repro.index.nl import NLIndex
+from repro.index.nlrnl import NLRNLIndex
+
+
+@st.composite
+def bare_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=3 * n)
+    )
+    return AttributedGraph(n, edges)
+
+
+def true_tenuous(graph, u, v, k):
+    if u == v:
+        return False
+    distance = graph.hop_distance(u, v)
+    return distance is None or distance > k
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=bare_graphs(), k=st.integers(0, 5), depth=st.integers(1, 4))
+def test_nl_probes_match_bfs(graph, k, depth):
+    index = NLIndex(graph, depth=depth)
+    for u in graph.vertices():
+        for v in graph.vertices():
+            assert index.is_tenuous(u, v, k) == true_tenuous(graph, u, v, k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=bare_graphs(), k=st.integers(0, 5))
+def test_nlrnl_probes_match_bfs(graph, k):
+    index = NLRNLIndex(graph)
+    for u in graph.vertices():
+        for v in graph.vertices():
+            assert index.is_tenuous(u, v, k) == true_tenuous(graph, u, v, k)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=bare_graphs())
+def test_nlrnl_distance_class_is_exact(graph):
+    index = NLRNLIndex(graph)
+    for u in graph.vertices():
+        for v in graph.vertices():
+            expected = graph.hop_distance(u, v)
+            decoded = index.distance_class(u, v)
+            assert decoded == (float("inf") if expected is None else expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=bare_graphs(), k=st.integers(0, 4), member=st.integers(0, 15))
+def test_filter_candidates_agree_across_oracles(graph, k, member):
+    member %= graph.num_vertices
+    candidates = list(graph.vertices())
+    reference = BFSOracle(graph).filter_candidates(candidates, member, k)
+    for oracle in (NLIndex(graph, depth=1), NLRNLIndex(graph)):
+        assert oracle.filter_candidates(candidates, member, k) == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=bare_graphs(), k=st.integers(1, 4), vertex=st.integers(0, 15))
+def test_within_k_agree_across_oracles(graph, k, vertex):
+    vertex %= graph.num_vertices
+    reference = BFSOracle(graph).within_k(vertex, k)
+    assert NLIndex(graph, depth=2).within_k(vertex, k) == reference
+    assert NLRNLIndex(graph).within_k(vertex, k) == reference

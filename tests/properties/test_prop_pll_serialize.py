@@ -1,0 +1,62 @@
+"""Property-based tests: PLL exactness and serialisation round trips."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import AttributedGraph
+from repro.index.nlrnl import NLRNLIndex
+from repro.index.pll import PLLIndex
+from repro.index.serialize import load_index, save_index
+
+
+@st.composite
+def bare_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=3 * n)
+    )
+    return AttributedGraph(n, edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=bare_graphs())
+def test_pll_distances_are_exact(graph):
+    pll = PLLIndex(graph)
+    for u in graph.vertices():
+        for v in graph.vertices():
+            expected = graph.hop_distance(u, v)
+            decoded = pll.query_distance(u, v)
+            assert decoded == (float("inf") if expected is None else expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=bare_graphs(), k=st.integers(0, 5))
+def test_pll_tenuity_matches_definition(graph, k):
+    pll = PLLIndex(graph)
+    for u in graph.vertices():
+        for v in graph.vertices():
+            expected = graph.hop_distance(u, v)
+            truth = False if u == v else (expected is None or expected > k)
+            assert pll.is_tenuous(u, v, k) == truth
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=bare_graphs(), seed=st.integers(0, 1000))
+def test_serialise_round_trip_preserves_probes(graph, seed):
+    import tempfile
+    from pathlib import Path
+
+    rng = random.Random(seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        for index_cls in (NLRNLIndex, PLLIndex):
+            original = index_cls(graph)
+            path = Path(tmp) / f"{index_cls.__name__}.json"
+            save_index(original, path)
+            loaded = load_index(graph, path)
+            for _ in range(30):
+                u = rng.randrange(graph.num_vertices)
+                v = rng.randrange(graph.num_vertices)
+                k = rng.randrange(5)
+                assert loaded.is_tenuous(u, v, k) == original.is_tenuous(u, v, k)

@@ -1,0 +1,66 @@
+"""Property-based tests for the top-N pool against a reference model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.results import TopNPool
+
+
+offers = st.lists(
+    st.tuples(
+        st.lists(st.integers(0, 20), unique=True, min_size=1, max_size=4),
+        st.sampled_from([0.0, 0.2, 0.25, 0.4, 0.5, 0.6, 0.75, 0.8, 1.0]),
+    ),
+    max_size=30,
+)
+
+
+def reference_pool(capacity, sequence):
+    """Straight-line reimplementation of the paper's updateRS semantics."""
+    kept: list[tuple[float, int, tuple[int, ...]]] = []  # (coverage, seq, members)
+    for order, (members, coverage) in enumerate(sequence):
+        canonical = tuple(sorted(members))
+        if any(entry[2] == canonical for entry in kept):
+            continue
+        if len(kept) < capacity:
+            kept.append((coverage, order, canonical))
+            continue
+        worst = min(kept)  # lowest coverage, oldest first on ties
+        if coverage > worst[0]:
+            kept.remove(worst)
+            kept.append((coverage, order, canonical))
+    kept.sort(key=lambda entry: (-entry[0], entry[1]))
+    return [(entry[2], entry[0]) for entry in kept]
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=st.integers(1, 5), sequence=offers)
+def test_pool_matches_reference_model(capacity, sequence):
+    pool = TopNPool(capacity)
+    for members, coverage in sequence:
+        pool.offer(members, coverage)
+    actual = [(group.members, group.coverage) for group in pool.best()]
+    assert actual == reference_pool(capacity, sequence)
+
+
+@settings(max_examples=100, deadline=None)
+@given(capacity=st.integers(1, 5), sequence=offers)
+def test_threshold_is_nth_best(capacity, sequence):
+    pool = TopNPool(capacity)
+    for members, coverage in sequence:
+        pool.offer(members, coverage)
+    if pool.is_full():
+        assert pool.threshold == min(group.coverage for group in pool.best())
+    else:
+        assert pool.threshold == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(capacity=st.integers(1, 5), sequence=offers)
+def test_pool_never_exceeds_capacity_and_never_duplicates(capacity, sequence):
+    pool = TopNPool(capacity)
+    for members, coverage in sequence:
+        pool.offer(members, coverage)
+    groups = pool.best()
+    assert len(groups) <= capacity
+    member_sets = [group.members for group in groups]
+    assert len(set(member_sets)) == len(member_sets)

@@ -1,0 +1,135 @@
+"""Property-based tests: every solver configuration is exact.
+
+The central correctness property of the reproduction: on arbitrary small
+attributed graphs and arbitrary queries, every branch-and-bound
+configuration (3 orderings x 3 oracles x pruning toggles) returns the
+same coverage profile as exhaustive enumeration, and every returned
+group satisfies the KTG constraints.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.bruteforce import BruteForceSolver
+from repro.core.coverage import CoverageContext
+from repro.core.query import KTGQuery
+from repro.core.strategies import QKCOrdering, VKCDegreeOrdering, VKCOrdering
+from repro.index.bfs import BFSOracle
+from repro.index.nl import NLIndex
+from repro.index.nlrnl import NLRNLIndex
+
+KEYWORD_POOL = ["a", "b", "c", "d", "e", "f"]
+
+
+@st.composite
+def attributed_graphs(draw):
+    """Random graphs of 4-14 vertices with random keyword sets."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=2 * n)
+    ) if possible_edges else []
+    keywords = {
+        v: draw(st.lists(st.sampled_from(KEYWORD_POOL), unique=True, max_size=3))
+        for v in range(n)
+    }
+    from repro.core.graph import AttributedGraph
+
+    return AttributedGraph(n, edges, keywords)
+
+
+@st.composite
+def queries(draw):
+    keywords = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(KEYWORD_POOL), unique=True, min_size=1, max_size=4
+            )
+        )
+    )
+    return KTGQuery(
+        keywords=keywords,
+        group_size=draw(st.integers(min_value=1, max_value=4)),
+        tenuity=draw(st.integers(min_value=0, max_value=3)),
+        top_n=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+def coverage_profile(result):
+    return [round(group.coverage, 9) for group in result.groups]
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=attributed_graphs(), query=queries(), config=st.integers(0, 8))
+def test_solver_matches_brute_force(graph, query, config):
+    """Any (strategy, oracle) combination == exhaustive enumeration."""
+    strategy_factories = [
+        lambda g: QKCOrdering(),
+        lambda g: VKCOrdering(),
+        lambda g: VKCDegreeOrdering(g.degrees()),
+    ]
+    oracle_factories = [BFSOracle, NLIndex, NLRNLIndex]
+    strategy = strategy_factories[config % 3](graph)
+    oracle = oracle_factories[config // 3](graph)
+
+    expected = BruteForceSolver(graph).solve(query)
+    actual = BranchAndBoundSolver(graph, oracle=oracle, strategy=strategy).solve(query)
+    assert coverage_profile(actual) == coverage_profile(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    query=queries(),
+    keyword_pruning=st.booleans(),
+    kline_filtering=st.booleans(),
+    use_union_bound=st.booleans(),
+)
+def test_pruning_toggles_preserve_exactness(
+    graph, query, keyword_pruning, kline_filtering, use_union_bound
+):
+    expected = BruteForceSolver(graph).solve(query)
+    actual = BranchAndBoundSolver(
+        graph,
+        keyword_pruning=keyword_pruning,
+        kline_filtering=kline_filtering,
+        use_union_bound=use_union_bound,
+    ).solve(query)
+    assert coverage_profile(actual) == coverage_profile(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=attributed_graphs(), query=queries())
+def test_results_satisfy_ktg_invariants(graph, query):
+    """Definition 7's three conditions hold for every returned group."""
+    result = BranchAndBoundSolver(graph).solve(query)
+    context = CoverageContext(graph, query.keywords)
+    for group in result.groups:
+        assert len(group.members) == query.group_size
+        assert len(set(group.members)) == query.group_size
+        for member in group.members:
+            assert context.masks[member] != 0
+        for i, u in enumerate(group.members):
+            for v in group.members[i + 1 :]:
+                distance = graph.hop_distance(u, v)
+                assert distance is None or distance > query.tenuity
+        assert group.coverage == context.group_coverage(group.members)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=attributed_graphs(), query=queries(), seed=st.integers(0, 1000))
+def test_anchored_queries_respect_exclusions(graph, query, seed):
+    rng = random.Random(seed)
+    anchors = tuple(
+        rng.sample(range(graph.num_vertices), min(2, graph.num_vertices))
+    )
+    anchored = query.with_(excluded_anchors=anchors)
+    result = BranchAndBoundSolver(graph).solve(anchored)
+    oracle = BFSOracle(graph)
+    for group in result.groups:
+        for member in group.members:
+            assert member not in anchors
+            for anchor in anchors:
+                assert oracle.is_tenuous(member, anchor, query.tenuity)

@@ -1,0 +1,100 @@
+"""Property-based tests for tenuity metrics and the MinLine model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.tenuity import (
+    group_tenuity,
+    is_k_distance_group,
+    kline_count,
+    ktenuity,
+    ktriangle_count,
+)
+from repro.baselines.kline_min import MinLineSolver
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.graph import AttributedGraph
+from repro.core.query import KTGQuery
+from repro.index.bfs import BFSOracle
+
+KEYWORDS = ["a", "b", "c"]
+
+
+@st.composite
+def attributed_graphs(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=2 * n)
+    )
+    keywords = {
+        v: draw(st.lists(st.sampled_from(KEYWORDS), unique=True, max_size=2))
+        for v in range(n)
+    }
+    return AttributedGraph(n, edges, keywords)
+
+
+@st.composite
+def graph_and_members(draw):
+    graph = draw(attributed_graphs())
+    size = draw(st.integers(min_value=0, max_value=min(5, graph.num_vertices)))
+    members = draw(
+        st.lists(
+            st.integers(0, graph.num_vertices - 1),
+            unique=True,
+            min_size=size,
+            max_size=size,
+        )
+    )
+    return graph, members
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=graph_and_members(), k=st.integers(0, 4))
+def test_metric_relationships(data, k):
+    graph, members = data
+    oracle = BFSOracle(graph)
+    lines = kline_count(oracle, members, k)
+    triangles = ktriangle_count(oracle, members, k)
+    ratio = ktenuity(oracle, members, k)
+    pairs = len(members) * (len(members) - 1) // 2
+
+    # Counts are bounded by their combinatorial universes.
+    assert 0 <= lines <= pairs
+    assert 0 <= triangles <= max(
+        0, len(members) * (len(members) - 1) * (len(members) - 2) // 6
+    )
+    # Every k-triangle spends three k-lines.
+    assert triangles == 0 or lines >= 3
+    # k-tenuity is exactly the normalised k-line count.
+    if pairs:
+        assert ratio == lines / pairs
+    # The k-distance-group predicate == zero k-lines.
+    assert is_k_distance_group(oracle, members, k) == (lines == 0)
+    # Definition 3 <-> Definition 4: zero k-lines iff min distance > k.
+    assert (lines == 0) == (group_tenuity(graph, members) > k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=graph_and_members())
+def test_kline_count_monotone_in_k(data):
+    graph, members = data
+    oracle = BFSOracle(graph)
+    counts = [kline_count(oracle, members, k) for k in range(5)]
+    assert counts == sorted(counts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=attributed_graphs(), k=st.integers(0, 3), p=st.integers(2, 3))
+def test_minline_consistent_with_ktg(graph, k, p):
+    """When KTG finds groups, MinLine's optimum has zero k-lines, and
+    when MinLine's optimum has k-lines, KTG must be empty."""
+    query = KTGQuery(keywords=("a", "b", "c"), group_size=p, tenuity=k, top_n=1)
+    ktg = BranchAndBoundSolver(graph).solve(query)
+    minline = MinLineSolver(graph).solve(query)
+    if ktg.groups:
+        assert minline.groups
+        assert minline.best_kline_count == 0
+        # Ties in MinLine break by coverage, so its best group matches
+        # the KTG optimum coverage.
+        assert minline.groups[0].coverage >= ktg.best_coverage - 1e-9
+    elif minline.groups:
+        assert minline.best_kline_count > 0

@@ -1,0 +1,53 @@
+"""Property-based tests: the tracer mirrors the solver exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.graph import AttributedGraph
+from repro.core.query import KTGQuery
+from repro.core.strategies import QKCOrdering, VKCDegreeOrdering, VKCOrdering
+from repro.core.trace import TracingSolver
+
+KEYWORDS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=2 * n)
+    )
+    keywords = {
+        v: draw(st.lists(st.sampled_from(KEYWORDS), unique=True, max_size=3))
+        for v in range(n)
+    }
+    graph = AttributedGraph(n, edges, keywords)
+    query = KTGQuery(
+        keywords=tuple(
+            draw(st.lists(st.sampled_from(KEYWORDS), unique=True, min_size=1, max_size=4))
+        ),
+        group_size=draw(st.integers(1, 3)),
+        tenuity=draw(st.integers(0, 2)),
+        top_n=draw(st.integers(1, 3)),
+    )
+    return graph, query
+
+
+@settings(max_examples=60, deadline=None)
+@given(instance=instances(), strategy_pick=st.integers(0, 2))
+def test_trace_mirrors_solver(instance, strategy_pick):
+    graph, query = instance
+    strategy = [
+        QKCOrdering(),
+        VKCOrdering(),
+        VKCDegreeOrdering(graph.degrees()),
+    ][strategy_pick]
+    solver = BranchAndBoundSolver(graph, strategy=strategy)
+    plain = solver.solve(query)
+    traced, trace = TracingSolver(solver).solve(query)
+    # Identical results, identical exploration size.
+    assert [g.members for g in traced.groups] == [g.members for g in plain.groups]
+    assert [g.coverage for g in traced.groups] == [g.coverage for g in plain.groups]
+    assert trace.nodes == plain.stats.nodes_expanded
+    assert trace.accepted == plain.stats.offers_accepted

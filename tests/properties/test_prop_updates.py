@@ -1,0 +1,68 @@
+"""Property-based tests: dynamic NLRNL maintenance equals a fresh rebuild."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import AttributedGraph
+from repro.index.nlrnl import NLRNLIndex
+
+
+@st.composite
+def graph_and_updates(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=2 * n)
+    )
+    seed = draw(st.integers(0, 10_000))
+    steps = draw(st.integers(min_value=1, max_value=8))
+    return AttributedGraph(n, edges), seed, steps
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=graph_and_updates())
+def test_update_sequence_equals_rebuild(data):
+    graph, seed, steps = data
+    index = NLRNLIndex(graph)
+    rng = random.Random(seed)
+    for _ in range(steps):
+        u = rng.randrange(graph.num_vertices)
+        v = rng.randrange(graph.num_vertices)
+        if u == v:
+            continue
+        if graph.has_edge(u, v):
+            index.delete_edge(u, v)
+        else:
+            index.insert_edge(u, v)
+    # The incrementally maintained index must decode exactly the same
+    # distances as one built from scratch on the final graph, up to the
+    # frozen-c convention (compare probes, not internals).
+    for u in graph.vertices():
+        for v in graph.vertices():
+            expected = graph.hop_distance(u, v)
+            for k in range(0, 5):
+                truth = (
+                    False
+                    if u == v
+                    else (expected is None or expected > k)
+                )
+                assert index.is_tenuous(u, v, k) == truth
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=graph_and_updates())
+def test_entry_accounting_survives_updates(data):
+    graph, seed, steps = data
+    index = NLRNLIndex(graph)
+    rng = random.Random(seed)
+    for _ in range(steps):
+        u = rng.randrange(graph.num_vertices)
+        v = rng.randrange(graph.num_vertices)
+        if u == v:
+            continue
+        if graph.has_edge(u, v):
+            index.delete_edge(u, v)
+        else:
+            index.insert_edge(u, v)
+    assert index.stats.entries == sum(len(m) for m in index._depth_of)

@@ -1,0 +1,48 @@
+"""Run the executable examples embedded in module docstrings.
+
+Doc examples rot silently unless executed; every module whose API docs
+carry ``>>>`` examples is doctested here.  Modules get the commonly
+needed names injected so examples stay short.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.coverage
+import repro.core.dktg
+import repro.core.graph
+import repro.core.multi_vertex
+import repro.core.query
+import repro.core.results
+import repro.core.validate
+import repro.datasets.keywords
+import repro.index.nl
+import repro.index.nlrnl
+import repro.index.pll
+from repro.core.graph import AttributedGraph
+
+MODULES = [
+    repro.core.graph,
+    repro.core.coverage,
+    repro.core.query,
+    repro.core.results,
+    repro.core.dktg,
+    repro.core.multi_vertex,
+    repro.core.validate,
+    repro.datasets.keywords,
+    repro.index.nl,
+    repro.index.nlrnl,
+    repro.index.pll,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module,
+        extraglobs={"AttributedGraph": AttributedGraph},
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

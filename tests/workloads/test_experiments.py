@@ -1,0 +1,121 @@
+"""Unit tests for the one-call experiment reproduction module."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.workloads.experiments import (
+    ExperimentOutcome,
+    Finding,
+    experiment_ids,
+    reproduce,
+)
+
+
+class TestRegistry:
+    def test_all_paper_figures_covered(self):
+        assert experiment_ids() == [
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+        ]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown experiment"):
+            reproduce("fig99")
+
+
+class TestFindingRendering:
+    def test_held_marker(self):
+        assert "[HELD" in Finding(claim="x", held=True).render()
+
+    def test_diverged_marker_and_detail(self):
+        text = Finding(claim="x", held=False, detail="42 vs 7").render()
+        assert "DIVERGED" in text and "42 vs 7" in text
+
+    def test_outcome_render_structure(self):
+        outcome = ExperimentOutcome(
+            experiment_id="figX",
+            title="a title",
+            table="tbl",
+            findings=[Finding(claim="c", held=True)],
+        )
+        text = outcome.render()
+        assert text.startswith("## figX: a title")
+        assert "tbl" in text and "[HELD" in text
+        assert outcome.all_held
+
+    def test_all_held_false_when_any_diverges(self):
+        outcome = ExperimentOutcome(
+            "figX",
+            "t",
+            "tbl",
+            [Finding("a", True), Finding("b", False)],
+        )
+        assert not outcome.all_held
+
+
+class TestFastExperiments:
+    """The cheap experiments run inside the unit-test budget."""
+
+    def test_fig8_reproduces_case_study(self):
+        outcome = reproduce("fig8")
+        assert outcome.experiment_id == "fig8"
+        assert outcome.all_held
+        assert "TAGQ" in outcome.table
+
+    def test_fig9_reproduces_index_shape(self):
+        outcome = reproduce("fig9", scale=0.15)
+        # The space claim is deterministic; the build-time claim is
+        # timing-based and asserted only in the benchmark suite where
+        # graphs are big enough for stable measurements.
+        space_finding = next(
+            finding for finding in outcome.findings if "space" in finding.claim
+        )
+        assert space_finding.held
+        assert "nlrnl_entries" in outcome.table
+
+    def test_fig6_structure(self):
+        outcome = reproduce("fig6", scale=0.12, queries=1)
+        assert outcome.findings
+        assert "top_n" in outcome.table
+        # Every algorithm column is present in the rendered figure.
+        for name in (
+            "KTG-QKC-NLRNL",
+            "KTG-VKC-NL",
+            "KTG-VKC-NLRNL",
+            "KTG-VKC-DEG-NLRNL",
+            "DKTG-GREEDY",
+        ):
+            assert name in outcome.table
+
+    def test_fig4_nl_vs_nlrnl_finding_present(self):
+        outcome = reproduce("fig4", scale=0.12, queries=1)
+        claims = [finding.claim for finding in outcome.findings]
+        assert any("NLRNL beats NL" in claim for claim in claims)
+
+
+class TestSweepExperimentsAtTinyScale:
+    """The expensive sweep experiments, smoke-tested at minimal scale."""
+
+    def test_fig3_structure_and_growth_finding(self):
+        outcome = reproduce("fig3", scale=0.1, queries=1)
+        assert outcome.experiment_id == "fig3"
+        claims = [finding.claim for finding in outcome.findings]
+        assert any("group size" in claim for claim in claims)
+        assert "group_size" in outcome.table
+
+    def test_fig5_stability_finding_present(self):
+        outcome = reproduce("fig5", scale=0.1, queries=1)
+        claims = [finding.claim for finding in outcome.findings]
+        assert any("stable" in claim for claim in claims)
+
+    def test_fig7_runs_both_panels(self):
+        outcome = reproduce("fig7", scale=0.06, queries=1)
+        assert "twitter" in outcome.table
+        assert "dblp-large" in outcome.table
+        claims = [finding.claim for finding in outcome.findings]
+        assert any("large-graph" in claim for claim in claims)

@@ -1,0 +1,115 @@
+"""Unit tests for the query-workload generator."""
+
+import pytest
+
+from repro.core.coverage import CoverageContext
+from repro.core.errors import WorkloadError
+from repro.core.graph import AttributedGraph
+from repro.core.query import DKTGQuery
+from repro.datasets.registry import load_dataset
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("brightkite", scale=0.2)
+
+
+class TestGeneration:
+    def test_shape_of_generated_queries(self, dataset):
+        graph, vocabulary = dataset
+        generator = WorkloadGenerator(graph, vocabulary, dataset_name="bk")
+        workload = generator.generate(
+            count=10, keyword_size=5, group_size=4, tenuity=3, top_n=7, seed=1
+        )
+        assert len(workload) == 10
+        assert workload.dataset == "bk"
+        for query in workload:
+            assert len(query.keywords) == 5
+            assert query.group_size == 4
+            assert query.tenuity == 3
+            assert query.top_n == 7
+
+    def test_deterministic_per_seed(self, dataset):
+        graph, vocabulary = dataset
+        generator = WorkloadGenerator(graph, vocabulary)
+        a = generator.generate(count=5, seed=3)
+        b = generator.generate(count=5, seed=3)
+        assert a.queries == b.queries
+
+    def test_seeds_vary_queries(self, dataset):
+        graph, vocabulary = dataset
+        generator = WorkloadGenerator(graph, vocabulary)
+        a = generator.generate(count=5, seed=1)
+        b = generator.generate(count=5, seed=2)
+        assert a.queries != b.queries
+
+    def test_answerability_guarantee(self, dataset):
+        graph, vocabulary = dataset
+        generator = WorkloadGenerator(graph, vocabulary)
+        workload = generator.generate(count=20, keyword_size=4, group_size=3, seed=5)
+        for query in workload:
+            context = CoverageContext(graph, query.keywords)
+            assert len(context.qualified_vertices()) >= query.group_size
+
+    def test_keywords_distinct_within_query(self, dataset):
+        graph, vocabulary = dataset
+        workload = WorkloadGenerator(graph, vocabulary).generate(count=10, seed=2)
+        for query in workload:
+            assert len(set(query.keywords)) == len(query.keywords)
+
+
+class TestValidation:
+    def test_bad_count_rejected(self, dataset):
+        graph, vocabulary = dataset
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(graph, vocabulary).generate(count=0)
+
+    def test_bad_keyword_size_rejected(self, dataset):
+        graph, vocabulary = dataset
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(graph, vocabulary).generate(keyword_size=0)
+
+    def test_oversized_keyword_size_rejected(self, dataset):
+        graph, vocabulary = dataset
+        with pytest.raises(WorkloadError, match="exceeds vocabulary"):
+            WorkloadGenerator(graph, vocabulary).generate(keyword_size=10_000)
+
+    def test_keywordless_graph_rejected(self):
+        graph = AttributedGraph(5, [(0, 1)])
+        with pytest.raises(WorkloadError, match="no keywords"):
+            WorkloadGenerator(graph)
+
+    def test_unanswerable_raises_after_redraws(self):
+        # Only one vertex carries keywords: groups of 3 are impossible.
+        graph = AttributedGraph(5, [], {0: ["a", "b"]})
+        generator = WorkloadGenerator(graph)
+        with pytest.raises(WorkloadError, match="answerable"):
+            generator.generate(count=1, keyword_size=1, group_size=3)
+
+    def test_unanswerable_allowed_when_disabled(self):
+        graph = AttributedGraph(5, [], {0: ["a", "b"]})
+        generator = WorkloadGenerator(graph, ensure_answerable=False)
+        workload = generator.generate(count=1, keyword_size=1, group_size=3)
+        assert len(workload) == 1
+
+
+class TestFallbackVocabulary:
+    def test_uses_graph_labels_when_no_vocabulary(self):
+        graph = AttributedGraph(6, [], {i: ["a", "b", "c"] for i in range(6)})
+        generator = WorkloadGenerator(graph)
+        workload = generator.generate(count=4, keyword_size=2, group_size=2, seed=0)
+        for query in workload:
+            assert set(query.keywords) <= {"a", "b", "c"}
+
+
+class TestDKTGLift:
+    def test_as_dktg(self, dataset):
+        graph, vocabulary = dataset
+        workload = WorkloadGenerator(graph, vocabulary).generate(count=3, seed=1)
+        lifted = workload.as_dktg(gamma=0.25)
+        assert len(lifted) == 3
+        for original, query in zip(workload, lifted):
+            assert isinstance(query, DKTGQuery)
+            assert query.gamma == 0.25
+            assert query.keywords == original.keywords

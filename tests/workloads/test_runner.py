@@ -1,0 +1,143 @@
+"""Unit tests for the experiment runner and algorithm registry."""
+
+import pytest
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.dktg import DKTGGreedySolver, DKTGResult
+from repro.core.strategies import QKCOrdering, VKCDegreeOrdering, VKCOrdering
+from repro.datasets.figure1 import figure1_example
+from repro.index.bfs import BFSOracle
+from repro.index.nl import NLIndex
+from repro.index.nlrnl import NLRNLIndex
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.runner import ALGORITHMS, AlgorithmSpec, ExperimentRunner
+
+
+@pytest.fixture
+def graph():
+    return figure1_example()
+
+
+@pytest.fixture
+def workload(graph):
+    generator = WorkloadGenerator(graph, dataset_name="fig1")
+    return generator.generate(count=4, keyword_size=3, group_size=2, tenuity=1, seed=0)
+
+
+class TestRegistry:
+    def test_paper_lineup_registered(self):
+        assert set(ALGORITHMS) == {
+            "KTG-QKC-NLRNL",
+            "KTG-VKC-NL",
+            "KTG-VKC-NLRNL",
+            "KTG-VKC-DEG-NLRNL",
+            "DKTG-GREEDY",
+        }
+
+    @pytest.mark.parametrize(
+        "name,oracle_cls,strategy_cls",
+        [
+            ("KTG-QKC-NLRNL", NLRNLIndex, QKCOrdering),
+            ("KTG-VKC-NL", NLIndex, VKCOrdering),
+            ("KTG-VKC-NLRNL", NLRNLIndex, VKCOrdering),
+            ("KTG-VKC-DEG-NLRNL", NLRNLIndex, VKCDegreeOrdering),
+        ],
+    )
+    def test_spec_builds_expected_components(self, graph, name, oracle_cls, strategy_cls):
+        spec = ALGORITHMS[name]
+        oracle = spec.build_oracle(graph)
+        assert isinstance(oracle, oracle_cls)
+        solver = spec.build_solver(graph, oracle)
+        assert isinstance(solver, BranchAndBoundSolver)
+        assert isinstance(solver.strategy, strategy_cls)
+
+    def test_dktg_spec_builds_greedy(self, graph):
+        spec = ALGORITHMS["DKTG-GREEDY"]
+        solver = spec.build_solver(graph, spec.build_oracle(graph))
+        assert isinstance(solver, DKTGGreedySolver)
+
+    def test_bfs_spec(self, graph):
+        spec = AlgorithmSpec("X", "vkc", "bfs")
+        assert isinstance(spec.build_oracle(graph), BFSOracle)
+
+    def test_unknown_kind_rejected(self, graph):
+        with pytest.raises(ValueError):
+            AlgorithmSpec("X", "vkc", "hash").build_oracle(graph)
+        with pytest.raises(ValueError):
+            AlgorithmSpec("X", "mystery", "bfs").build_solver(graph, BFSOracle(graph))
+
+
+class TestRunner:
+    def test_report_shape(self, graph, workload):
+        runner = ExperimentRunner(graph, "fig1")
+        report = runner.run("KTG-VKC-NLRNL", workload)
+        assert report.algorithm == "KTG-VKC-NLRNL"
+        assert report.dataset == "fig1"
+        assert report.query_count == 4
+        assert len(report.latencies_ms) == 4
+        assert report.mean_ms > 0
+        assert report.median_ms > 0
+        assert report.p95_ms >= report.median_ms
+        assert report.total_nodes_expanded > 0
+
+    def test_oracle_cached_across_runs(self, graph, workload):
+        runner = ExperimentRunner(graph)
+        first = runner.oracle_for(ALGORITHMS["KTG-VKC-NLRNL"])
+        second = runner.oracle_for(ALGORITHMS["KTG-VKC-DEG-NLRNL"])
+        assert first is second  # same oracle kind -> same instance
+
+    def test_stale_oracle_rebuilt(self, graph, workload):
+        runner = ExperimentRunner(graph)
+        first = runner.oracle_for(ALGORITHMS["KTG-VKC-NLRNL"])
+        graph.add_edge(5, 9)
+        second = runner.oracle_for(ALGORITHMS["KTG-VKC-NLRNL"])
+        assert first is not second
+
+    def test_dktg_queries_lifted(self, graph, workload):
+        runner = ExperimentRunner(graph, "fig1")
+        results = []
+        report = runner.run("DKTG-GREEDY", workload, result_hook=results.append)
+        assert report.query_count == 4
+        assert all(isinstance(result, DKTGResult) for result in results)
+
+    def test_result_hook_called_per_query(self, graph, workload):
+        runner = ExperimentRunner(graph)
+        seen = []
+        runner.run("KTG-VKC-NL", workload, result_hook=seen.append)
+        assert len(seen) == 4
+
+    def test_empty_results_counted(self, graph):
+        generator = WorkloadGenerator(graph, dataset_name="fig1", ensure_answerable=False)
+        workload = generator.generate(
+            count=2, keyword_size=2, group_size=9, tenuity=1, seed=0
+        )
+        report = ExperimentRunner(graph).run("KTG-VKC-NLRNL", workload)
+        assert report.empty_results == 2
+
+    def test_report_row(self, graph, workload):
+        row = ExperimentRunner(graph, "fig1").run("KTG-VKC-NL", workload).row()
+        assert row["algorithm"] == "KTG-VKC-NL"
+        assert set(row) >= {"dataset", "queries", "mean_ms", "median_ms", "p95_ms"}
+
+    def test_empty_report_statistics(self):
+        from repro.workloads.runner import LatencyReport
+
+        report = LatencyReport(algorithm="X", dataset="d", query_count=0)
+        assert report.mean_ms == 0.0
+        assert report.median_ms == 0.0
+        assert report.p95_ms == 0.0
+
+
+class TestPLLSpec:
+    def test_pll_oracle_kind(self, graph):
+        from repro.index.pll import PLLIndex
+
+        spec = AlgorithmSpec("KTG-VKC-DEG-PLL", "vkc-deg", "pll")
+        oracle = spec.build_oracle(graph)
+        assert isinstance(oracle, PLLIndex)
+
+    def test_custom_spec_runs_workload(self, graph, workload):
+        spec = AlgorithmSpec("KTG-VKC-DEG-PLL", "vkc-deg", "pll")
+        report = ExperimentRunner(graph).run(spec, workload)
+        assert report.algorithm == "KTG-VKC-DEG-PLL"
+        assert report.query_count == len(workload)

@@ -1,0 +1,132 @@
+"""Unit tests for Table I parameter sweeps."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.datasets.registry import load_dataset
+from repro.workloads.sweep import (
+    DEFAULTS,
+    PARAMETER_TABLE,
+    run_parameter_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("brightkite", scale=0.15)
+
+
+class TestTableI:
+    def test_ranges_match_paper(self):
+        assert PARAMETER_TABLE["group_size"] == [3, 4, 5, 6, 7]
+        assert PARAMETER_TABLE["tenuity"] == [1, 2, 3, 4]
+        assert PARAMETER_TABLE["keyword_size"] == [4, 5, 6, 7, 8]
+        assert PARAMETER_TABLE["top_n"] == [3, 5, 7, 9, 11]
+
+    def test_defaults_inside_ranges(self):
+        for parameter, value in DEFAULTS.items():
+            assert value in PARAMETER_TABLE[parameter]
+
+
+class TestSweep:
+    def test_points_cover_grid(self, dataset):
+        graph, vocabulary = dataset
+        result = run_parameter_sweep(
+            graph,
+            "tenuity",
+            vocabulary=vocabulary,
+            dataset_name="bk",
+            values=[1, 2],
+            algorithms=["KTG-VKC-NLRNL", "KTG-VKC-DEG-NLRNL"],
+            queries_per_setting=2,
+        )
+        assert len(result.points) == 4  # 2 values x 2 algorithms
+        assert result.parameter == "tenuity"
+        assert result.dataset == "bk"
+
+    def test_series_sorted_by_value(self, dataset):
+        graph, vocabulary = dataset
+        result = run_parameter_sweep(
+            graph,
+            "group_size",
+            vocabulary=vocabulary,
+            values=[4, 3],
+            algorithms=["KTG-VKC-NLRNL"],
+            queries_per_setting=2,
+        )
+        series = result.series("KTG-VKC-NLRNL")
+        assert [value for value, _ in series] == [3, 4]
+        assert all(latency > 0 for _, latency in series)
+
+    def test_algorithms_listed(self, dataset):
+        graph, vocabulary = dataset
+        result = run_parameter_sweep(
+            graph,
+            "top_n",
+            vocabulary=vocabulary,
+            values=[3],
+            algorithms=["KTG-VKC-NL", "KTG-QKC-NLRNL"],
+            queries_per_setting=1,
+        )
+        assert result.algorithms() == ["KTG-QKC-NLRNL", "KTG-VKC-NL"]
+
+    def test_rows_carry_parameter_column(self, dataset):
+        graph, vocabulary = dataset
+        result = run_parameter_sweep(
+            graph,
+            "keyword_size",
+            vocabulary=vocabulary,
+            values=[4],
+            algorithms=["KTG-VKC-NLRNL"],
+            queries_per_setting=1,
+        )
+        rows = result.rows()
+        assert rows and all(row["keyword_size"] == 4 for row in rows)
+
+    def test_overrides_apply(self, dataset):
+        graph, vocabulary = dataset
+        result = run_parameter_sweep(
+            graph,
+            "top_n",
+            vocabulary=vocabulary,
+            values=[3],
+            algorithms=["KTG-VKC-NLRNL"],
+            queries_per_setting=1,
+            overrides={"group_size": 2},
+        )
+        assert result.points  # simply runs with the overridden default
+
+    def test_unknown_parameter_rejected(self, dataset):
+        graph, vocabulary = dataset
+        with pytest.raises(WorkloadError, match="unknown sweep parameter"):
+            run_parameter_sweep(graph, "zoom", vocabulary=vocabulary)
+
+    def test_same_workload_across_algorithms(self, dataset):
+        """Algorithms at the same parameter value see identical queries —
+        the paper's compare-on-the-same-batch methodology."""
+        graph, vocabulary = dataset
+        captured = {}
+
+        from repro.workloads import generator as generator_module
+
+        original = generator_module.WorkloadGenerator.generate
+
+        def recording(self, **kwargs):
+            workload = original(self, **kwargs)
+            captured.setdefault(kwargs.get("tenuity"), []).append(workload.queries)
+            return workload
+
+        generator_module.WorkloadGenerator.generate = recording
+        try:
+            run_parameter_sweep(
+                graph,
+                "tenuity",
+                vocabulary=vocabulary,
+                values=[1],
+                algorithms=["KTG-VKC-NLRNL", "KTG-VKC-DEG-NLRNL"],
+                queries_per_setting=2,
+            )
+        finally:
+            generator_module.WorkloadGenerator.generate = original
+        # One workload generated per value, shared across algorithms.
+        assert len(captured[1]) == 1
