@@ -1,0 +1,97 @@
+"""Service throughput — batch serving vs one-at-a-time solving.
+
+The operational case for :mod:`repro.service`: a production deployment
+answers *streams* of queries in which popular queries repeat (the
+paper's motivating scenario — recurring event-organisation queries over
+a slowly changing social graph).  On such a workload the service
+amortises repeats through its LRU result cache while the worker pool
+keeps oracle-bound queries overlapping, so batch throughput must beat
+the naive solve-every-query-from-scratch loop by at least 2x.
+
+Workload shape: a small set of distinct queries, each repeated several
+times and interleaved — the classic Zipf-flavoured request mix, reduced
+to its essence (uniform repeats) to keep the bench deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import bench_runner, bench_workload
+from repro.service import QueryService
+from repro.workloads.runner import ALGORITHMS
+
+ALGORITHM = "KTG-VKC-DEG-NLRNL"
+DISTINCT_QUERIES = 6
+REPEATS = 5
+
+
+def _repeated_workload():
+    distinct = list(
+        bench_workload("brightkite", count=DISTINCT_QUERIES, keyword_size=4)
+    )
+    # Interleave rather than concatenate so cache hits are spread across
+    # the batch instead of clustered at the tail.
+    return distinct * REPEATS
+
+
+def test_service_throughput_vs_sequential(benchmark):
+    runner = bench_runner("brightkite")
+    oracle = runner.oracle_for(ALGORITHMS[ALGORITHM])  # build outside timing
+    workload = _repeated_workload()
+
+    def baseline():
+        # Cache off, one worker: the pre-service execution model.
+        with QueryService(
+            runner.graph, ALGORITHM, oracle=oracle, max_workers=1, cache_capacity=0
+        ) as service:
+            return service.run_batch(workload, parallel=False)
+
+    def served():
+        with QueryService(
+            runner.graph, ALGORITHM, oracle=oracle, max_workers=4
+        ) as service:
+            results = service.run_batch(workload)
+            return results, service.stats()
+
+    start = time.perf_counter()
+    sequential = baseline()
+    baseline_seconds = time.perf_counter() - start
+
+    (results, stats) = benchmark.pedantic(served, rounds=1, iterations=1)
+
+    # Exactness under batching: identical member sets, query for query.
+    assert [r.member_sets() for r in results] == [
+        r.member_sets() for r in sequential
+    ]
+
+    wall = benchmark.stats.stats.mean
+    speedup = baseline_seconds / wall if wall else float("inf")
+    benchmark.extra_info["baseline_seconds"] = round(baseline_seconds, 4)
+    benchmark.extra_info["speedup_vs_sequential"] = round(speedup, 2)
+    benchmark.extra_info["cache_hit_rate"] = round(stats.cache_hit_rate, 3)
+    benchmark.extra_info["queries_served"] = stats.queries_served
+
+    # The acceptance bar: >=2x throughput on a repeated-query workload.
+    assert speedup >= 2.0, f"service speedup {speedup:.2f}x < 2x"
+    assert stats.cache_hits > 0
+
+
+def test_second_pass_is_cache_resident(benchmark):
+    """A second identical batch through a warm service is ~all cache hits."""
+    runner = bench_runner("brightkite")
+    oracle = runner.oracle_for(ALGORITHMS[ALGORITHM])
+    workload = list(bench_workload("brightkite", count=DISTINCT_QUERIES, keyword_size=4))
+
+    service = QueryService(runner.graph, ALGORITHM, oracle=oracle, max_workers=4)
+    with service:
+        service.run_batch(workload)  # warm pass, untimed
+        results = benchmark.pedantic(
+            lambda: service.run_batch(workload), rounds=1, iterations=1
+        )
+        stats = service.stats()
+
+    assert all(r.from_cache for r in results)
+    assert stats.cache_hit_rate > 0
+    benchmark.extra_info["cache_hit_rate"] = round(stats.cache_hit_rate, 3)
+    benchmark.extra_info["second_pass_hits"] = sum(r.from_cache for r in results)

@@ -8,6 +8,10 @@ Subcommands mirror the library's workflow:
     Materialise a synthetic dataset to disk.
 ``ktg query <profile> --keywords a,b,c [-p 3 -k 2 -n 3] [--algorithm ...]``
     Answer one KTG query and print the groups.
+``ktg batch <profile> --queries 50 [--workers 4 --executor thread]``
+    Serve a generated query batch through the QueryService (parallel
+    workers + result cache + admission control) and print serving
+    metrics.
 ``ktg sweep <profile> --parameter group_size``
     Run a Table I parameter sweep and print the figure-shaped table.
 ``ktg case-study``
@@ -86,6 +90,53 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ALGORITHMS),
     )
     query.add_argument("--gamma", type=float, default=0.5, help="DKTG diversity weight")
+
+    batch = commands.add_parser(
+        "batch", help="serve a generated query batch through the QueryService"
+    )
+    batch.add_argument("profile", choices=sorted(PROFILES))
+    batch.add_argument("--scale", type=float, default=0.5)
+    batch.add_argument("--queries", type=int, default=50)
+    batch.add_argument("--keyword-size", type=int, default=6)
+    batch.add_argument("-p", "--group-size", type=int, default=3)
+    batch.add_argument("-k", "--tenuity", type=int, default=2)
+    batch.add_argument("-n", "--top-n", type=int, default=3)
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--algorithm",
+        default="KTG-VKC-DEG-NLRNL",
+        choices=sorted(ALGORITHMS),
+    )
+    batch.add_argument("--workers", type=int, default=4)
+    batch.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process"],
+        help="worker kind: threads (oracle-bound) or processes (CPU-bound solves)",
+    )
+    batch.add_argument(
+        "--sequential",
+        action="store_true",
+        help="disable the worker pool (baseline comparison)",
+    )
+    batch.add_argument(
+        "--passes",
+        type=int,
+        default=2,
+        help="times to serve the same workload (pass 2+ exercises the cache)",
+    )
+    batch.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="per-query wall-clock budget in seconds (graceful degradation)",
+    )
+    batch.add_argument(
+        "--node-budget",
+        type=int,
+        default=None,
+        help="per-query search-node budget (graceful degradation)",
+    )
 
     sweep = commands.add_parser("sweep", help="run a Table I parameter sweep")
     sweep.add_argument("profile", choices=sorted(PROFILES))
@@ -167,6 +218,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_generate(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "case-study":
@@ -233,6 +286,57 @@ def _cmd_query(args: argparse.Namespace) -> int:
     result = solver.solve(query)
     print(result)
     print(f"(latency: {result.stats.elapsed_seconds * 1000:.1f} ms)")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.service import QueryService
+    from repro.workloads.generator import WorkloadGenerator
+
+    graph, vocabulary = load_dataset(args.profile, scale=args.scale)
+    generator = WorkloadGenerator(graph, vocabulary, dataset_name=args.profile)
+    workload = generator.generate(
+        count=args.queries,
+        keyword_size=args.keyword_size,
+        group_size=args.group_size,
+        tenuity=args.tenuity,
+        top_n=args.top_n,
+        seed=args.seed,
+    )
+    with QueryService(
+        graph,
+        args.algorithm,
+        max_workers=args.workers,
+        executor=args.executor,
+        time_budget=args.time_budget,
+        node_budget=args.node_budget,
+    ) as service:
+        pass_rows = []
+        for pass_number in range(1, args.passes + 1):
+            started = time_module.perf_counter()
+            served = service.run_batch(workload, parallel=not args.sequential)
+            wall_seconds = time_module.perf_counter() - started
+            pass_rows.append(
+                {
+                    "pass": pass_number,
+                    "queries": len(served),
+                    "wall_s": round(wall_seconds, 3),
+                    "qps": round(len(served) / wall_seconds, 1) if wall_seconds else 0.0,
+                    "from_cache": sum(1 for outcome in served if outcome.from_cache),
+                    "degraded": sum(1 for outcome in served if outcome.degraded),
+                }
+            )
+        stats = service.stats()
+    mode = "sequential" if args.sequential else f"{args.workers}x{args.executor}"
+    print(
+        render_table(
+            pass_rows,
+            title=f"{args.profile}: {args.algorithm} batch serving ({mode})",
+        )
+    )
+    print(render_table([stats.as_dict()], title="service metrics"))
     return 0
 
 

@@ -327,7 +327,18 @@ class BranchAndBoundSolver:
         query_size = context.query_size
         sorted_by_gain = self.strategy.resorts
         uncovered = ~covered_mask
-        for vertex in remaining:
+        # The node-level deadline check only fires between tree nodes; a
+        # single dense leaf can hold tens of thousands of candidates, so
+        # the scan itself re-checks the clock (amortised every 256
+        # candidates) to bound overshoot past ``time_budget``.
+        deadline = self._deadline
+        for position, vertex in enumerate(remaining):
+            if (
+                deadline is not None
+                and position & 0xFF == 0xFF
+                and time.perf_counter() > deadline
+            ):
+                raise _BudgetExhausted
             gain = (masks[vertex] & uncovered).bit_count()
             coverage = (covered_bits + gain) / query_size
             if (

@@ -197,5 +197,8 @@ def _merge_stats(into: SearchStats, other: SearchStats) -> None:
     into.keyword_prunes += other.keyword_prunes
     into.kline_removed += other.kline_removed
     into.offers_accepted += other.offers_accepted
+    # Any budget-truncated inner round degrades the whole greedy answer
+    # (the serving layer reports this as a non-exact, anytime result).
+    into.budget_exhausted = into.budget_exhausted or other.budget_exhausted
     if into.first_feasible_node is None:
         into.first_feasible_node = other.first_feasible_node

@@ -58,9 +58,11 @@ class Group:
 class TopNPool:
     """Bounded pool of the best ``N`` groups found so far.
 
-    Internally a min-heap keyed by ``(coverage, insertion_sequence)`` so
-    that the *worst, oldest-tied* group is evicted first — but eviction
-    only ever happens for strictly better coverage, matching the paper.
+    Internally a min-heap keyed by ``(coverage, -insertion_sequence)``
+    so that the *worst, newest-tied* group is evicted first — eviction
+    only ever happens for strictly better coverage, and among
+    coverage-tied worst groups the most recent discovery yields, so
+    earlier discoveries are never displaced by anything they tie with.
 
     Examples
     --------
@@ -87,11 +89,12 @@ class TopNPool:
         if capacity < 1:
             raise ValueError(f"pool capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        # Heap entries: (coverage, seq, Group).  seq breaks coverage ties
-        # in favour of keeping *earlier* discoveries (smaller seq pops
-        # later only if coverage is also smaller; equal coverages pop the
-        # earliest first, but eviction requires strict improvement, so
-        # equal-coverage entries are never displaced by new ties).
+        # Heap entries: (coverage, -seq, Group).  The negated sequence
+        # breaks coverage ties in favour of keeping *earlier*
+        # discoveries: among tied-worst entries the heap root is the
+        # newest one, so a strictly better offer evicts the newest tie
+        # and earlier discoveries survive ("ties never displace earlier
+        # discoveries", Section IV-A).
         self._heap: list[tuple[float, int, Group]] = []
         self._members_seen: set[tuple[int, ...]] = set()
         self._sequence = itertools.count()
@@ -122,13 +125,13 @@ class TopNPool:
         if group.members in self._members_seen:
             return False
         if not self.is_full():
-            heapq.heappush(self._heap, (coverage, next(self._sequence), group))
+            heapq.heappush(self._heap, (coverage, -next(self._sequence), group))
             self._members_seen.add(group.members)
             return True
         worst_coverage, _, worst_group = self._heap[0]
         if coverage <= worst_coverage:
             return False
-        heapq.heapreplace(self._heap, (coverage, next(self._sequence), group))
+        heapq.heapreplace(self._heap, (coverage, -next(self._sequence), group))
         self._members_seen.discard(worst_group.members)
         self._members_seen.add(group.members)
         return True
@@ -142,7 +145,7 @@ class TopNPool:
 
         Ties are broken by discovery order (earlier first), then members.
         """
-        entries = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        entries = sorted(self._heap, key=lambda item: (-item[0], -item[1]))
         return [group for _, _, group in entries]
 
     def best_coverage(self) -> Optional[float]:

@@ -9,6 +9,7 @@ branch-and-bound search repeatedly pushes into ``S_I``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.core.graph import AttributedGraph
@@ -38,6 +39,12 @@ class BFSOracle(DistanceOracle):
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         self._cache_size = cache_size
         self._cache: OrderedDict[tuple[int, int], set[int]] = OrderedDict()
+        # The memo is shared mutable state: concurrent filter_candidates
+        # calls from QueryService worker threads would otherwise race
+        # move_to_end/popitem mid-iteration.  Cached frontier sets are
+        # never mutated after insertion, so readers outside the lock are
+        # safe once they hold a reference.
+        self._memo_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def is_tenuous(self, u: int, v: int, k: int) -> bool:
@@ -66,10 +73,11 @@ class BFSOracle(DistanceOracle):
     # ------------------------------------------------------------------
     def _grow(self, vertex: int, k: int) -> set[int]:
         """Return (and memoise) the set of vertices at distance 1..k."""
-        cached = self._cache.get((vertex, k))
-        if cached is not None:
-            self._cache.move_to_end((vertex, k))
-            return cached
+        with self._memo_lock:
+            cached = self._cache.get((vertex, k))
+            if cached is not None:
+                self._cache.move_to_end((vertex, k))
+                return cached
         adjacency = self.graph.adjacency_view()
         seen = {vertex}
         frontier = [vertex]
@@ -85,9 +93,10 @@ class BFSOracle(DistanceOracle):
             frontier = next_frontier
         seen.discard(vertex)
         if self._cache_size:
-            self._cache[(vertex, k)] = seen
-            if len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
+            with self._memo_lock:
+                self._cache[(vertex, k)] = seen
+                if len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
         return seen
 
     def filter_candidates(self, candidates: list[int], member: int, k: int) -> list[int]:
@@ -113,5 +122,20 @@ class BFSOracle(DistanceOracle):
         self.rebuild()
 
     def rebuild(self) -> None:
-        self._cache.clear()
+        with self._memo_lock:
+            self._cache.clear()
         super().rebuild()
+
+    # ------------------------------------------------------------------
+    # Pickling (ProcessPoolExecutor workers): locks are not picklable
+    # and the memo is a per-process concern, so both are dropped.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_memo_lock"] = None
+        state["_cache"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._memo_lock = threading.Lock()

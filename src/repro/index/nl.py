@@ -24,6 +24,7 @@ basis.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from typing import Literal, Union
 
@@ -101,6 +102,12 @@ class NLIndex(DistanceOracle):
         self._stored_depth: list[int] = []
         self._exhausted: list[bool] = []
         self.depth: int = 1
+        # On-demand expansion mutates the shared level lists; concurrent
+        # probes from QueryService worker threads serialise expansions so
+        # two threads never materialise (and double-append) the same
+        # level.  Read-only probes against already-stored levels do not
+        # take the lock.
+        self._expand_lock = threading.Lock()
         self.rebuild()
 
     # ------------------------------------------------------------------
@@ -202,11 +209,20 @@ class NLIndex(DistanceOracle):
     def _expand_and_find(self, vertex: int, target: int, k: int) -> bool:
         """Expand *vertex*'s levels up to depth *k*, returning whether
         *target* shows up in one of the newly materialised levels."""
+        with self._expand_lock:
+            return self._expand_and_find_locked(vertex, target, k)
+
+    def _expand_and_find_locked(self, vertex: int, target: int, k: int) -> bool:
         found = False
         levels = self._levels[vertex]
         seen: set[int] = {vertex}
-        for level in levels:
+        for position, level in enumerate(levels):
             seen |= level
+            if position < k and target in level:
+                # Another thread materialised this level between the
+                # caller's lock-free scan and acquiring the expansion
+                # lock; only levels within depth k count as "found".
+                found = True
         adjacency = self.graph.adjacency_view()
         while len(levels) < k and not self._exhausted[vertex]:
             self.stats.expansions += 1
@@ -234,3 +250,16 @@ class NLIndex(DistanceOracle):
     def level_sets(self, vertex: int) -> list[frozenset[int]]:
         """Materialised levels of *vertex* (read-only copies, for tests)."""
         return [frozenset(level) for level in self._levels[vertex]]
+
+    # ------------------------------------------------------------------
+    # Pickling (ProcessPoolExecutor workers): the expansion lock is
+    # per-process state and not picklable.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_expand_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._expand_lock = threading.Lock()

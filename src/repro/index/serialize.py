@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import random
+import tempfile
+import threading
 from pathlib import Path
 from typing import Union
 
@@ -70,6 +73,8 @@ def save_index(oracle: DistanceOracle, path: PathLike) -> None:
     elif isinstance(oracle, NLIndex):
         document["payload"] = {
             "depth": oracle.depth,
+            "requested_depth": oracle._requested_depth,
+            "rng_state": oracle._rng.getstate(),
             "stored_depth": oracle._stored_depth,
             "exhausted": oracle._exhausted,
             "levels": [
@@ -88,7 +93,37 @@ def save_index(oracle: DistanceOracle, path: PathLike) -> None:
         raise IndexBuildError(
             f"oracle kind {oracle.name!r} has no serialisable state"
         )
-    Path(path).write_text(json.dumps(document, separators=(",", ":")))
+    _atomic_write_text(Path(path), json.dumps(document, separators=(",", ":")))
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* atomically (temp file + ``os.replace``).
+
+    A crash mid-write must never leave a truncated document at *path*:
+    either the previous index survives intact or the new one is fully in
+    place.  The temp file lives in the same directory so the final
+    rename stays within one filesystem.
+    """
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 def load_index(graph: AttributedGraph, path: PathLike) -> DistanceOracle:
@@ -138,11 +173,31 @@ def _load_nlrnl(graph: AttributedGraph, payload: dict, document: dict) -> NLRNLI
     return index
 
 
+def _restore_rng(state_json: object) -> random.Random:
+    """Rebuild a ``random.Random`` from its JSON-round-tripped state.
+
+    ``getstate()`` is a nested tuple of ints (plus an optional float);
+    JSON turns the tuples into lists, so they are converted back before
+    ``setstate``.  A missing/invalid state falls back to the historical
+    ``Random(0)`` so documents written before the state was persisted
+    still load.
+    """
+    rng = random.Random(0)
+    if isinstance(state_json, (list, tuple)) and len(state_json) == 3:
+        version, internal, gauss_next = state_json
+        try:
+            rng.setstate((version, tuple(internal), gauss_next))
+        except (TypeError, ValueError):
+            rng = random.Random(0)
+    return rng
+
+
 def _load_nl(graph: AttributedGraph, payload: dict, document: dict) -> NLIndex:
     index = NLIndex.__new__(NLIndex)
     DistanceOracle.__init__(index, graph)
-    index._requested_depth = payload["depth"]
-    index._rng = random.Random(0)
+    index._requested_depth = payload.get("requested_depth", payload["depth"])
+    index._rng = _restore_rng(payload.get("rng_state"))
+    index._expand_lock = threading.Lock()
     index.depth = payload["depth"]
     index._stored_depth = list(payload["stored_depth"])
     index._exhausted = list(payload["exhausted"])

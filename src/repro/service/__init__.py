@@ -1,0 +1,31 @@
+"""Batch query serving layer (production-scale path of the ROADMAP).
+
+The solver layer answers one query at a time; deployments answer
+*traffic*.  This package adds the serving machinery around the exact
+KTG/DKTG solvers:
+
+* :class:`~repro.service.service.QueryService` — answers query batches
+  against one shared graph + prebuilt oracle with a worker pool
+  (threads by default, processes opt-in for CPU-bound solves);
+* :class:`~repro.service.cache.ResultCache` — an LRU result cache keyed
+  by ``(graph.version, canonical query)`` so repeated queries are
+  amortised and graph mutations implicitly invalidate stale entries;
+* :class:`~repro.service.service.ServiceResult` /
+  :class:`~repro.service.service.ServiceStats` — per-query provenance
+  (exactness, budget exhaustion, cache hit, latency) and aggregate
+  serving metrics (hit rate, p50/p95/p99 latency, degraded count).
+
+See ``docs/service.md`` for the architecture and degradation semantics.
+"""
+
+from repro.service.cache import CacheStats, ResultCache, canonical_query_key
+from repro.service.service import QueryService, ServiceResult, ServiceStats
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "canonical_query_key",
+    "QueryService",
+    "ServiceResult",
+    "ServiceStats",
+]

@@ -1,0 +1,131 @@
+"""LRU result cache for the query service.
+
+Cache keys are ``(graph.version, algorithm, canonical query)``.  Keying
+by the graph's monotonic mutation counter makes invalidation implicit:
+after any ``add_edge``/``remove_edge`` the version changes, every key
+minted against the old version can never be produced again, and the
+stale entries age out of the LRU window naturally.  No explicit
+invalidation callback has to race in-flight queries.
+
+Queries are canonicalised before keying — keyword order and duplicates
+do not affect the answer (coverage is mask-based), so ``("a", "b")`` and
+``("b", "a", "b")`` share one cache line.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.core.query import DKTGQuery, KTGQuery
+
+__all__ = ["CacheStats", "ResultCache", "canonical_query_key"]
+
+
+def canonical_query_key(query: KTGQuery) -> tuple:
+    """Canonical, hashable identity of a query's *answer*.
+
+    Two queries map to the same key iff an exact solver must return the
+    same result for both: keyword order and multiplicity are erased,
+    every answer-affecting field is kept, and DKTG queries are kept
+    distinct from KTG queries with the same shape (the result types
+    differ even when ``gamma`` would not matter).
+    """
+    key: tuple = (
+        "dktg" if isinstance(query, DKTGQuery) else "ktg",
+        tuple(sorted(set(query.keywords))),
+        query.group_size,
+        query.tenuity,
+        query.top_n,
+        tuple(sorted(query.excluded_anchors)),
+    )
+    if isinstance(query, DKTGQuery):
+        key += (query.gamma,)
+    return key
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+
+class ResultCache:
+    """Thread-safe bounded LRU mapping cache keys to query results.
+
+    ``capacity=0`` disables caching entirely (every lookup is a miss and
+    nothing is stored) — benchmarks use this to isolate solver cost.
+    Stored values are treated as immutable; callers must not mutate
+    returned results.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """Return the cached value for *key* (refreshing recency), or
+        ``None`` on a miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert *value* under *key*, evicting the least recently used
+        entry when full.  ``None`` values are not cacheable (they are
+        indistinguishable from misses)."""
+        if value is None:
+            raise ValueError("cannot cache None (indistinguishable from a miss)")
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({len(self._entries)}/{self.capacity}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}, "
+            f"evictions={self.stats.evictions})"
+        )

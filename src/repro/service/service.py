@@ -1,0 +1,464 @@
+"""QueryService: parallel batch execution with caching and degradation.
+
+One service instance owns a graph, one algorithm spec, one (lazily
+built, shared) distance oracle and one result cache, and answers KTG /
+DKTG queries submitted singly or in batches:
+
+* **Parallel batch execution** — ``run_batch`` fans a workload across a
+  worker pool.  The default ``executor="thread"`` suits oracle-bound
+  work (index probes release no GIL but are memory-bound and cheap);
+  ``executor="process"`` ships the graph + prebuilt oracle to worker
+  processes once and is the right choice for CPU-bound exact solves.
+* **Result caching** — answers are cached under
+  ``(graph.version, algorithm, canonical query)``.  Only *exact*
+  (non-degraded) answers are cached: a budget-truncated answer is an
+  artefact of one run's timing, not a property of the query.  Graph
+  mutations bump the version, so stale entries can never be returned.
+* **Admission control / graceful degradation** — service-level
+  ``time_budget`` / ``node_budget`` defaults are applied to every
+  query (overridable per call).  When a budget trips, the anytime
+  answer is returned and flagged: :attr:`ServiceResult.is_exact` is
+  False and the degradation is counted in :class:`ServiceStats`.
+
+Thread-safety: concurrent ``submit``/``run_batch`` calls are safe.
+Mutating the graph concurrently with in-flight queries is not — mutate
+between batches (the next call observes the new version, rebuilds the
+oracle and re-keys the cache).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.dktg import DKTGResult
+from repro.core.branch_and_bound import KTGResult
+from repro.core.graph import AttributedGraph
+from repro.core.query import DKTGQuery, KTGQuery
+from repro.index.base import DistanceOracle
+from repro.service.cache import ResultCache, canonical_query_key
+from repro.workloads.runner import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    percentile_nearest_rank,
+)
+
+__all__ = ["QueryService", "ServiceResult", "ServiceStats"]
+
+AnyResult = Union[KTGResult, DKTGResult]
+
+#: Default number of workers; matches the throughput bench's 4-worker
+#: acceptance setup.
+DEFAULT_MAX_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One served answer plus its serving provenance.
+
+    ``result`` is the underlying solver result (:class:`KTGResult` or
+    :class:`DKTGResult`); ``latency_ms`` is the *serving* latency — for
+    cache hits that is the lookup time, for misses the solve time.
+    """
+
+    query: KTGQuery
+    result: AnyResult
+    latency_ms: float
+    from_cache: bool = False
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the answer is a certified optimum (no budget tripped)."""
+        return not self.result.stats.budget_exhausted
+
+    @property
+    def degraded(self) -> bool:
+        """Whether admission control truncated the search (anytime answer)."""
+        return self.result.stats.budget_exhausted
+
+    def member_sets(self) -> list[tuple[int, ...]]:
+        """Member tuples of the result groups, best first."""
+        return [group.members for group in self.result.groups]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate serving metrics, exported flat for benches.
+
+    Latency percentiles use the ceiling nearest-rank definition shared
+    with :class:`repro.workloads.runner.LatencyReport`.
+    """
+
+    queries_served: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_hit_rate: float
+    degraded_answers: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+    def as_dict(self) -> dict:
+        """Flat dict for table/CSV rendering and bench ``extra_info``."""
+        return {
+            "queries_served": self.queries_served,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "degraded_answers": self.degraded_answers,
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+        }
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing.  Workers receive the graph, spec and prebuilt
+# oracle once (at pool start) and keep them in module state; per-task
+# traffic is then just (query, budgets) out and result in.
+# ----------------------------------------------------------------------
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _process_worker_init(
+    graph: AttributedGraph,
+    spec: AlgorithmSpec,
+    oracle: Optional[DistanceOracle],
+) -> None:
+    global _WORKER_STATE
+    if oracle is None:
+        oracle = spec.build_oracle(graph)
+    _WORKER_STATE = (graph, spec, oracle)
+
+
+def _process_solve(
+    query: KTGQuery,
+    time_budget: Optional[float],
+    node_budget: Optional[int],
+) -> tuple[AnyResult, float]:
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    graph, spec, oracle = _WORKER_STATE
+    solver = spec.build_solver(
+        graph, oracle, time_budget=time_budget, node_budget=node_budget
+    )
+    started = time.perf_counter()
+    result = solver.solve(query)
+    return result, (time.perf_counter() - started) * 1000.0
+
+
+class QueryService:
+    """Answers KTG/DKTG query batches against one shared graph + oracle.
+
+    Parameters
+    ----------
+    graph:
+        The attributed social network being served.
+    algorithm:
+        Algorithm name from :data:`repro.workloads.runner.ALGORITHMS`
+        or an :class:`AlgorithmSpec`.
+    oracle:
+        Optional prebuilt oracle (must match the spec's kind and the
+        graph); built lazily from the spec when omitted.
+    max_workers:
+        Worker-pool width for parallel batches.
+    executor:
+        ``"thread"`` (default; shares one oracle and its memoisation)
+        or ``"process"`` (copies graph + oracle per worker; opt-in for
+        CPU-bound solves).
+    time_budget / node_budget:
+        Admission-control defaults applied to every query; ``None``
+        means unbounded (every answer is exact).
+    cache_capacity:
+        LRU result-cache size; ``0`` disables caching.
+
+    Examples
+    --------
+    >>> from repro.core.graph import AttributedGraph
+    >>> g = AttributedGraph(4, [(0, 1)], {0: ["a"], 1: ["b"], 2: ["a", "b"], 3: ["b"]})
+    >>> service = QueryService(g, algorithm="KTG-VKC-NLRNL", max_workers=2)
+    >>> q = KTGQuery(keywords=("a", "b"), group_size=2, tenuity=1, top_n=1)
+    >>> first = service.submit(q)
+    >>> first.is_exact and not first.from_cache
+    True
+    >>> again = service.submit(q)
+    >>> again.from_cache and again.member_sets() == first.member_sets()
+    True
+    >>> service.close()
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        algorithm: Union[str, AlgorithmSpec] = "KTG-VKC-DEG-NLRNL",
+        *,
+        oracle: Optional[DistanceOracle] = None,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        executor: str = "thread",
+        time_budget: Optional[float] = None,
+        node_budget: Optional[int] = None,
+        cache_capacity: int = 1024,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        self.graph = graph
+        self.spec = ALGORITHMS[algorithm] if isinstance(algorithm, str) else algorithm
+        self.max_workers = max_workers
+        self.executor_kind = executor
+        self.time_budget = time_budget
+        self.node_budget = node_budget
+        self.cache = ResultCache(cache_capacity)
+        self._oracle = oracle
+        self._oracle_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._latencies_ms: list[float] = []
+        self._queries_served = 0
+        self._degraded_answers = 0
+        self._pool: Optional[Union[ThreadPoolExecutor, ProcessPoolExecutor]] = None
+        self._pool_graph_version: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: KTGQuery,
+        *,
+        time_budget: Optional[float] = None,
+        node_budget: Optional[int] = None,
+    ) -> ServiceResult:
+        """Answer one query (cache-first, sequential)."""
+        query = self._lift(query)
+        return self._serve_one(
+            query,
+            time_budget if time_budget is not None else self.time_budget,
+            node_budget if node_budget is not None else self.node_budget,
+        )
+
+    def run_batch(
+        self,
+        queries: Iterable[KTGQuery],
+        *,
+        parallel: bool = True,
+        time_budget: Optional[float] = None,
+        node_budget: Optional[int] = None,
+    ) -> list[ServiceResult]:
+        """Answer a workload (or any query iterable), in input order.
+
+        ``parallel=False`` forces the sequential path (the baseline the
+        throughput bench compares against).  Results are deterministic
+        and identical across sequential, thread and process execution:
+        every solve is an independent exact search over an immutable
+        graph, so only scheduling differs.
+        """
+        lifted = [self._lift(query) for query in queries]
+        tb = time_budget if time_budget is not None else self.time_budget
+        nb = node_budget if node_budget is not None else self.node_budget
+
+        if not parallel or self.max_workers == 1 or len(lifted) <= 1:
+            return [self._serve_one(query, tb, nb) for query in lifted]
+        if self.executor_kind == "process":
+            return self._run_batch_processes(lifted, tb, nb)
+        pool = self._thread_pool()
+        return list(pool.map(lambda q: self._serve_one(q, tb, nb), lifted))
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the aggregate serving metrics."""
+        with self._stats_lock:
+            latencies = sorted(self._latencies_ms)
+            served = self._queries_served
+            degraded = self._degraded_answers
+        cache_stats = self.cache.stats.snapshot()
+        mean = sum(latencies) / len(latencies) if latencies else 0.0
+        return ServiceStats(
+            queries_served=served,
+            cache_hits=cache_stats.hits,
+            cache_misses=cache_stats.misses,
+            cache_evictions=cache_stats.evictions,
+            cache_hit_rate=cache_stats.hit_rate,
+            degraded_answers=degraded,
+            mean_ms=mean,
+            p50_ms=percentile_nearest_rank(latencies, 0.50),
+            p95_ms=percentile_nearest_rank(latencies, 0.95),
+            p99_ms=percentile_nearest_rank(latencies, 0.99),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _lift(self, query: KTGQuery) -> KTGQuery:
+        """Diversified specs require DKTG queries; lift plain ones."""
+        if self.spec.diversified and not isinstance(query, DKTGQuery):
+            return DKTGQuery(
+                keywords=query.keywords,
+                group_size=query.group_size,
+                tenuity=query.tenuity,
+                top_n=query.top_n,
+                excluded_anchors=query.excluded_anchors,
+            )
+        return query
+
+    def _cache_key(self, query: KTGQuery) -> tuple:
+        return (self.graph.version, self.spec.name, canonical_query_key(query))
+
+    def _ensure_oracle(self) -> DistanceOracle:
+        """Build (or rebuild after graph mutation) the shared oracle."""
+        with self._oracle_lock:
+            if self._oracle is None or self._oracle.is_stale():
+                self._oracle = self.spec.build_oracle(self.graph)
+            return self._oracle
+
+    def _serve_one(
+        self,
+        query: KTGQuery,
+        time_budget: Optional[float],
+        node_budget: Optional[int],
+    ) -> ServiceResult:
+        started = time.perf_counter()
+        key = self._cache_key(query)
+        cached = self.cache.get(key)
+        if cached is not None:
+            served = ServiceResult(
+                query=query,
+                result=cached,  # type: ignore[arg-type]
+                latency_ms=(time.perf_counter() - started) * 1000.0,
+                from_cache=True,
+            )
+            self._record(served)
+            return served
+        oracle = self._ensure_oracle()
+        solver = self.spec.build_solver(
+            self.graph, oracle, time_budget=time_budget, node_budget=node_budget
+        )
+        result = solver.solve(query)
+        served = ServiceResult(
+            query=query,
+            result=result,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+            from_cache=False,
+        )
+        self._finish_miss(key, served)
+        return served
+
+    def _finish_miss(self, key: tuple, served: ServiceResult) -> None:
+        # Only certified-exact answers are cached: a degraded answer
+        # reflects one run's budget, not the query's true result set.
+        if served.is_exact:
+            self.cache.put(key, served.result)
+        self._record(served)
+
+    def _record(self, served: ServiceResult) -> None:
+        with self._stats_lock:
+            self._queries_served += 1
+            self._latencies_ms.append(served.latency_ms)
+            if served.degraded:
+                self._degraded_answers += 1
+
+    # -- thread pool ----------------------------------------------------
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        if self._pool is not None and not isinstance(self._pool, ThreadPoolExecutor):
+            self.close()
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="ktg-service",
+            )
+        return self._pool
+
+    # -- process pool ---------------------------------------------------
+    def _process_pool(self) -> ProcessPoolExecutor:
+        # Workers snapshot the graph at pool start; a mutation since then
+        # would have them answering against a stale graph, so the pool is
+        # recycled whenever the version moved.
+        recycle = (
+            self._pool is not None
+            and (
+                not isinstance(self._pool, ProcessPoolExecutor)
+                or self._pool_graph_version != self.graph.version
+            )
+        )
+        if recycle:
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_process_worker_init,
+                initargs=(self.graph, self.spec, self._ensure_oracle()),
+            )
+            self._pool_graph_version = self.graph.version
+        return self._pool
+
+    def _run_batch_processes(
+        self,
+        queries: Sequence[KTGQuery],
+        time_budget: Optional[float],
+        node_budget: Optional[int],
+    ) -> list[ServiceResult]:
+        # The cache lives in the parent: hits are resolved here, misses
+        # fan out to the workers, and fresh exact answers are cached on
+        # the way back.
+        results: list[Optional[ServiceResult]] = [None] * len(queries)
+        pending: list[int] = []
+        for position, query in enumerate(queries):
+            started = time.perf_counter()
+            cached = self.cache.get(self._cache_key(query))
+            if cached is not None:
+                served = ServiceResult(
+                    query=query,
+                    result=cached,  # type: ignore[arg-type]
+                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                    from_cache=True,
+                )
+                self._record(served)
+                results[position] = served
+            else:
+                pending.append(position)
+        if pending:
+            pool = self._process_pool()
+            futures = [
+                pool.submit(_process_solve, queries[position], time_budget, node_budget)
+                for position in pending
+            ]
+            for position, future in zip(pending, futures):
+                result, latency_ms = future.result()
+                served = ServiceResult(
+                    query=queries[position],
+                    result=result,
+                    latency_ms=latency_ms,
+                    from_cache=False,
+                )
+                self._finish_miss(self._cache_key(queries[position]), served)
+                results[position] = served
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(algorithm={self.spec.name!r}, "
+            f"workers={self.max_workers}x{self.executor_kind}, "
+            f"cache={self.cache!r})"
+        )

@@ -18,10 +18,11 @@ sweep over p values reuses one index, like the paper's setup.
 
 from __future__ import annotations
 
+import math
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.core.branch_and_bound import BranchAndBoundSolver, KTGResult
 from repro.core.dktg import DKTGGreedySolver, DKTGResult
@@ -35,7 +36,28 @@ from repro.index.nlrnl import NLRNLIndex
 from repro.index.pll import PLLIndex
 from repro.workloads.generator import QueryWorkload
 
-__all__ = ["ALGORITHMS", "AlgorithmSpec", "LatencyReport", "ExperimentRunner"]
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "LatencyReport",
+    "ExperimentRunner",
+    "percentile_nearest_rank",
+]
+
+
+def percentile_nearest_rank(ordered: Sequence[float], fraction: float) -> float:
+    """Ceiling nearest-rank percentile of pre-sorted *ordered* samples.
+
+    The nearest-rank definition picks the smallest sample whose rank is
+    at least ``fraction * n``, i.e. index ``ceil(fraction * n) - 1``.
+    ``int(round(...))`` is *not* equivalent: banker's rounding of the
+    half-way cases picks the rank below the percentile for some sample
+    sizes (e.g. n=31 at the 95th percentile).
+    """
+    if not ordered:
+        return 0.0
+    index = max(0, math.ceil(fraction * len(ordered)) - 1)
+    return ordered[min(index, len(ordered) - 1)]
 
 
 @dataclass(frozen=True)
@@ -59,8 +81,15 @@ class AlgorithmSpec:
         raise ValueError(f"unknown oracle kind {self.oracle_kind!r}")
 
     def build_solver(
-        self, graph: AttributedGraph, oracle: DistanceOracle
+        self,
+        graph: AttributedGraph,
+        oracle: DistanceOracle,
+        **solver_options,
     ) -> Union[BranchAndBoundSolver, DKTGGreedySolver]:
+        """Build the solver; *solver_options* (e.g. ``node_budget``,
+        ``time_budget``) pass straight to :class:`BranchAndBoundSolver`
+        — the admission-control hook :class:`repro.service.QueryService`
+        uses to cap per-query cost."""
         if self.strategy_name == "qkc":
             strategy = QKCOrdering()
         elif self.strategy_name == "vkc":
@@ -69,7 +98,9 @@ class AlgorithmSpec:
             strategy = VKCDegreeOrdering(graph.degrees())
         else:
             raise ValueError(f"unknown strategy {self.strategy_name!r}")
-        solver = BranchAndBoundSolver(graph, oracle=oracle, strategy=strategy)
+        solver = BranchAndBoundSolver(
+            graph, oracle=oracle, strategy=strategy, **solver_options
+        )
         if self.diversified:
             return DKTGGreedySolver(graph, inner_solver=solver)
         return solver
@@ -110,11 +141,7 @@ class LatencyReport:
 
     @property
     def p95_ms(self) -> float:
-        if not self.latencies_ms:
-            return 0.0
-        ordered = sorted(self.latencies_ms)
-        index = max(0, int(round(0.95 * (len(ordered) - 1))))
-        return ordered[index]
+        return percentile_nearest_rank(sorted(self.latencies_ms), 0.95)
 
     def row(self) -> dict:
         """Flat dict for table/CSV rendering."""
@@ -160,7 +187,6 @@ class ExperimentRunner:
         spec = ALGORITHMS[algorithm] if isinstance(algorithm, str) else algorithm
         oracle = self.oracle_for(spec)
         solver = spec.build_solver(self.graph, oracle)
-
         report = LatencyReport(
             algorithm=spec.name,
             dataset=workload.dataset if workload.dataset != "unnamed" else self.dataset_name,
@@ -185,4 +211,55 @@ class ExperimentRunner:
                 report.empty_results += 1
             if result_hook is not None:
                 result_hook(result)
+        return report
+
+    def run_batched(
+        self,
+        algorithm: Union[str, AlgorithmSpec],
+        workload: QueryWorkload,
+        *,
+        max_workers: int = 4,
+        executor: str = "thread",
+        parallel: bool = True,
+        time_budget: Optional[float] = None,
+        node_budget: Optional[int] = None,
+        cache_capacity: int = 1024,
+        result_hook: Optional[Callable[[Union[KTGResult, DKTGResult]], None]] = None,
+    ) -> LatencyReport:
+        """Alternate execution path: serve *workload* through a
+        :class:`repro.service.QueryService` (parallel workers + result
+        cache + admission control) instead of the sequential loop.
+
+        Per-query latencies are serving latencies (cache hits are
+        near-zero), so repeated-query workloads report the amortised
+        cost a deployment would observe.
+        """
+        from repro.service import QueryService  # local: avoid import cycle
+
+        spec = ALGORITHMS[algorithm] if isinstance(algorithm, str) else algorithm
+        with QueryService(
+            self.graph,
+            spec,
+            oracle=self.oracle_for(spec),
+            max_workers=max_workers,
+            executor=executor,
+            time_budget=time_budget,
+            node_budget=node_budget,
+            cache_capacity=cache_capacity,
+        ) as service:
+            served = service.run_batch(workload, parallel=parallel)
+
+        report = LatencyReport(
+            algorithm=spec.name,
+            dataset=workload.dataset if workload.dataset != "unnamed" else self.dataset_name,
+            query_count=len(workload),
+        )
+        for outcome in served:
+            report.latencies_ms.append(outcome.latency_ms)
+            report.total_nodes_expanded += outcome.result.stats.nodes_expanded
+            report.total_feasible_groups += outcome.result.stats.feasible_groups
+            if not outcome.result.groups:
+                report.empty_results += 1
+            if result_hook is not None:
+                result_hook(outcome.result)
         return report

@@ -117,6 +117,49 @@ class TestSweepCommand:
         assert "mean latency" in out
 
 
+class TestBatchCommand:
+    def test_second_pass_served_from_cache(self, capsys):
+        code = main(
+            [
+                "batch",
+                "brightkite",
+                "--scale",
+                "0.1",
+                "--queries",
+                "4",
+                "--keyword-size",
+                "3",
+                "--workers",
+                "2",
+                "--passes",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch serving" in out and "from_cache" in out
+        assert "service metrics" in out and "cache_hit_rate" in out
+
+    def test_sequential_flag(self, capsys):
+        code = main(
+            [
+                "batch",
+                "brightkite",
+                "--scale",
+                "0.1",
+                "--queries",
+                "2",
+                "--keyword-size",
+                "3",
+                "--sequential",
+                "--passes",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "queries_served" in capsys.readouterr().out
+
+
 class TestCaseStudyCommand:
     def test_prints_report(self, capsys):
         assert main(["case-study"]) == 0

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.branch_and_bound import BranchAndBoundSolver
 from repro.core.coverage import CoverageContext
+from repro.core.graph import AttributedGraph
 from repro.core.query import KTGQuery
 from tests.conftest import make_random_attributed_graph
 
@@ -63,6 +64,33 @@ class TestNodeBudget:
         roomy = BranchAndBoundSolver(graph, node_budget=10_000_000).solve(query)
         assert roomy.is_exact
         assert [g.coverage for g in roomy.groups] == [g.coverage for g in exact.groups]
+
+
+class TestLeafScanDeadline:
+    """Regression: the deadline must also be honoured inside the
+    ``_complete_groups`` leaf scan, not just between tree nodes — one
+    dense leaf with thousands of remaining candidates used to blow far
+    past ``time_budget`` before the next node-level check fired."""
+
+    def test_single_dense_leaf_respects_deadline(self):
+        # An edgeless graph where every vertex carries the query keyword:
+        # with p=2 the very first leaf scans ~n candidates, all feasible.
+        # keyword_pruning=False disables the sorted-gain early break, so
+        # without an in-leaf deadline check the scan would run all the
+        # way through (~n^2/2 offers over the whole search).
+        n = 4000
+        graph = AttributedGraph(n, [], {v: ["a"] for v in range(n)})
+        query = KTGQuery(keywords=("a",), group_size=2, tenuity=1, top_n=3)
+        solver = BranchAndBoundSolver(
+            graph, time_budget=0.001, keyword_pruning=False
+        )
+        result = solver.solve(query)
+        assert not result.is_exact
+        assert result.stats.budget_exhausted
+        # Bounded overshoot: the scan stops within one 256-candidate
+        # amortisation window of the deadline, far below the multi-second
+        # full enumeration.
+        assert result.stats.elapsed_seconds < 0.5
 
 
 class TestTimeBudget:

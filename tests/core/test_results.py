@@ -90,6 +90,27 @@ class TestStrictImprovementSemantics:
         assert not pool.contains_members([1, 2])
         assert pool.offer([1, 2], 0.9)
 
+    def test_strict_improvement_evicts_newest_tied_worst(self):
+        """Regression: among coverage-tied worst groups the *newest*
+        discovery is evicted, so earlier discoveries are never displaced
+        by anything they tie with."""
+        pool = TopNPool(2)
+        pool.offer([1, 2], 0.5)   # earliest tied-worst discovery
+        pool.offer([3, 4], 0.5)   # newest tied-worst discovery
+        assert pool.offer([5, 6], 0.9)
+        members = {group.members for group in pool.best()}
+        assert members == {(1, 2), (5, 6)}
+        assert not pool.contains_members([3, 4])
+
+    def test_repeated_improvements_preserve_oldest_ties(self):
+        pool = TopNPool(3)
+        pool.offer([1], 0.4)
+        pool.offer([2], 0.4)
+        pool.offer([3], 0.4)
+        pool.offer([4], 0.6)  # evicts (3,), the newest 0.4 tie
+        pool.offer([5], 0.7)  # evicts (2,), now the newest 0.4 tie
+        assert [g.members for g in pool.best()] == [(5,), (4,), (1,)]
+
 
 class TestBestOrdering:
     def test_best_sorted_by_coverage_desc(self):

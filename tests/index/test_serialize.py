@@ -117,6 +117,118 @@ class TestFailureModes:
             load_index(graph, tmp_path / "missing.json")
 
 
+class TestAtomicWrites:
+    """A crash mid-save must never corrupt an existing index file."""
+
+    def test_interrupted_save_leaves_previous_index_intact(
+        self, graph, tmp_path, monkeypatch
+    ):
+        import repro.index.serialize as serialize_module
+
+        index = NLRNLIndex(graph)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        good_document = path.read_text()
+
+        # Simulate a crash after the temp file is partially written but
+        # before it replaces the target: fail the final rename.
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(serialize_module.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_index(index, path)
+
+        # The previous document survives byte-for-byte and still loads.
+        assert path.read_text() == good_document
+        loaded = load_index(graph, path)
+        assert loaded.stats.entries == index.stats.entries
+        # No temp-file litter is left behind.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_interrupted_write_cleans_temp_file(self, graph, tmp_path, monkeypatch):
+        import repro.index.serialize as serialize_module
+
+        index = NLRNLIndex(graph)
+        path = tmp_path / "index.json"
+
+        def exploding_fsync(fd):
+            raise OSError("simulated crash mid-write")
+
+        # Fail after bytes were written to the temp file but before it
+        # can be renamed: nothing may appear at *path* and the torn temp
+        # file must be removed.
+        monkeypatch.setattr(serialize_module.os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="mid-write"):
+            save_index(index, path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_partial_document_rejected_on_load(self, graph, tmp_path):
+        index = NLRNLIndex(graph)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        text = path.read_text()
+        # A torn write under the old non-atomic scheme: half a document.
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(IndexBuildError, match="cannot load"):
+            load_index(graph, path)
+
+
+class TestNLRngPersistence:
+    """Loaded NL indexes must not diverge from built ones on later
+    sampling-dependent operations (auto-depth re-selection on rebuild)."""
+
+    @staticmethod
+    def _big_graph(seed=11):
+        # > _AUTO_SAMPLE vertices so the auto-depth heuristic actually
+        # consumes RNG draws when sampling BFS profiles.
+        return make_random_attributed_graph(num_vertices=90, seed=seed)
+
+    def test_rng_state_round_trips(self, tmp_path):
+        graph = self._big_graph()
+        built = NLIndex(graph, depth="auto")
+        path = tmp_path / "nl.json"
+        save_index(built, path)
+        loaded = load_index(graph, path)
+        assert loaded._rng.getstate() == built._rng.getstate()
+        assert loaded._requested_depth == built._requested_depth
+
+    def test_build_save_load_mutate_equals_build_mutate(self, tmp_path):
+        graph_a = self._big_graph()
+        graph_b = self._big_graph()
+        built = NLIndex(graph_a, depth="auto")
+        path = tmp_path / "nl.json"
+        save_index(built, path)
+        loaded = load_index(graph_b, path)
+
+        non_edge = next(
+            (u, v)
+            for u in graph_a.vertices()
+            for v in graph_a.vertices()
+            if u < v and not graph_a.has_edge(u, v)
+        )
+        built.insert_edge(*non_edge)    # build -> mutate (rebuilds)
+        loaded.insert_edge(*non_edge)   # build -> save -> load -> mutate
+
+        assert loaded.depth == built.depth
+        assert loaded._rng.getstate() == built._rng.getstate()
+        for vertex in (0, 1, non_edge[0], non_edge[1]):
+            assert loaded.level_sets(vertex) == built.level_sets(vertex)
+
+    def test_legacy_document_without_rng_state_still_loads(self, graph, tmp_path):
+        built = NLIndex(graph, depth=2)
+        path = tmp_path / "nl.json"
+        save_index(built, path)
+        document = json.loads(path.read_text())
+        del document["payload"]["rng_state"]
+        del document["payload"]["requested_depth"]
+        path.write_text(json.dumps(document))
+        loaded = load_index(graph, path)
+        assert loaded.depth == 2
+        assert_probe_equivalent(built, loaded, graph)
+
+
 class TestFingerprint:
     def test_stable(self, graph):
         assert graph_fingerprint(graph) == graph_fingerprint(graph)

@@ -24,7 +24,10 @@ def reference_pool(capacity, sequence):
         if len(kept) < capacity:
             kept.append((coverage, order, canonical))
             continue
-        worst = min(kept)  # lowest coverage, oldest first on ties
+        # Lowest coverage is evicted; among coverage-tied worst entries
+        # the *newest* yields, so earlier discoveries are never displaced
+        # by anything they tie with.
+        worst = min(kept, key=lambda entry: (entry[0], -entry[1]))
         if coverage > worst[0]:
             kept.remove(worst)
             kept.append((coverage, order, canonical))

@@ -1,0 +1,51 @@
+"""Property test: cached answers are indistinguishable from fresh solves.
+
+For any sequence of queries, serving through the cache must return
+exactly what a cache-less solve of the same query returns — member sets
+and coverages both.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.query import KTGQuery
+from repro.service import QueryService
+from tests.conftest import make_random_attributed_graph
+
+_GRAPH = make_random_attributed_graph(num_vertices=35, seed=29)
+_LABELS = sorted(_GRAPH.keyword_table)
+
+queries = st.builds(
+    KTGQuery,
+    keywords=st.lists(
+        st.sampled_from(_LABELS), min_size=1, max_size=4, unique=True
+    ).map(tuple),
+    group_size=st.integers(2, 3),
+    tenuity=st.integers(1, 3),
+    top_n=st.integers(1, 3),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sequence=st.lists(queries, min_size=1, max_size=8))
+def test_cached_answers_equal_fresh_solves(sequence):
+    service = QueryService(_GRAPH, "KTG-VKC-NLRNL", cache_capacity=16)
+    oracle = service._ensure_oracle()
+    for query in sequence + sequence:  # second half exercises the cache
+        served = service.submit(query)
+        fresh = BranchAndBoundSolver(_GRAPH, oracle=oracle).solve(query)
+        assert served.member_sets() == fresh.member_sets()
+        assert [g.coverage for g in served.result.groups] == [
+            g.coverage for g in fresh.groups
+        ]
+        assert served.is_exact
+
+
+@settings(max_examples=15, deadline=None)
+@given(query=queries)
+def test_second_serve_is_a_hit_with_identical_result(query):
+    service = QueryService(_GRAPH, "KTG-VKC-NLRNL")
+    first = service.submit(query)
+    second = service.submit(query)
+    assert second.from_cache
+    assert second.result is first.result

@@ -1,0 +1,103 @@
+"""Unit tests for the service result cache and query canonicalisation."""
+
+import pytest
+
+from repro.core.query import DKTGQuery, KTGQuery
+from repro.service import ResultCache, canonical_query_key
+
+
+class TestCanonicalQueryKey:
+    def test_keyword_order_and_duplicates_erased(self):
+        a = KTGQuery(keywords=("x", "y"), group_size=3, tenuity=2, top_n=3)
+        b = KTGQuery(keywords=("y", "x", "y"), group_size=3, tenuity=2, top_n=3)
+        assert canonical_query_key(a) == canonical_query_key(b)
+
+    def test_answer_affecting_fields_distinguish(self):
+        base = KTGQuery(keywords=("x",), group_size=3, tenuity=2, top_n=3)
+        for changed in (
+            base.with_(group_size=4),
+            base.with_(tenuity=1),
+            base.with_(top_n=1),
+            base.with_(keywords=("x", "z")),
+            base.with_(excluded_anchors=(7,)),
+        ):
+            assert canonical_query_key(base) != canonical_query_key(changed)
+
+    def test_anchor_order_erased(self):
+        a = KTGQuery(keywords=("x",), excluded_anchors=(3, 1))
+        b = KTGQuery(keywords=("x",), excluded_anchors=(1, 3))
+        assert canonical_query_key(a) == canonical_query_key(b)
+
+    def test_dktg_distinct_from_ktg(self):
+        ktg = KTGQuery(keywords=("x",), group_size=3, tenuity=2, top_n=3)
+        dktg = DKTGQuery(keywords=("x",), group_size=3, tenuity=2, top_n=3)
+        assert canonical_query_key(ktg) != canonical_query_key(dktg)
+
+    def test_gamma_distinguishes_dktg(self):
+        a = DKTGQuery(keywords=("x",), gamma=0.5)
+        b = DKTGQuery(keywords=("x",), gamma=0.9)
+        assert canonical_query_key(a) != canonical_query_key(b)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get("k") is None
+        cache.put("k", "value")
+        assert cache.get("k") == "value"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_does_not_evict(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ResultCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+    def test_none_not_cacheable(self):
+        cache = ResultCache(2)
+        with pytest.raises(ValueError):
+            cache.put("a", None)
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.stats.hits == 1
+        assert len(cache) == 0
+
+    def test_snapshot_is_independent(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        snap = cache.stats.snapshot()
+        cache.get("a")
+        assert snap.hits == 1
+        assert cache.stats.hits == 2

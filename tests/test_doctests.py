@@ -20,6 +20,7 @@ import repro.datasets.keywords
 import repro.index.nl
 import repro.index.nlrnl
 import repro.index.pll
+import repro.service.service
 from repro.core.graph import AttributedGraph
 
 MODULES = [
@@ -34,6 +35,7 @@ MODULES = [
     repro.index.nl,
     repro.index.nlrnl,
     repro.index.pll,
+    repro.service.service,
 ]
 
 

@@ -128,6 +128,45 @@ class TestRunner:
         assert report.p95_ms == 0.0
 
 
+class TestP95NearestRank:
+    """Regression: p95 must use ceiling nearest-rank, not banker's
+    rounding of ``0.95 * (n - 1)`` (which under-indexes some sizes)."""
+
+    @staticmethod
+    def _report(latencies):
+        from repro.workloads.runner import LatencyReport
+
+        return LatencyReport(
+            algorithm="X",
+            dataset="d",
+            query_count=len(latencies),
+            latencies_ms=list(latencies),
+        )
+
+    def test_single_sample_is_its_own_p95(self):
+        assert self._report([42.0]).p95_ms == 42.0
+
+    def test_n20_picks_19th_smallest(self):
+        # ceil(0.95 * 20) - 1 = 18 -> the 19th smallest value.
+        latencies = [float(i) for i in range(1, 21)]
+        assert self._report(latencies).p95_ms == 19.0
+
+    def test_n21_picks_20th_smallest(self):
+        # ceil(0.95 * 21) - 1 = 19 -> the 20th smallest value.
+        latencies = [float(i) for i in range(1, 22)]
+        assert self._report(latencies).p95_ms == 20.0
+
+    def test_n31_banker_rounding_regression(self):
+        # The old int(round(0.95 * 30)) = 28 under-indexed; the ceiling
+        # nearest-rank index is ceil(0.95 * 31) - 1 = 29.
+        latencies = [float(i) for i in range(1, 32)]
+        assert self._report(latencies).p95_ms == 30.0
+
+    def test_order_independent(self):
+        latencies = [float(i) for i in range(21, 0, -1)]
+        assert self._report(latencies).p95_ms == 20.0
+
+
 class TestPLLSpec:
     def test_pll_oracle_kind(self, graph):
         from repro.index.pll import PLLIndex
