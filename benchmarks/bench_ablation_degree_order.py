@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import bench_dataset, bench_workload
+from conftest import bench_dataset, bench_workload, register_bench_meta
+
+register_bench_meta("ablation_degree_order", ablation="A1", title="degree tie-break direction")
 from repro.core.branch_and_bound import BranchAndBoundSolver
 from repro.core.strategies import VKCDegreeOrdering, VKCOrdering
 from repro.index.nlrnl import NLRNLIndex

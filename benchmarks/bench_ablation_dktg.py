@@ -18,6 +18,10 @@ from repro.core.dktg import DKTGGreedySolver, greedy_approximation_ratio
 from repro.core.dktg_exact import DKTGExactSolver
 from repro.datasets.figure1 import case_study_graph, case_study_query
 
+from conftest import register_bench_meta
+
+register_bench_meta("ablation_dktg", ablation="A4", title="DKTG greedy vs exact")
+
 
 @pytest.fixture(scope="module")
 def graph():

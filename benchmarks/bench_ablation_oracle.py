@@ -17,7 +17,9 @@ import random
 
 import pytest
 
-from conftest import bench_dataset
+from conftest import bench_dataset, register_bench_meta
+
+register_bench_meta("ablation_oracle", ablation="A3", title="distance oracle micro-costs")
 from repro.index.bfs import BFSOracle
 from repro.index.nl import NLIndex
 from repro.index.nlrnl import NLRNLIndex

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import bench_dataset, bench_workload
+from conftest import bench_dataset, bench_workload, register_bench_meta
+
+register_bench_meta("ablation_pruning", ablation="A2", title="keyword pruning and k-line filtering")
 from repro.core.branch_and_bound import BranchAndBoundSolver
 from repro.core.strategies import VKCDegreeOrdering
 from repro.index.nlrnl import NLRNLIndex

@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_point
+from conftest import register_bench_meta, run_point
+
+register_bench_meta("fig3_group_size", figure="3", title="average latency vs group size p")
 from repro.workloads.runner import ALGORITHMS
 from repro.workloads.sweep import DEFAULTS
 

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_point
+from conftest import register_bench_meta, run_point
+
+register_bench_meta("fig4_social_constraint", figure="4", title="average latency vs social constraint k")
 from repro.workloads.runner import ALGORITHMS
 from repro.workloads.sweep import DEFAULTS, PARAMETER_TABLE
 

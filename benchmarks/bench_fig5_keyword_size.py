@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_point
+from conftest import register_bench_meta, run_point
+
+register_bench_meta("fig5_keyword_size", figure="5", title="average latency vs query keyword size")
 from repro.workloads.runner import ALGORITHMS
 from repro.workloads.sweep import DEFAULTS, PARAMETER_TABLE
 

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_point
+from conftest import register_bench_meta, run_point
+
+register_bench_meta("fig6_topn", figure="6", title="average latency vs top-N size")
 from repro.workloads.runner import ALGORITHMS
 from repro.workloads.sweep import DEFAULTS, PARAMETER_TABLE
 

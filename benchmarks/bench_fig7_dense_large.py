@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_point
+from conftest import register_bench_meta, run_point
+
+register_bench_meta("fig7_dense_large", figure="7", title="dense (Twitter) and large (DBLP) graphs")
 from repro.workloads.sweep import DEFAULTS
 
 #: The large profile runs at a reduced scale to keep index build cost

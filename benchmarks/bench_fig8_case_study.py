@@ -25,6 +25,10 @@ from repro.core.strategies import VKCDegreeOrdering
 from repro.datasets.figure1 import case_study_graph, case_study_query
 from repro.index.nlrnl import NLRNLIndex
 
+from conftest import register_bench_meta
+
+register_bench_meta("fig8_case_study", figure="8", title="effectiveness case study vs TAGQ")
+
 
 @pytest.fixture(scope="module")
 def setting():

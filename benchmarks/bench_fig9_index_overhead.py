@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import bench_dataset
+from conftest import bench_dataset, check_claim, register_bench_meta
+
+register_bench_meta("fig9_index_overhead", figure="9", title="index space and construction time")
 from repro.index.nl import NLIndex
 from repro.index.nlrnl import NLRNLIndex
 from repro.index.stats import measure_footprint
@@ -57,4 +59,6 @@ def test_fig9a_space_shape(benchmark, dataset):
     benchmark.extra_info["nl_entries"] = nl.entries
     benchmark.extra_info["nlrnl_entries"] = nlrnl.entries
     benchmark.extra_info["space_ratio"] = round(nl.entries / max(nlrnl.entries, 1), 2)
-    assert nlrnl.entries < nl.entries
+    # Soft under --smoke: the space relation is a full-scale property —
+    # on a tiny clamped graph level populations can degenerate.
+    check_claim(nlrnl.entries < nl.entries, "expected NLRNL entries < NL entries")

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import bench_dataset
+from conftest import bench_dataset, register_bench_meta
+
+register_bench_meta("index_serialization", ablation="A5", title="index persistence vs rebuild")
 from repro.index.nl import NLIndex
 from repro.index.nlrnl import NLRNLIndex
 from repro.index.pll import PLLIndex

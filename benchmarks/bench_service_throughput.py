@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import time
 
-from conftest import bench_runner, bench_workload
+from conftest import bench_runner, bench_workload, check_claim, register_bench_meta
+
+register_bench_meta("service_throughput", title="batch serving vs sequential solving")
 from repro.service import QueryService
 from repro.workloads.runner import ALGORITHMS
 
@@ -73,7 +75,9 @@ def test_service_throughput_vs_sequential(benchmark):
     benchmark.extra_info["queries_served"] = stats.queries_served
 
     # The acceptance bar: >=2x throughput on a repeated-query workload.
-    assert speedup >= 2.0, f"service speedup {speedup:.2f}x < 2x"
+    # Soft under --smoke: at smoke scale, per-query work is too small for
+    # pool/cache amortisation to dominate dispatch overhead.
+    check_claim(speedup >= 2.0, f"service speedup {speedup:.2f}x < 2x")
     assert stats.cache_hits > 0
 
 

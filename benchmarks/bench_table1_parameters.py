@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import bench_dataset
+from conftest import bench_dataset, register_bench_meta
+
+register_bench_meta("table1_parameters", table="I", title="parameter ranges and defaults")
 from repro.analysis.tables import render_table
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.sweep import DEFAULTS, PARAMETER_TABLE

@@ -165,10 +165,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     stats = commands.add_parser(
-        "stats", help="structural statistics of a dataset profile"
+        "stats",
+        help=(
+            "structural statistics of a dataset profile; with --keywords, "
+            "run one instrumented solve and print its full instrument report"
+        ),
     )
     stats.add_argument("profile", choices=sorted(PROFILES))
     stats.add_argument("--scale", type=float, default=0.5)
+    stats.add_argument(
+        "--keywords",
+        default=None,
+        help="comma-separated query keywords; switches to the solve report",
+    )
+    stats.add_argument("-p", "--group-size", type=int, default=3)
+    stats.add_argument("-k", "--tenuity", type=int, default=2)
+    stats.add_argument("-n", "--top-n", type=int, default=3)
+    stats.add_argument(
+        "--algorithm",
+        default="KTG-VKC-DEG-NLRNL",
+        choices=sorted(
+            name for name, spec in ALGORITHMS.items() if not spec.diversified
+        ),
+    )
 
     trace = commands.add_parser(
         "trace", help="render the Figure 2 search tree of the running example"
@@ -386,6 +405,8 @@ def _cmd_index_stats(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph, _ = load_dataset(args.profile, scale=args.scale)
+    if args.keywords:
+        return _cmd_stats_solve(args, graph)
     statistics = compute_statistics(graph)
     print(
         render_table(
@@ -398,6 +419,30 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         for k, fraction in enumerate(statistics.hop_ball_fractions, start=1)
     )
     print(f"hop-ball fractions: {fractions}")
+    return 0
+
+
+def _cmd_stats_solve(args: argparse.Namespace, graph) -> int:
+    """``ktg stats <profile> --keywords ...``: one instrumented solve."""
+    from repro.obs import InstrumentingHooks, InstrumentRegistry
+    from repro.obs.report import render_solve_report, solve_report
+
+    labels = tuple(label.strip() for label in args.keywords.split(",") if label.strip())
+    spec = ALGORITHMS[args.algorithm]
+    query = KTGQuery(
+        keywords=labels,
+        group_size=args.group_size,
+        tenuity=args.tenuity,
+        top_n=args.top_n,
+    )
+    runner = ExperimentRunner(graph, dataset_name=args.profile)
+    oracle = runner.oracle_for(spec)
+    oracle.stats.reset_usage()
+    solver = spec.build_solver(graph, oracle)
+    registry = InstrumentRegistry()
+    result = solver.solve(query, hooks=InstrumentingHooks(registry))
+    report = solve_report(result, oracle=oracle, instruments=registry)
+    print(render_solve_report(report))
     return 0
 
 

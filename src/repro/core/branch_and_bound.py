@@ -31,17 +31,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.coverage import CoverageContext
 from repro.core.errors import IndexBuildError
 from repro.core.graph import AttributedGraph
-from repro.core.pruning import keyword_prune_bound
+from repro.core.pruning import keyword_prune_decision
 from repro.core.query import KTGQuery
 from repro.core.results import Group, TopNPool
 from repro.core.strategies import OrderingStrategy, VKCOrdering
 from repro.index.base import DistanceOracle
 from repro.index.bfs import BFSOracle
+
+if TYPE_CHECKING:  # hooks are duck-typed at runtime (no repro.obs import)
+    from repro.obs.hooks import SolverHooks
 
 __all__ = ["SearchStats", "KTGResult", "BranchAndBoundSolver"]
 
@@ -60,6 +63,21 @@ class SearchStats:
     ``first_feasible_node`` records how many nodes were expanded before
     the first feasible group was found (the quantity the VKC-DEG
     ordering is designed to minimise).
+
+    Every entered node is classified exactly once: it either recursed
+    into children (``nodes_interior``), ran the leaf completion scan
+    (``nodes_completed``), had fewer candidates than open slots
+    (``nodes_exhausted``) or was cut by keyword pruning
+    (``node_prunes``).  On an unbudgeted run::
+
+        nodes_expanded == nodes_interior + nodes_completed
+                          + nodes_exhausted + node_prunes
+
+    (a budget trip leaves the last entered node unclassified).
+    ``keyword_prunes`` splits as ``node_prunes + leaf_prunes`` — leaf
+    prunes are the early breaks of the VKC-sorted completion scan —
+    and ``union_prunes`` counts node prunes where the union-of-masks
+    bound was the strictly tighter rule.
     """
 
     nodes_expanded: int = 0
@@ -73,6 +91,12 @@ class SearchStats:
     #: is then the best found so far (anytime behaviour), not certified
     #: optimal.
     budget_exhausted: bool = False
+    nodes_interior: int = 0
+    nodes_completed: int = 0
+    nodes_exhausted: int = 0
+    node_prunes: int = 0
+    leaf_prunes: int = 0
+    union_prunes: int = 0
 
 
 @dataclass(frozen=True)
@@ -166,6 +190,7 @@ class BranchAndBoundSolver:
         self.node_budget = node_budget
         self.time_budget = time_budget
         self._deadline: Optional[float] = None
+        self._hooks: Optional["SolverHooks"] = None
 
     # ------------------------------------------------------------------
     @property
@@ -179,12 +204,18 @@ class BranchAndBoundSolver:
         self,
         query: KTGQuery,
         candidates: Optional[Sequence[int]] = None,
+        hooks: Optional["SolverHooks"] = None,
     ) -> KTGResult:
         """Answer *query*, optionally restricted to a candidate subset.
 
         The *candidates* override exists for DKTG-Greedy, which re-runs
         the search with already-used members removed.  Candidates are
         still required to cover at least one query keyword.
+
+        *hooks* attaches a :class:`repro.obs.hooks.SolverHooks`
+        subscriber for this solve only; with the default ``None`` every
+        event site is a single ``is None`` check and nothing is
+        allocated.
         """
         if self.oracle.is_stale():
             raise IndexBuildError(
@@ -204,6 +235,9 @@ class BranchAndBoundSolver:
         self._deadline = (
             started + self.time_budget if self.time_budget is not None else None
         )
+        self._hooks = hooks
+        if hooks is not None:
+            hooks.search_started(query, tuple(initial))
         try:
             self._search(
                 members=[],
@@ -216,8 +250,12 @@ class BranchAndBoundSolver:
             )
         except _BudgetExhausted:
             stats.budget_exhausted = True
+        finally:
+            self._hooks = None
 
         stats.elapsed_seconds = time.perf_counter() - started
+        if hooks is not None:
+            hooks.search_finished(stats)
         return KTGResult(
             query=query,
             algorithm=self.algorithm_name,
@@ -259,7 +297,13 @@ class BranchAndBoundSolver:
         stats: SearchStats,
     ) -> None:
         stats.nodes_expanded += 1
+        hooks = self._hooks
+        slots = query.group_size - len(members)
+        if hooks is not None:
+            hooks.node_entered(tuple(members), slots, len(remaining))
         if self.node_budget is not None and stats.nodes_expanded > self.node_budget:
+            if hooks is not None:
+                hooks.budget_tripped("nodes", tuple(members))
             raise _BudgetExhausted
         # Wall-clock checks are amortised: perf_counter every 256 nodes.
         if (
@@ -267,13 +311,17 @@ class BranchAndBoundSolver:
             and stats.nodes_expanded % 256 == 0
             and time.perf_counter() > self._deadline
         ):
+            if hooks is not None:
+                hooks.budget_tripped("time", tuple(members))
             raise _BudgetExhausted
-        slots = query.group_size - len(members)
         if len(remaining) < slots:
+            stats.nodes_exhausted += 1
+            if hooks is not None:
+                hooks.node_exhausted(tuple(members))
             return
 
         if self.keyword_pruning:
-            bound = keyword_prune_bound(
+            bound, rule = keyword_prune_decision(
                 covered_mask,
                 remaining,
                 slots,
@@ -283,13 +331,20 @@ class BranchAndBoundSolver:
             )
             if bound <= pool.threshold:
                 stats.keyword_prunes += 1
+                stats.node_prunes += 1
+                if rule == "union":
+                    stats.union_prunes += 1
+                if hooks is not None:
+                    hooks.node_pruned(tuple(members), rule, bound, pool.threshold)
                 return
 
         masks = context.masks
         if slots == 1:
+            stats.nodes_completed += 1
             self._complete_groups(members, covered_mask, remaining, query, context, pool, stats)
             return
 
+        stats.nodes_interior += 1
         for position, vertex in enumerate(remaining):
             rest = remaining[position + 1 :]
             if len(rest) < slots - 1:
@@ -299,6 +354,8 @@ class BranchAndBoundSolver:
                 before = len(rest)
                 rest = self.oracle.filter_candidates(rest, vertex, query.tenuity)
                 stats.kline_removed += before - len(rest)
+                if hooks is not None:
+                    hooks.candidates_filtered(vertex, before, len(rest))
             # Re-sorting is only needed when the covered set actually
             # changed: VKC values are a function of the covered mask, and
             # filtering preserves relative order.
@@ -327,6 +384,7 @@ class BranchAndBoundSolver:
         query_size = context.query_size
         sorted_by_gain = self.strategy.resorts
         uncovered = ~covered_mask
+        hooks = self._hooks
         # The node-level deadline check only fires between tree nodes; a
         # single dense leaf can hold tens of thousands of candidates, so
         # the scan itself re-checks the clock (amortised every 256
@@ -338,6 +396,8 @@ class BranchAndBoundSolver:
                 and position & 0xFF == 0xFF
                 and time.perf_counter() > deadline
             ):
+                if hooks is not None:
+                    hooks.budget_tripped("time", tuple(members))
                 raise _BudgetExhausted
             gain = (masks[vertex] & uncovered).bit_count()
             coverage = (covered_bits + gain) / query_size
@@ -347,20 +407,30 @@ class BranchAndBoundSolver:
                 and not pool.would_admit(coverage)
             ):
                 stats.keyword_prunes += 1
+                stats.leaf_prunes += 1
+                if hooks is not None:
+                    hooks.leaf_visited((*members, vertex), coverage, "pruned")
                 break
             if not self.kline_filtering:
                 members.append(vertex)
                 tenuous = self._pairwise_tenuous(members, query.tenuity)
                 members.pop()
                 if not tenuous:
+                    if hooks is not None:
+                        hooks.leaf_visited((*members, vertex), coverage, "infeasible")
                     continue
             stats.feasible_groups += 1
             if stats.first_feasible_node is None:
                 stats.first_feasible_node = stats.nodes_expanded
             members.append(vertex)
-            if pool.offer(members, coverage):
+            accepted = pool.offer(members, coverage)
+            if accepted:
                 stats.offers_accepted += 1
             members.pop()
+            if hooks is not None:
+                hooks.leaf_visited(
+                    (*members, vertex), coverage, "accepted" if accepted else "feasible"
+                )
 
     def _pairwise_tenuous(self, members: Sequence[int], k: int) -> bool:
         """Full pairwise tenuity check, used only when k-line filtering

@@ -24,7 +24,12 @@ import heapq
 
 from repro.core.coverage import CoverageContext
 
-__all__ = ["top_vkc_bound", "union_bound", "keyword_prune_bound"]
+__all__ = [
+    "top_vkc_bound",
+    "union_bound",
+    "keyword_prune_bound",
+    "keyword_prune_decision",
+]
 
 
 def top_vkc_bound(
@@ -70,6 +75,31 @@ def union_bound(covered_mask: int, candidates: list[int], context: CoverageConte
     return combined.bit_count() / context.query_size
 
 
+def keyword_prune_decision(
+    covered_mask: int,
+    candidates: list[int],
+    slots: int,
+    context: CoverageContext,
+    presorted_by_vkc: bool = False,
+    use_union_bound: bool = False,
+) -> tuple[float, str]:
+    """The bound the solver compares against ``C_max``, with attribution.
+
+    Returns ``(bound, rule)`` where *rule* is ``"keyword"`` when the
+    paper's Theorem 2 top-VKC bound decides, or ``"union"`` when the
+    union-of-masks bound is strictly tighter (our extension; measured
+    in the pruning ablation bench).  The attribution feeds the
+    per-rule prune counters of :mod:`repro.obs`.
+    """
+    bound = top_vkc_bound(covered_mask, candidates, slots, context, presorted_by_vkc)
+    rule = "keyword"
+    if use_union_bound:
+        alternative = union_bound(covered_mask, candidates, context)
+        if alternative < bound:
+            return alternative, "union"
+    return bound, rule
+
+
 def keyword_prune_bound(
     covered_mask: int,
     candidates: list[int],
@@ -78,12 +108,12 @@ def keyword_prune_bound(
     presorted_by_vkc: bool = False,
     use_union_bound: bool = False,
 ) -> float:
-    """The bound the solver compares against ``C_max``.
-
-    The paper's Theorem 2 bound, optionally tightened by the union
-    bound (our extension; measured in the pruning ablation bench).
-    """
-    bound = top_vkc_bound(covered_mask, candidates, slots, context, presorted_by_vkc)
-    if use_union_bound:
-        bound = min(bound, union_bound(covered_mask, candidates, context))
-    return bound
+    """Bound-only convenience wrapper over :func:`keyword_prune_decision`."""
+    return keyword_prune_decision(
+        covered_mask,
+        candidates,
+        slots,
+        context,
+        presorted_by_vkc=presorted_by_vkc,
+        use_union_bound=use_union_bound,
+    )[0]

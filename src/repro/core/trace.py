@@ -6,6 +6,13 @@ result groups were found.  :class:`TracingSolver` wraps any
 :class:`~repro.core.branch_and_bound.BranchAndBoundSolver` and records
 exactly that, then renders it as an indented ASCII tree.
 
+The recording is a :class:`~repro.obs.hooks.SolverHooks` subscriber:
+the solver emits one event per search decision and
+:class:`_TraceRecorder` rebuilds the tree from the event stream.  The
+trace therefore *cannot* drift from the real search — budgets, leaf
+deadline checks and every pruning rule are whatever the solver actually
+did, because the solver is the only implementation of the search.
+
 Intended uses: debugging ordering strategies ("why was this group found
 late?"), teaching material, and the Figure 2 regression test — the
 worked example's tree shape is pinned in the test suite.
@@ -13,14 +20,13 @@ worked example's tree shape is pinned in the test suite.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.branch_and_bound import BranchAndBoundSolver, KTGResult, SearchStats
-from repro.core.coverage import CoverageContext
-from repro.core.pruning import keyword_prune_bound
 from repro.core.query import KTGQuery
-from repro.core.results import TopNPool
+from repro.obs.hooks import SolverHooks
 
 __all__ = ["TraceNode", "SearchTrace", "TracingSolver"]
 
@@ -30,22 +36,35 @@ class TraceNode:
     """One node of the recorded search tree."""
 
     members: tuple[int, ...]
-    outcome: str  # "explored" | "pruned" | "feasible" | "accepted" | "exhausted"
+    # "explored" | "pruned" | "feasible" | "accepted" | "exhausted"
+    # | "infeasible" | "budget"
+    outcome: str
     coverage: float = 0.0
     children: list["TraceNode"] = field(default_factory=list)
+    #: For "pruned": which rule cut the branch ("keyword" | "union");
+    #: for "budget": which budget tripped ("nodes" | "time").
+    rule: str = ""
 
     def label(self) -> str:
         inner = ", ".join(f"u{m}" for m in self.members) or "root"
         suffix = ""
         if self.outcome == "pruned":
-            suffix = "  [pruned by keyword bound]"
+            suffix = f"  [pruned by {self.rule or 'keyword'} bound]"
         elif self.outcome == "accepted":
             suffix = f"  [result, coverage={self.coverage:.2f}]"
         elif self.outcome == "feasible":
             suffix = f"  [feasible, coverage={self.coverage:.2f}, not admitted]"
         elif self.outcome == "exhausted":
             suffix = "  [dead end: too few candidates]"
+        elif self.outcome == "infeasible":
+            suffix = "  [infeasible: pairwise tenuity failed]"
+        elif self.outcome == "budget":
+            suffix = f"  [search stopped: {self.rule or 'time'} budget]"
         return f"{{{inner}}}{suffix}"
+
+    def subtree_size(self) -> int:
+        """Number of nodes in this subtree, this node included."""
+        return 1 + sum(child.subtree_size() for child in self.children)
 
 
 @dataclass
@@ -56,15 +75,29 @@ class SearchTrace:
     nodes: int = 0
     pruned: int = 0
     accepted: int = 0
+    #: The solver's own counters for the traced run (same object as
+    #: ``result.stats``) — lets callers cross-check trace totals.
+    stats: Optional[SearchStats] = None
 
     def render(self, max_depth: Optional[int] = None) -> str:
-        """Indented ASCII rendering (Figure 2 style)."""
+        """Indented ASCII rendering (Figure 2 style).
+
+        With *max_depth*, subtrees below the cut are elided — but never
+        silently: an elision line reports how many nodes were hidden.
+        """
         lines: list[str] = []
 
         def walk(node: TraceNode, depth: int) -> None:
-            if max_depth is not None and depth > max_depth:
-                return
             lines.append("  " * depth + node.label())
+            if max_depth is not None and depth == max_depth:
+                hidden = node.subtree_size() - 1
+                if hidden:
+                    lines.append(
+                        "  " * (depth + 1)
+                        + f"... ({hidden} node{'s' if hidden != 1 else ''} "
+                        + f"below depth {max_depth} hidden)"
+                    )
+                return
             for child in node.children:
                 walk(child, depth + 1)
 
@@ -72,12 +105,67 @@ class SearchTrace:
         return "\n".join(lines)
 
 
+class _TraceRecorder(SolverHooks):
+    """Rebuild the search tree from the solver's hook event stream.
+
+    The solver walks depth-first, so a stack indexed by partial-group
+    size is enough: the node for ``members`` is pushed at depth
+    ``len(members)`` and its parent is whatever currently sits one level
+    up.
+    """
+
+    def __init__(self) -> None:
+        self.root: Optional[TraceNode] = None
+        self.trace: Optional[SearchTrace] = None
+        self._stack: list[TraceNode] = []
+
+    # ------------------------------------------------------------------
+    def node_entered(self, members, slots, remaining) -> None:
+        node = TraceNode(members=members, outcome="explored")
+        if self.root is None:
+            self.root = node
+            self.trace = SearchTrace(root=node)
+            self._stack = [node]
+        else:
+            del self._stack[len(members):]
+            self._stack[-1].children.append(node)
+            self._stack.append(node)
+        self.trace.nodes += 1
+
+    def node_exhausted(self, members) -> None:
+        self._stack[-1].outcome = "exhausted"
+
+    def node_pruned(self, members, rule, bound, threshold) -> None:
+        node = self._stack[-1]
+        node.outcome = "pruned"
+        node.rule = rule
+        self.trace.pruned += 1
+
+    def leaf_visited(self, members, coverage, outcome) -> None:
+        leaf = TraceNode(members=members, outcome=outcome, coverage=coverage)
+        self._stack[-1].children.append(leaf)
+        if outcome == "pruned":
+            self.trace.pruned += 1
+        elif outcome == "accepted":
+            self.trace.accepted += 1
+
+    def budget_tripped(self, kind, members) -> None:
+        node = self._stack[-1]
+        node.outcome = "budget"
+        node.rule = kind
+
+    def search_finished(self, stats) -> None:
+        if self.trace is not None:
+            self.trace.stats = stats
+
+
 class TracingSolver:
     """A solver wrapper that records the search tree while solving.
 
     The wrapped solver's configuration (strategy, oracle, pruning
-    toggles) is honoured; the trace mirrors the solver's actual control
-    flow by re-running the identical recursion with recording hooks.
+    toggles, node/time budgets) is honoured exactly: the wrapped solver
+    runs its own search with a recording hook attached, so the trace is
+    the actual exploration, not a re-implementation of it.
 
     Examples
     --------
@@ -96,93 +184,15 @@ class TracingSolver:
 
     def solve(self, query: KTGQuery) -> tuple[KTGResult, SearchTrace]:
         """Solve *query*, returning the result plus the recorded tree."""
-        solver = self.solver
-        context = CoverageContext(solver.graph, query.keywords)
-        pool = TopNPool(query.top_n)
-        root = TraceNode(members=(), outcome="explored")
-        trace = SearchTrace(root=root)
-
-        candidates = solver._initial_candidates(query, context, None, SearchStats())
-        candidates = solver.strategy.initial_order(candidates, context)
-        self._walk(root, [], 0, candidates, query, context, pool, trace)
-
-        result = KTGResult(
-            query=query,
-            algorithm=solver.algorithm_name + "-TRACED",
-            groups=tuple(pool.best()),
+        recorder = _TraceRecorder()
+        result = self.solver.solve(query, hooks=recorder)
+        trace = recorder.trace
+        if trace is None:
+            # The search raised before entering the root node; record an
+            # empty tree rather than returning None.
+            trace = SearchTrace(root=TraceNode(members=(), outcome="explored"))
+            trace.stats = result.stats
+        return (
+            dataclasses.replace(result, algorithm=result.algorithm + "-TRACED"),
+            trace,
         )
-        return result, trace
-
-    # ------------------------------------------------------------------
-    def _walk(
-        self,
-        node: TraceNode,
-        members: list[int],
-        covered_mask: int,
-        remaining: list[int],
-        query: KTGQuery,
-        context: CoverageContext,
-        pool: TopNPool,
-        trace: SearchTrace,
-    ) -> None:
-        solver = self.solver
-        trace.nodes += 1
-        slots = query.group_size - len(members)
-
-        if len(remaining) < slots:
-            node.outcome = "exhausted"
-            return
-
-        if solver.keyword_pruning:
-            bound = keyword_prune_bound(
-                covered_mask,
-                remaining,
-                slots,
-                context,
-                presorted_by_vkc=solver.strategy.resorts,
-                use_union_bound=solver.use_union_bound,
-            )
-            if bound <= pool.threshold:
-                node.outcome = "pruned"
-                trace.pruned += 1
-                return
-
-        masks = context.masks
-        for position, vertex in enumerate(remaining):
-            rest = remaining[position + 1 :]
-            if len(rest) < slots - 1:
-                break
-            new_mask = covered_mask | masks[vertex]
-            child = TraceNode(members=tuple((*members, vertex)), outcome="explored")
-            node.children.append(child)
-
-            if slots == 1:
-                coverage = context.coverage_of_mask(new_mask)
-                child.coverage = coverage
-                # Mirror the solver's leaf early-break: under VKC-sorted
-                # candidates, once a completion cannot enter the pool no
-                # later completion can either.
-                if (
-                    solver.strategy.resorts
-                    and solver.keyword_pruning
-                    and not pool.would_admit(coverage)
-                ):
-                    child.outcome = "pruned"
-                    trace.pruned += 1
-                    break
-                members.append(vertex)
-                if pool.offer(members, coverage):
-                    child.outcome = "accepted"
-                    trace.accepted += 1
-                else:
-                    child.outcome = "feasible"
-                members.pop()
-                continue
-
-            if solver.kline_filtering:
-                rest = solver.oracle.filter_candidates(rest, vertex, query.tenuity)
-            if solver.strategy.resorts and new_mask != covered_mask:
-                rest = solver.strategy.reorder(rest, new_mask, context)
-            members.append(vertex)
-            self._walk(child, members, new_mask, rest, query, context, pool, trace)
-            members.pop()

@@ -36,6 +36,13 @@ class OracleStats:
     the unit of Figure 9(b).  ``probes`` counts pairwise distance checks
     answered, and ``expansions`` counts on-demand frontier expansions
     (only the NL index performs these).
+
+    ``memo_hits`` / ``memo_misses`` count probes answered from the
+    oracle's fast path versus its slow path — the BFS frontier memo,
+    NL's stored levels vs on-demand expansion, NLRNL's depth maps vs
+    the missing-pair convention, PLL's common-landmark lookups.  What
+    counts as a "hit" is oracle-specific; the ratio is what the
+    instrument report surfaces.
     """
 
     entries: int = 0
@@ -43,11 +50,21 @@ class OracleStats:
     probes: int = 0
     expansions: int = 0
     extra: dict = field(default_factory=dict)
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fast-path fraction of classified probes (0.0 when none)."""
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
 
     def reset_usage(self) -> None:
         """Zero the per-run counters, keeping build-time figures."""
         self.probes = 0
         self.expansions = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
 
 
 class DistanceOracle(abc.ABC):
@@ -97,12 +114,18 @@ class DistanceOracle(abc.ABC):
 
         This is exactly the k-line filtering step: when *member* joins
         the intermediate group, every remaining candidate forming a
-        k-line with it is dropped.  The default is pairwise probing;
-        oracles with a cheap :meth:`within_k` override it with one set
-        subtraction.
+        k-line with it is dropped.  The default computes *member*'s
+        k-ball once via :meth:`within_k` and drops candidates with one
+        set subtraction — ``|candidates|`` pairwise ``is_tenuous``
+        probes would re-derive that ball from scratch each time.
+        Oracles whose ``within_k`` is itself O(n) probing (NLRNL, PLL)
+        override this with an inlined pairwise loop instead.
         """
-        is_tenuous = self.is_tenuous
-        return [v for v in candidates if is_tenuous(v, member, k)]
+        self.stats.probes += len(candidates)
+        if k == 0:
+            return [v for v in candidates if v != member]
+        blocked = self.within_k(member, k)
+        return [v for v in candidates if v != member and v not in blocked]
 
     # ------------------------------------------------------------------
     # Dynamic maintenance (Section V-B).

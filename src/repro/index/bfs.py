@@ -77,7 +77,9 @@ class BFSOracle(DistanceOracle):
             cached = self._cache.get((vertex, k))
             if cached is not None:
                 self._cache.move_to_end((vertex, k))
+                self.stats.memo_hits += 1
                 return cached
+        self.stats.memo_misses += 1
         adjacency = self.graph.adjacency_view()
         seen = {vertex}
         frontier = [vertex]

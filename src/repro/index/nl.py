@@ -180,10 +180,13 @@ class NLIndex(DistanceOracle):
         upto = min(k, len(levels))
         for depth in range(upto):
             if u in levels[depth]:
+                self.stats.memo_hits += 1
                 return False
         if len(levels) >= k or self._exhausted[v]:
+            self.stats.memo_hits += 1
             return True
         # Case 2 of Algorithm 2: expand (h+1)..k on demand.
+        self.stats.memo_misses += 1
         return not self._expand_and_find(v, u, k)
 
     def within_k(self, vertex: int, k: int) -> set[int]:
@@ -196,12 +199,8 @@ class NLIndex(DistanceOracle):
             combined |= level
         return combined
 
-    def filter_candidates(self, candidates: list[int], member: int, k: int) -> list[int]:
-        self.stats.probes += len(candidates)
-        if k == 0:
-            return [v for v in candidates if v != member]
-        blocked = self.within_k(member, k)
-        return [v for v in candidates if v != member and v not in blocked]
+    # ``filter_candidates`` is inherited: the base one-set-subtraction
+    # default over :meth:`within_k` is exactly the NL fast path.
 
     # ------------------------------------------------------------------
     # On-demand expansion

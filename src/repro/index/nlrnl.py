@@ -135,9 +135,11 @@ class NLRNLIndex(DistanceOracle):
             u, v = v, u
         depth = self._depth_of[u].get(v)
         if depth is not None:
+            self.stats.memo_hits += 1
             return depth > k
         # Not stored: either distance == c (same component) or
         # unreachable (different component, always tenuous).
+        self.stats.memo_misses += 1
         if self._component[u] != self._component[v]:
             return True
         return self._c[u] > k

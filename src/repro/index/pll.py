@@ -116,7 +116,12 @@ class PLLIndex(DistanceOracle):
             return False
         if k == 0:
             return True
-        return _query(self._labels[u], self._labels[v]) > k
+        distance = _query(self._labels[u], self._labels[v])
+        if distance < _INF:
+            self.stats.memo_hits += 1
+        else:
+            self.stats.memo_misses += 1
+        return distance > k
 
     def within_k(self, vertex: int, k: int) -> set[int]:
         self.check_k(k)

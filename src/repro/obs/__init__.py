@@ -1,0 +1,62 @@
+"""Observability: solver hooks, instrument registry, bench JSON.
+
+The solver, oracles and service layer are instrumented through three
+cooperating pieces:
+
+* :mod:`repro.obs.hooks` — hook points emitted by
+  :class:`~repro.core.branch_and_bound.BranchAndBoundSolver` itself
+  (node entered / pruned / exhausted, candidates filtered, leaf
+  offered/accepted, budget tripped).  Subscribers such as
+  :class:`~repro.core.trace.TracingSolver` observe the *actual* search
+  instead of re-implementing it.
+* :mod:`repro.obs.instruments` — a counter/timer registry with a
+  zero-overhead null sink, used by :class:`repro.service.QueryService`
+  for per-phase latency histograms.
+* :mod:`repro.obs.bench` — the standardized ``BENCH_<name>.json``
+  emission/validation path shared by every ``benchmarks/bench_*.py``.
+
+:mod:`repro.obs.report` assembles the per-solve instrument report the
+``ktg stats`` subcommand prints.  See ``docs/observability.md``.
+"""
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchSchemaError,
+    load_bench_report,
+    validate_bench_report,
+    write_bench_report,
+)
+from repro.obs.hooks import HookList, InstrumentingHooks, SolverHooks
+from repro.obs.instruments import (
+    NULL_REGISTRY,
+    Counter,
+    InstrumentRegistry,
+    NullRegistry,
+    Timer,
+)
+from repro.obs.report import (
+    oracle_usage_row,
+    render_solve_report,
+    search_stats_row,
+    solve_report,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchSchemaError",
+    "Counter",
+    "HookList",
+    "InstrumentRegistry",
+    "InstrumentingHooks",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SolverHooks",
+    "Timer",
+    "load_bench_report",
+    "oracle_usage_row",
+    "render_solve_report",
+    "search_stats_row",
+    "solve_report",
+    "validate_bench_report",
+    "write_bench_report",
+]

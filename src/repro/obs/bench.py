@@ -1,0 +1,232 @@
+"""Standardized ``BENCH_<name>.json`` emission and validation.
+
+Every benchmark module under ``benchmarks/`` emits one machine-readable
+artifact per run through :func:`write_bench_report` (the emission is
+wired centrally in ``benchmarks/conftest.py``, so a new ``bench_*.py``
+file participates automatically).  The CI smoke job re-validates the
+artifacts with ``python -m repro.obs.validate``.
+
+Schema ``ktg-bench/1``
+----------------------
+Top level (object)::
+
+    schema        "ktg-bench/1"                        (required)
+    name          artifact name, [A-Za-z0-9_.-]+        (required)
+    smoke         whether this was a --smoke run        (required, bool)
+    created_unix  emission wall-clock time              (required, number)
+    meta          free-form provenance (figure, title)  (optional, object)
+    entries       list of entry objects                 (required)
+
+Entry (object)::
+
+    test          pytest node name incl. parameters     (required, str)
+    stats         timing summary or null on error       (required)
+                    mean_s / min_s / max_s  non-negative numbers
+                    rounds                  integer >= 1
+                    stddev_s                optional non-negative number
+    extra         instrument payload (counters etc.)    (required, object)
+    group         pytest-benchmark group                (optional, str|null)
+    params        parametrize values                    (optional, object|null)
+    error         the measured callable raised          (optional, bool)
+
+The validator is deliberately dependency-free (pure Python, no
+jsonschema) so it runs in the leanest CI container.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchSchemaError",
+    "bench_entry",
+    "write_bench_report",
+    "validate_bench_report",
+    "load_bench_report",
+]
+
+BENCH_SCHEMA_VERSION = "ktg-bench/1"
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+
+class BenchSchemaError(ReproError):
+    """A BENCH JSON payload violates the ``ktg-bench/1`` schema."""
+
+
+def bench_entry(
+    test: str,
+    stats: Optional[dict] = None,
+    extra: Optional[dict] = None,
+    group: Optional[str] = None,
+    params: Optional[dict] = None,
+    error: bool = False,
+) -> dict:
+    """Build one schema-shaped entry (convenience for emitters)."""
+    entry: dict = {
+        "test": test,
+        "stats": stats,
+        "extra": extra if extra is not None else {},
+    }
+    if group is not None:
+        entry["group"] = group
+    if params is not None:
+        entry["params"] = params
+    if error:
+        entry["error"] = True
+    return entry
+
+
+def write_bench_report(
+    name: str,
+    entries: list[dict],
+    *,
+    directory: Union[str, Path] = ".",
+    smoke: bool = False,
+    meta: Optional[dict] = None,
+) -> Path:
+    """Validate and atomically write ``BENCH_<name>.json``.
+
+    The payload is validated *before* writing — this module never emits
+    an artifact the CI validator would reject.
+    """
+    payload: dict = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "smoke": bool(smoke),
+        "created_unix": time.time(),
+        "entries": entries,
+    }
+    if meta:
+        payload["meta"] = meta
+    validate_bench_report(payload)
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=str(directory),
+        prefix=f".BENCH_{name}.",
+        suffix=".tmp",
+        delete=False,
+        encoding="utf-8",
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_bench_report(path: Union[str, Path]) -> dict:
+    """Read and validate one artifact, returning the payload."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchSchemaError(f"{path}: not readable as JSON ({exc})") from exc
+    validate_bench_report(payload, source=str(path))
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def validate_bench_report(payload: object, source: str = "payload") -> None:
+    """Raise :class:`BenchSchemaError` unless *payload* is schema-valid."""
+    if not isinstance(payload, dict):
+        raise BenchSchemaError(f"{source}: top level must be an object")
+    _require(payload, "schema", str, source)
+    if payload["schema"] != BENCH_SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"{source}: schema must be {BENCH_SCHEMA_VERSION!r}, "
+            f"got {payload['schema']!r}"
+        )
+    name = _require(payload, "name", str, source)
+    if not _NAME_PATTERN.match(name):
+        raise BenchSchemaError(f"{source}: invalid name {name!r}")
+    _require(payload, "smoke", bool, source)
+    created = _require(payload, "created_unix", (int, float), source)
+    if isinstance(created, bool) or created < 0:
+        raise BenchSchemaError(f"{source}: created_unix must be a non-negative number")
+    if "meta" in payload and not isinstance(payload["meta"], dict):
+        raise BenchSchemaError(f"{source}: meta must be an object")
+    entries = _require(payload, "entries", list, source)
+    for position, entry in enumerate(entries):
+        _validate_entry(entry, f"{source}: entries[{position}]")
+
+
+def _validate_entry(entry: object, source: str) -> None:
+    if not isinstance(entry, dict):
+        raise BenchSchemaError(f"{source}: entry must be an object")
+    test = _require(entry, "test", str, source)
+    if not test:
+        raise BenchSchemaError(f"{source}: test name must be non-empty")
+    if "stats" not in entry:
+        raise BenchSchemaError(f"{source}: missing required key 'stats'")
+    stats = entry["stats"]
+    if stats is not None:
+        _validate_stats(stats, source)
+    extra = _require(entry, "extra", dict, source)
+    for key in extra:
+        if not isinstance(key, str):
+            raise BenchSchemaError(f"{source}: extra keys must be strings")
+    if "group" in entry and entry["group"] is not None:
+        if not isinstance(entry["group"], str):
+            raise BenchSchemaError(f"{source}: group must be a string or null")
+    if "params" in entry and entry["params"] is not None:
+        if not isinstance(entry["params"], dict):
+            raise BenchSchemaError(f"{source}: params must be an object or null")
+    if "error" in entry and not isinstance(entry["error"], bool):
+        raise BenchSchemaError(f"{source}: error must be a bool")
+
+
+def _validate_stats(stats: object, source: str) -> None:
+    if not isinstance(stats, dict):
+        raise BenchSchemaError(f"{source}: stats must be an object or null")
+    for key in ("mean_s", "min_s", "max_s"):
+        value = _require(stats, key, (int, float), source)
+        if isinstance(value, bool) or value < 0:
+            raise BenchSchemaError(f"{source}: stats.{key} must be a non-negative number")
+    rounds = _require(stats, "rounds", int, source)
+    if isinstance(rounds, bool) or rounds < 1:
+        raise BenchSchemaError(f"{source}: stats.rounds must be an integer >= 1")
+    if "stddev_s" in stats:
+        stddev = stats["stddev_s"]
+        if isinstance(stddev, bool) or not isinstance(stddev, (int, float)) or stddev < 0:
+            raise BenchSchemaError(
+                f"{source}: stats.stddev_s must be a non-negative number"
+            )
+
+
+def _require(mapping: dict, key: str, types, source: str):
+    if key not in mapping:
+        raise BenchSchemaError(f"{source}: missing required key {key!r}")
+    value = mapping[key]
+    allowed = types if isinstance(types, tuple) else (types,)
+    # bool subclasses int; only accept it where bool was asked for.
+    if isinstance(value, bool) and bool not in allowed:
+        raise BenchSchemaError(f"{source}: {key} must not be a bool")
+    if not isinstance(value, allowed):
+        expected = "/".join(t.__name__ for t in allowed)
+        raise BenchSchemaError(
+            f"{source}: {key} must be {expected}, got {type(value).__name__}"
+        )
+    return value

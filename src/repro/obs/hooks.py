@@ -1,0 +1,189 @@
+"""Hook points emitted by the branch-and-bound solver.
+
+The solver calls these methods at every decision point of the search —
+when it is given a :class:`SolverHooks` instance.  With no hooks
+attached (the default) the solver pays one ``is None`` check per event
+site and allocates nothing, which is what keeps production solves at
+null-sink speed.
+
+Subscribers subclass :class:`SolverHooks` and override the events they
+care about; every base method is a no-op, so subscribers stay source
+compatible when new events are added.  ``members`` arguments are always
+tuples snapshotting the intermediate group at the moment of the event
+(the solver mutates its member list in place, so a live reference would
+be wrong by the time a recorder looks at it).
+
+Event vocabulary
+----------------
+``search_started(query, candidates)``
+    Once per solve, after initial candidate qualification and ordering.
+``node_entered(members, slots, remaining)``
+    A search-tree node was entered (counted in
+    ``SearchStats.nodes_expanded``).  ``slots`` is the number of members
+    still to pick, ``remaining`` the candidate count at entry.
+``node_exhausted(members)``
+    The node is a dead end: fewer candidates than open slots.
+``node_pruned(members, rule, bound, threshold)``
+    The branch was cut by keyword pruning.  ``rule`` is ``"keyword"``
+    (Theorem 2 top-VKC bound) or ``"union"`` (the union-of-masks bound
+    was the strictly tighter one).
+``candidates_filtered(member, before, after)``
+    k-line filtering against *member* shrank the candidate list from
+    *before* to *after* entries (Theorem 3).
+``leaf_visited(members, coverage, outcome)``
+    One complete group was examined at the leaf level.  ``outcome`` is
+    ``"accepted"`` (entered the top-N pool), ``"feasible"`` (feasible
+    but not admitted), ``"infeasible"`` (failed the pairwise tenuity
+    check; only possible with k-line filtering disabled) or
+    ``"pruned"`` (the VKC-sorted leaf scan stopped early because no
+    later completion could be admitted).
+``budget_tripped(kind, members)``
+    A node/time budget stopped the search at *members*; ``kind`` is
+    ``"nodes"`` or ``"time"``.
+``search_finished(stats)``
+    Once per solve, with the final :class:`SearchStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["SolverHooks", "HookList", "InstrumentingHooks"]
+
+
+class SolverHooks:
+    """Base subscriber: every hook is a no-op.  Subclass and override."""
+
+    def search_started(self, query, candidates: Sequence[int]) -> None:
+        """The solve began; *candidates* is the ordered initial pool."""
+
+    def node_entered(self, members: tuple[int, ...], slots: int, remaining: int) -> None:
+        """A search-tree node was entered."""
+
+    def node_exhausted(self, members: tuple[int, ...]) -> None:
+        """The entered node had fewer candidates than open slots."""
+
+    def node_pruned(
+        self, members: tuple[int, ...], rule: str, bound: float, threshold: float
+    ) -> None:
+        """The entered node's branch was cut by keyword pruning."""
+
+    def candidates_filtered(self, member: int, before: int, after: int) -> None:
+        """k-line filtering against *member* dropped ``before - after``."""
+
+    def leaf_visited(
+        self, members: tuple[int, ...], coverage: float, outcome: str
+    ) -> None:
+        """A complete group was examined at the leaf level."""
+
+    def budget_tripped(self, kind: str, members: tuple[int, ...]) -> None:
+        """A node/time budget stopped the search."""
+
+    def search_finished(self, stats) -> None:
+        """The solve ended (normally or via budget)."""
+
+
+class HookList(SolverHooks):
+    """Fan one event stream out to several subscribers, in order.
+
+    Examples
+    --------
+    >>> class Count(SolverHooks):
+    ...     entered = 0
+    ...     def node_entered(self, members, slots, remaining):
+    ...         self.entered += 1
+    >>> first, second = Count(), Count()
+    >>> hooks = HookList([first, second])
+    >>> hooks.node_entered((), 2, 5)
+    >>> (first.entered, second.entered)
+    (1, 1)
+    """
+
+    def __init__(self, subscribers: Iterable[SolverHooks]) -> None:
+        self.subscribers: list[SolverHooks] = list(subscribers)
+
+    def search_started(self, query, candidates) -> None:
+        for subscriber in self.subscribers:
+            subscriber.search_started(query, candidates)
+
+    def node_entered(self, members, slots, remaining) -> None:
+        for subscriber in self.subscribers:
+            subscriber.node_entered(members, slots, remaining)
+
+    def node_exhausted(self, members) -> None:
+        for subscriber in self.subscribers:
+            subscriber.node_exhausted(members)
+
+    def node_pruned(self, members, rule, bound, threshold) -> None:
+        for subscriber in self.subscribers:
+            subscriber.node_pruned(members, rule, bound, threshold)
+
+    def candidates_filtered(self, member, before, after) -> None:
+        for subscriber in self.subscribers:
+            subscriber.candidates_filtered(member, before, after)
+
+    def leaf_visited(self, members, coverage, outcome) -> None:
+        for subscriber in self.subscribers:
+            subscriber.leaf_visited(members, coverage, outcome)
+
+    def budget_tripped(self, kind, members) -> None:
+        for subscriber in self.subscribers:
+            subscriber.budget_tripped(kind, members)
+
+    def search_finished(self, stats) -> None:
+        for subscriber in self.subscribers:
+            subscriber.search_finished(stats)
+
+
+class InstrumentingHooks(SolverHooks):
+    """Bridge solver events into an instrument registry.
+
+    Every event becomes a named ``solver.*`` counter, so one live
+    :class:`~repro.obs.instruments.InstrumentRegistry` can aggregate
+    search behaviour across many solves (the ``ktg stats`` report and
+    the counter-consistency property tests are built on this).
+    """
+
+    def __init__(self, registry) -> None:
+        self.registry = registry
+        counter = registry.counter
+        self._nodes = counter("solver.nodes_entered")
+        self._exhausted = counter("solver.nodes_exhausted")
+        self._pruned_keyword = counter("solver.prunes.keyword")
+        self._pruned_union = counter("solver.prunes.union")
+        self._filter_calls = counter("solver.filter_calls")
+        self._filter_dropped = counter("solver.filter_dropped")
+        self._leaves = counter("solver.leaves_visited")
+        self._accepted = counter("solver.leaves_accepted")
+        self._leaf_pruned = counter("solver.leaves_pruned")
+        self._budget = counter("solver.budget_trips")
+        self._searches = counter("solver.searches")
+
+    def search_started(self, query, candidates) -> None:
+        self._searches.inc()
+
+    def node_entered(self, members, slots, remaining) -> None:
+        self._nodes.inc()
+
+    def node_exhausted(self, members) -> None:
+        self._exhausted.inc()
+
+    def node_pruned(self, members, rule, bound, threshold) -> None:
+        if rule == "union":
+            self._pruned_union.inc()
+        else:
+            self._pruned_keyword.inc()
+
+    def candidates_filtered(self, member, before, after) -> None:
+        self._filter_calls.inc()
+        self._filter_dropped.inc(before - after)
+
+    def leaf_visited(self, members, coverage, outcome) -> None:
+        self._leaves.inc()
+        if outcome == "accepted":
+            self._accepted.inc()
+        elif outcome == "pruned":
+            self._leaf_pruned.inc()
+
+    def budget_tripped(self, kind, members) -> None:
+        self._budget.inc()

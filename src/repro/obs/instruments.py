@@ -1,0 +1,195 @@
+"""Counter/timer registry with a zero-overhead null sink.
+
+Call sites obtain their instruments once (at construction) and hold the
+references::
+
+    self._solve_timer = instruments.timer("service.solve_ms")
+    ...
+    self._solve_timer.observe_ms(elapsed_ms)
+
+Against the default :data:`NULL_REGISTRY` the returned objects are
+shared no-op singletons, so an un-instrumented deployment pays one
+no-op method call per event — no dict lookups, no allocation, and
+``report()`` stays empty.  Against a live :class:`InstrumentRegistry`
+the same call sites feed named counters and latency histograms that
+:func:`InstrumentRegistry.report` exports as one JSON-able dict.
+
+Timers bucket observations into a fixed exponential millisecond grid
+(the per-phase latency histograms of ``QueryService``); the grid is
+coarse on purpose — percentile-grade latency numbers come from the raw
+sample lists ``ServiceStats`` keeps, the histogram is for shape and for
+cheap merging across runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Timer",
+    "InstrumentRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+#: Upper bounds (ms) of the histogram buckets; the last bucket is open.
+TIMER_BUCKET_BOUNDS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Timer:
+    """A named latency accumulator with an exponential-bucket histogram."""
+
+    __slots__ = ("name", "count", "total_ms", "min_ms", "max_ms", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_ms = 0.0
+        self.min_ms = float("inf")
+        self.max_ms = 0.0
+        self.buckets = [0] * (len(TIMER_BUCKET_BOUNDS_MS) + 1)
+
+    def observe_ms(self, elapsed_ms: float) -> None:
+        self.count += 1
+        self.total_ms += elapsed_ms
+        if elapsed_ms < self.min_ms:
+            self.min_ms = elapsed_ms
+        if elapsed_ms > self.max_ms:
+            self.max_ms = elapsed_ms
+        self.buckets[bisect.bisect_left(TIMER_BUCKET_BOUNDS_MS, elapsed_ms)] += 1
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Flat JSON-able summary of the observations so far."""
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_ms, 4),
+            "mean_ms": round(self.mean_ms, 4),
+            "min_ms": round(self.min_ms, 4) if self.count else 0.0,
+            "max_ms": round(self.max_ms, 4),
+            "bucket_bounds_ms": list(TIMER_BUCKET_BOUNDS_MS),
+            "buckets": list(self.buckets),
+        }
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name!r}, count={self.count}, mean_ms={self.mean_ms:.3f})"
+
+
+class InstrumentRegistry:
+    """Create-on-demand registry of named counters and timers.
+
+    Instrument creation is thread-safe; the instruments themselves are
+    intentionally lock-free (a torn read costs one miscount, never a
+    crash — the trade every metrics library makes on hot paths).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def timer(self, name: str) -> Timer:
+        timer = self._timers.get(name)
+        if timer is None:
+            with self._lock:
+                timer = self._timers.setdefault(name, Timer(name))
+        return timer
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Iterator[Counter]:
+        return iter(list(self._counters.values()))
+
+    def timers(self) -> Iterator[Timer]:
+        return iter(list(self._timers.values()))
+
+    def report(self) -> dict:
+        """All instruments as one JSON-able dict."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "timers": {name: t.snapshot() for name, t in sorted(self._timers.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (names are re-created on next use)."""
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def observe_ms(self, elapsed_ms: float) -> None:
+        pass
+
+
+class NullRegistry(InstrumentRegistry):
+    """The zero-overhead sink: hands out shared no-op instruments.
+
+    ``counter()`` / ``timer()`` always return the same inert singletons,
+    so holding a reference from a null registry costs a no-op method
+    call per event and ``report()`` is always empty.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_timer = _NullTimer("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def timer(self, name: str) -> Timer:
+        return self._null_timer
+
+    def report(self) -> dict:
+        return {"counters": {}, "timers": {}}
+
+
+#: Shared default sink — attach a real :class:`InstrumentRegistry` to
+#: opt into collection.
+NULL_REGISTRY = NullRegistry()

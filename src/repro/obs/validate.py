@@ -1,0 +1,61 @@
+"""CLI validator for ``BENCH_<name>.json`` artifacts.
+
+Used by the CI bench-smoke job after running the benchmarks::
+
+    python -m repro.obs.validate BENCH_*.json --expect 14
+
+Exits non-zero (with one line per problem) when any artifact is
+missing, unreadable, or violates the ``ktg-bench/1`` schema, or when
+``--expect`` is given and the artifact count differs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.bench import BenchSchemaError, load_bench_report
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Schema-validate BENCH_<name>.json artifacts (ktg-bench/1).",
+    )
+    parser.add_argument("paths", nargs="+", help="artifact files to validate")
+    parser.add_argument(
+        "--expect",
+        type=int,
+        default=None,
+        help="fail unless exactly this many artifacts were given",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for path in args.paths:
+        try:
+            payload = load_bench_report(path)
+        except BenchSchemaError as exc:
+            print(f"FAIL {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"ok   {path}: {len(payload['entries'])} entries" + (" (smoke)" if payload["smoke"] else ""))
+
+    if args.expect is not None and len(args.paths) != args.expect:
+        print(
+            f"FAIL expected {args.expect} artifacts, got {len(args.paths)}",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    if failures:
+        print(f"{failures} problem(s)", file=sys.stderr)
+        return 1
+    print(f"all {len(args.paths)} artifact(s) schema-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

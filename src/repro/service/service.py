@@ -39,6 +39,7 @@ from repro.core.branch_and_bound import KTGResult
 from repro.core.graph import AttributedGraph
 from repro.core.query import DKTGQuery, KTGQuery
 from repro.index.base import DistanceOracle
+from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
 from repro.service.cache import ResultCache, canonical_query_key
 from repro.workloads.runner import (
     ALGORITHMS,
@@ -177,6 +178,11 @@ class QueryService:
         means unbounded (every answer is exact).
     cache_capacity:
         LRU result-cache size; ``0`` disables caching.
+    instruments:
+        An :class:`repro.obs.instruments.InstrumentRegistry` collecting
+        per-phase latency histograms (``service.cache_lookup_ms``,
+        ``service.solve_ms``, ``service.serve_ms``) and cache hit/miss
+        counters.  Defaults to the zero-overhead null sink.
 
     Examples
     --------
@@ -204,6 +210,7 @@ class QueryService:
         time_budget: Optional[float] = None,
         node_budget: Optional[int] = None,
         cache_capacity: int = 1024,
+        instruments: InstrumentRegistry = NULL_REGISTRY,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -226,6 +233,15 @@ class QueryService:
         self._degraded_answers = 0
         self._pool: Optional[Union[ThreadPoolExecutor, ProcessPoolExecutor]] = None
         self._pool_graph_version: Optional[int] = None
+        # Instruments are resolved once; against the null sink every
+        # observe/inc below is a no-op method call.
+        self.instruments = instruments
+        self._cache_lookup_timer = instruments.timer("service.cache_lookup_ms")
+        self._solve_timer = instruments.timer("service.solve_ms")
+        self._serve_timer = instruments.timer("service.serve_ms")
+        self._cache_hit_counter = instruments.counter("service.cache_hits")
+        self._cache_miss_counter = instruments.counter("service.cache_misses")
+        self._degraded_counter = instruments.counter("service.degraded_answers")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -308,6 +324,35 @@ class QueryService:
             p99_ms=percentile_nearest_rank(latencies, 0.99),
         )
 
+    def instrument_report(self) -> dict:
+        """Full JSON-able observability snapshot for this service.
+
+        Combines the aggregate :meth:`stats`, the cache's own counters,
+        the shared oracle's usage (when built) and — with a live
+        registry attached — every named counter and latency histogram.
+        """
+        report: dict = {
+            "service": self.stats().as_dict(),
+            "cache": {
+                "capacity": self.cache.capacity,
+                "size": len(self.cache),
+                "lookups": self.cache.stats.lookups,
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "evictions": self.cache.stats.evictions,
+                "hit_rate": round(self.cache.stats.hit_rate, 4),
+            },
+        }
+        with self._oracle_lock:
+            oracle = self._oracle
+        if oracle is not None:
+            from repro.obs.report import oracle_usage_row
+
+            report["oracle"] = oracle_usage_row(oracle)
+        if self.instruments.enabled:
+            report["instruments"] = self.instruments.report()
+        return report
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -342,26 +387,34 @@ class QueryService:
         started = time.perf_counter()
         key = self._cache_key(query)
         cached = self.cache.get(key)
+        lookup_done = time.perf_counter()
+        self._cache_lookup_timer.observe_ms((lookup_done - started) * 1000.0)
         if cached is not None:
+            self._cache_hit_counter.inc()
             served = ServiceResult(
                 query=query,
                 result=cached,  # type: ignore[arg-type]
-                latency_ms=(time.perf_counter() - started) * 1000.0,
+                latency_ms=(lookup_done - started) * 1000.0,
                 from_cache=True,
             )
+            self._serve_timer.observe_ms(served.latency_ms)
             self._record(served)
             return served
+        self._cache_miss_counter.inc()
         oracle = self._ensure_oracle()
         solver = self.spec.build_solver(
             self.graph, oracle, time_budget=time_budget, node_budget=node_budget
         )
+        solve_started = time.perf_counter()
         result = solver.solve(query)
+        self._solve_timer.observe_ms((time.perf_counter() - solve_started) * 1000.0)
         served = ServiceResult(
             query=query,
             result=result,
             latency_ms=(time.perf_counter() - started) * 1000.0,
             from_cache=False,
         )
+        self._serve_timer.observe_ms(served.latency_ms)
         self._finish_miss(key, served)
         return served
 
@@ -373,6 +426,8 @@ class QueryService:
         self._record(served)
 
     def _record(self, served: ServiceResult) -> None:
+        if served.degraded:
+            self._degraded_counter.inc()
         with self._stats_lock:
             self._queries_served += 1
             self._latencies_ms.append(served.latency_ms)
@@ -427,16 +482,22 @@ class QueryService:
         for position, query in enumerate(queries):
             started = time.perf_counter()
             cached = self.cache.get(self._cache_key(query))
+            self._cache_lookup_timer.observe_ms(
+                (time.perf_counter() - started) * 1000.0
+            )
             if cached is not None:
+                self._cache_hit_counter.inc()
                 served = ServiceResult(
                     query=query,
                     result=cached,  # type: ignore[arg-type]
                     latency_ms=(time.perf_counter() - started) * 1000.0,
                     from_cache=True,
                 )
+                self._serve_timer.observe_ms(served.latency_ms)
                 self._record(served)
                 results[position] = served
             else:
+                self._cache_miss_counter.inc()
                 pending.append(position)
         if pending:
             pool = self._process_pool()
@@ -446,12 +507,14 @@ class QueryService:
             ]
             for position, future in zip(pending, futures):
                 result, latency_ms = future.result()
+                self._solve_timer.observe_ms(latency_ms)
                 served = ServiceResult(
                     query=queries[position],
                     result=result,
                     latency_ms=latency_ms,
                     from_cache=False,
                 )
+                self._serve_timer.observe_ms(served.latency_ms)
                 self._finish_miss(self._cache_key(queries[position]), served)
                 results[position] = served
         return results  # type: ignore[return-value]

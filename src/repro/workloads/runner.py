@@ -130,6 +130,8 @@ class LatencyReport:
     total_nodes_expanded: int = 0
     total_feasible_groups: int = 0
     empty_results: int = 0
+    total_keyword_prunes: int = 0
+    total_kline_removed: int = 0
 
     @property
     def mean_ms(self) -> float:
@@ -154,6 +156,8 @@ class LatencyReport:
             "p95_ms": self.p95_ms,
             "nodes": self.total_nodes_expanded,
             "empty": self.empty_results,
+            "keyword_prunes": self.total_keyword_prunes,
+            "kline_removed": self.total_kline_removed,
         }
 
 
@@ -207,6 +211,8 @@ class ExperimentRunner:
             report.latencies_ms.append(elapsed_ms)
             report.total_nodes_expanded += result.stats.nodes_expanded
             report.total_feasible_groups += result.stats.feasible_groups
+            report.total_keyword_prunes += result.stats.keyword_prunes
+            report.total_kline_removed += result.stats.kline_removed
             if not result.groups:
                 report.empty_results += 1
             if result_hook is not None:
@@ -258,6 +264,8 @@ class ExperimentRunner:
             report.latencies_ms.append(outcome.latency_ms)
             report.total_nodes_expanded += outcome.result.stats.nodes_expanded
             report.total_feasible_groups += outcome.result.stats.feasible_groups
+            report.total_keyword_prunes += outcome.result.stats.keyword_prunes
+            report.total_kline_removed += outcome.result.stats.kline_removed
             if not outcome.result.groups:
                 report.empty_results += 1
             if result_hook is not None:

@@ -181,6 +181,46 @@ class TestStatsCommand:
         assert "avg_degree" in out
         assert "hop-ball fractions" in out
 
+    def test_solve_report_with_keywords(self, capsys):
+        code = main(
+            [
+                "stats",
+                "brightkite",
+                "--scale",
+                "0.1",
+                "--keywords",
+                "music,travel,food",
+                "-p",
+                "3",
+                "-k",
+                "2",
+                "-n",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "search counters" in out
+        assert "oracle usage" in out
+        assert "instrument counters" in out
+        assert "solver.nodes_entered" in out
+
+    def test_solve_report_algorithm_flag(self, capsys):
+        code = main(
+            [
+                "stats",
+                "brightkite",
+                "--scale",
+                "0.1",
+                "--keywords",
+                "music,travel",
+                "--algorithm",
+                "KTG-VKC-NL",
+            ]
+        )
+        assert code == 0
+        assert "KTG-VKC-NL" in capsys.readouterr().out
+
 
 class TestTraceCommand:
     def test_renders_tree(self, capsys):

@@ -4,9 +4,15 @@ import pytest
 
 from repro.core.branch_and_bound import BranchAndBoundSolver
 from repro.core.query import KTGQuery
-from repro.core.strategies import QKCOrdering, VKCDegreeOrdering
+from repro.core.strategies import QKCOrdering, VKCDegreeOrdering, VKCOrdering
 from repro.core.trace import TracingSolver
 from repro.index.nlrnl import NLRNLIndex
+
+ALL_STRATEGIES = [
+    lambda g: QKCOrdering(),
+    lambda g: VKCOrdering(),
+    lambda g: VKCDegreeOrdering(g.degrees()),
+]
 
 
 class TestTraceFidelity:
@@ -27,10 +33,7 @@ class TestTraceFidelity:
         _, trace = TracingSolver(solver).solve(figure1_q)
         assert trace.nodes == plain.stats.nodes_expanded
 
-    @pytest.mark.parametrize(
-        "strategy_factory",
-        [lambda g: QKCOrdering(), lambda g: VKCDegreeOrdering(g.degrees())],
-    )
+    @pytest.mark.parametrize("strategy_factory", ALL_STRATEGIES)
     def test_fidelity_across_strategies(self, figure1, figure1_q, strategy_factory):
         solver = BranchAndBoundSolver(
             figure1,
@@ -41,6 +44,64 @@ class TestTraceFidelity:
         traced, trace = TracingSolver(solver).solve(figure1_q)
         assert [g.members for g in traced.groups] == [g.members for g in plain.groups]
         assert trace.nodes == plain.stats.nodes_expanded
+
+    @pytest.mark.parametrize("strategy_factory", ALL_STRATEGIES)
+    def test_counts_equal_search_stats_per_strategy(
+        self, figure1, figure1_q, strategy_factory
+    ):
+        """Regression for the tracing drift: the trace's node, prune and
+        accept counts must equal the untraced solver's ``SearchStats``
+        under every ordering strategy (the tracer observes the real
+        search now instead of re-implementing it)."""
+        solver = BranchAndBoundSolver(
+            figure1,
+            oracle=NLRNLIndex(figure1),
+            strategy=strategy_factory(figure1),
+        )
+        plain = solver.solve(figure1_q)
+        _, trace = TracingSolver(solver).solve(figure1_q)
+        assert trace.nodes == plain.stats.nodes_expanded
+        assert trace.pruned == plain.stats.keyword_prunes
+        assert trace.accepted == plain.stats.offers_accepted
+        assert trace.stats is not None
+        assert trace.stats.nodes_expanded == plain.stats.nodes_expanded
+
+
+class TestTraceBudgets:
+    """Regression: the traced search honours solver budgets (the old
+    tracer re-implemented the recursion and ignored them)."""
+
+    def test_node_budget_honoured(self, figure1, figure1_q):
+        budget = 3
+        solver = BranchAndBoundSolver(figure1, node_budget=budget)
+        plain = solver.solve(figure1_q)
+        traced, trace = TracingSolver(solver).solve(figure1_q)
+        assert plain.stats.budget_exhausted
+        assert traced.stats.budget_exhausted
+        assert trace.nodes == plain.stats.nodes_expanded
+        assert trace.nodes <= budget + 1  # the tripping node is recorded
+
+    def test_node_budget_trip_marked_in_trace(self, figure1, figure1_q):
+        solver = BranchAndBoundSolver(figure1, node_budget=2)
+        _, trace = TracingSolver(solver).solve(figure1_q)
+
+        outcomes = []
+
+        def collect(node):
+            outcomes.append(node.outcome)
+            for child in node.children:
+                collect(child)
+
+        collect(trace.root)
+        assert "budget" in outcomes
+        assert "[search stopped: nodes budget]" in trace.render()
+
+    def test_time_budget_honoured(self, figure1, figure1_q):
+        # A vanishing time budget trips on the amortised clock check;
+        # the trace must agree with the solver's own stats regardless.
+        solver = BranchAndBoundSolver(figure1, time_budget=1e-9)
+        traced, trace = TracingSolver(solver).solve(figure1_q)
+        assert trace.nodes == traced.stats.nodes_expanded
 
 
 class TestTraceStructure:
@@ -80,6 +141,24 @@ class TestTraceStructure:
         shallow = trace.render(max_depth=1)
         deep = trace.render()
         assert len(shallow.splitlines()) < len(deep.splitlines())
+
+    def test_render_depth_limit_reports_hidden_nodes(self, figure1, figure1_q):
+        """Regression: a truncated render must say it truncated."""
+        _, trace = TracingSolver(BranchAndBoundSolver(figure1)).solve(figure1_q)
+        shallow = trace.render(max_depth=1)
+        assert "hidden" in shallow
+        # The elision lines account for every node the cut removed.
+        import re
+
+        hidden = sum(int(m) for m in re.findall(r"\((\d+) nodes? below", shallow))
+        full_lines = len(trace.render().splitlines())
+        elisions = shallow.count("hidden")
+        assert len(shallow.splitlines()) - elisions + hidden == full_lines
+
+    def test_render_without_truncation_has_no_elision_line(self, figure1, figure1_q):
+        _, trace = TracingSolver(BranchAndBoundSolver(figure1)).solve(figure1_q)
+        assert "hidden" not in trace.render()
+        assert "hidden" not in trace.render(max_depth=99)
 
     def test_pruned_branches_marked(self, figure1):
         # A query where pruning definitely triggers: N=1, ties abound.

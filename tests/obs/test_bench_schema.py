@@ -1,0 +1,140 @@
+"""The ``ktg-bench/1`` schema: emission, validation, CLI validator."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchSchemaError,
+    bench_entry,
+    load_bench_report,
+    validate_bench_report,
+    write_bench_report,
+)
+from repro.obs.validate import main as validate_main
+
+
+def good_entries():
+    return [
+        bench_entry(
+            test="test_point[3-KTG-VKC-NLRNL]",
+            stats={"mean_s": 0.5, "min_s": 0.4, "max_s": 0.6, "stddev_s": 0.01, "rounds": 3},
+            extra={"mean_ms": 500.0, "keyword_prunes": 12},
+            group="fig3a",
+            params={"p": 3, "algorithm": "KTG-VKC-NLRNL"},
+        ),
+        bench_entry(test="test_broken", stats=None, extra={}, error=True),
+    ]
+
+
+class TestRoundtrip:
+    def test_write_then_load(self, tmp_path):
+        path = write_bench_report(
+            "fig3_group_size",
+            good_entries(),
+            directory=tmp_path,
+            smoke=True,
+            meta={"figure": "3"},
+        )
+        assert path.name == "BENCH_fig3_group_size.json"
+        payload = load_bench_report(path)
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["smoke"] is True
+        assert payload["meta"] == {"figure": "3"}
+        assert len(payload["entries"]) == 2
+
+    def test_write_refuses_invalid_entries(self, tmp_path):
+        with pytest.raises(BenchSchemaError):
+            write_bench_report("x", [{"stats": None}], directory=tmp_path)
+        assert not list(tmp_path.iterdir())  # nothing written, no temp litter
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        write_bench_report("ok", good_entries(), directory=tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_ok.json"]
+
+
+class TestValidation:
+    def base_payload(self):
+        return {
+            "schema": BENCH_SCHEMA_VERSION,
+            "name": "x",
+            "smoke": False,
+            "created_unix": 1700000000.0,
+            "entries": good_entries(),
+        }
+
+    def test_valid_payload_passes(self):
+        validate_bench_report(self.base_payload())
+
+    @pytest.mark.parametrize("key", ["schema", "name", "smoke", "created_unix", "entries"])
+    def test_missing_required_key_rejected(self, key):
+        payload = self.base_payload()
+        del payload[key]
+        with pytest.raises(BenchSchemaError, match=key):
+            validate_bench_report(payload)
+
+    def test_wrong_schema_version_rejected(self):
+        payload = self.base_payload()
+        payload["schema"] = "ktg-bench/999"
+        with pytest.raises(BenchSchemaError, match="schema"):
+            validate_bench_report(payload)
+
+    def test_bad_name_rejected(self):
+        payload = self.base_payload()
+        payload["name"] = "no spaces!"
+        with pytest.raises(BenchSchemaError, match="name"):
+            validate_bench_report(payload)
+
+    def test_smoke_must_be_bool(self):
+        payload = self.base_payload()
+        payload["smoke"] = 1
+        with pytest.raises(BenchSchemaError, match="smoke"):
+            validate_bench_report(payload)
+
+    def test_negative_timing_rejected(self):
+        payload = self.base_payload()
+        payload["entries"][0]["stats"]["mean_s"] = -1.0
+        with pytest.raises(BenchSchemaError, match="mean_s"):
+            validate_bench_report(payload)
+
+    def test_zero_rounds_rejected(self):
+        payload = self.base_payload()
+        payload["entries"][0]["stats"]["rounds"] = 0
+        with pytest.raises(BenchSchemaError, match="rounds"):
+            validate_bench_report(payload)
+
+    def test_entry_missing_extra_rejected(self):
+        payload = self.base_payload()
+        del payload["entries"][0]["extra"]
+        with pytest.raises(BenchSchemaError, match="extra"):
+            validate_bench_report(payload)
+
+    def test_non_dict_top_level_rejected(self):
+        with pytest.raises(BenchSchemaError):
+            validate_bench_report([1, 2, 3])
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchSchemaError):
+            load_bench_report(path)
+
+
+class TestValidateCli:
+    def test_ok_on_valid_artifacts(self, tmp_path, capsys):
+        first = write_bench_report("a", good_entries(), directory=tmp_path)
+        second = write_bench_report("b", good_entries(), directory=tmp_path)
+        assert validate_main([str(first), str(second), "--expect", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "all 2 artifact(s) schema-valid" in out
+
+    def test_fails_on_invalid_artifact(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": "wrong"}))
+        assert validate_main([str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_fails_on_count_mismatch(self, tmp_path, capsys):
+        path = write_bench_report("a", good_entries(), directory=tmp_path)
+        assert validate_main([str(path), "--expect", "14"]) == 1

@@ -1,0 +1,134 @@
+"""Solver hook points: fan-out, event ordering, instrument bridging."""
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.query import KTGQuery
+from repro.obs.hooks import HookList, InstrumentingHooks, SolverHooks
+from repro.obs.instruments import InstrumentRegistry
+
+
+class RecordingHooks(SolverHooks):
+    """Append every event as a (name, payload) tuple."""
+
+    def __init__(self):
+        self.events = []
+
+    def search_started(self, query, candidates):
+        self.events.append(("search_started", tuple(candidates)))
+
+    def node_entered(self, members, slots, remaining):
+        self.events.append(("node_entered", members))
+
+    def node_exhausted(self, members):
+        self.events.append(("node_exhausted", members))
+
+    def node_pruned(self, members, rule, bound, threshold):
+        self.events.append(("node_pruned", (members, rule)))
+
+    def candidates_filtered(self, member, before, after):
+        self.events.append(("candidates_filtered", (member, before, after)))
+
+    def leaf_visited(self, members, coverage, outcome):
+        self.events.append(("leaf_visited", (members, outcome)))
+
+    def budget_tripped(self, kind, members):
+        self.events.append(("budget_tripped", kind))
+
+    def search_finished(self, stats):
+        self.events.append(("search_finished", stats))
+
+
+class TestHookEmission:
+    def test_search_bracketed_by_start_and_finish(self, figure1, figure1_q):
+        recorder = RecordingHooks()
+        result = BranchAndBoundSolver(figure1).solve(figure1_q, hooks=recorder)
+        assert recorder.events[0][0] == "search_started"
+        assert recorder.events[-1][0] == "search_finished"
+        assert recorder.events[-1][1] is result.stats
+
+    def test_node_entered_count_matches_stats(self, figure1, figure1_q):
+        recorder = RecordingHooks()
+        result = BranchAndBoundSolver(figure1).solve(figure1_q, hooks=recorder)
+        entered = [e for e in recorder.events if e[0] == "node_entered"]
+        assert len(entered) == result.stats.nodes_expanded
+
+    def test_members_are_snapshots(self, figure1, figure1_q):
+        recorder = RecordingHooks()
+        BranchAndBoundSolver(figure1).solve(figure1_q, hooks=recorder)
+        for name, payload in recorder.events:
+            if name == "node_entered":
+                assert isinstance(payload, tuple)
+
+    def test_no_hooks_means_no_events(self, figure1, figure1_q):
+        # The hooks reference must not leak across solves.
+        solver = BranchAndBoundSolver(figure1)
+        recorder = RecordingHooks()
+        solver.solve(figure1_q, hooks=recorder)
+        seen = len(recorder.events)
+        solver.solve(figure1_q)
+        assert len(recorder.events) == seen
+
+    def test_budget_trip_emitted(self, figure1, figure1_q):
+        recorder = RecordingHooks()
+        solver = BranchAndBoundSolver(figure1, node_budget=2)
+        result = solver.solve(figure1_q, hooks=recorder)
+        assert result.stats.budget_exhausted
+        assert ("budget_tripped", "nodes") in recorder.events
+        assert recorder.events[-1][0] == "search_finished"
+
+
+class TestHookList:
+    def test_fans_out_in_order(self, figure1, figure1_q):
+        first, second = RecordingHooks(), RecordingHooks()
+        BranchAndBoundSolver(figure1).solve(
+            figure1_q, hooks=HookList([first, second])
+        )
+        assert first.events
+        assert [e[0] for e in first.events] == [e[0] for e in second.events]
+
+
+class TestInstrumentingHooks:
+    def test_counters_match_search_stats(self, figure1, figure1_q):
+        registry = InstrumentRegistry()
+        result = BranchAndBoundSolver(figure1).solve(
+            figure1_q, hooks=InstrumentingHooks(registry)
+        )
+        counters = registry.report()["counters"]
+        stats = result.stats
+        assert counters["solver.searches"] == 1
+        assert counters["solver.nodes_entered"] == stats.nodes_expanded
+        assert counters["solver.nodes_exhausted"] == stats.nodes_exhausted
+        assert (
+            counters["solver.prunes.keyword"] + counters["solver.prunes.union"]
+            == stats.node_prunes
+        )
+        assert counters["solver.leaves_accepted"] == stats.offers_accepted
+        assert counters["solver.leaves_pruned"] == stats.leaf_prunes
+        assert counters["solver.filter_dropped"] == stats.kline_removed
+
+    def test_accumulates_across_solves(self, figure1, figure1_q):
+        registry = InstrumentRegistry()
+        hooks = InstrumentingHooks(registry)
+        solver = BranchAndBoundSolver(figure1)
+        first = solver.solve(figure1_q, hooks=hooks)
+        second = solver.solve(figure1_q, hooks=hooks)
+        counters = registry.report()["counters"]
+        assert counters["solver.searches"] == 2
+        assert (
+            counters["solver.nodes_entered"]
+            == first.stats.nodes_expanded + second.stats.nodes_expanded
+        )
+
+    def test_pruning_ablation_emits_infeasible_leaves(self, figure1):
+        # With k-line filtering off, infeasible completions reach the
+        # leaf check and must be reported as such.
+        registry = InstrumentRegistry()
+        recorder = RecordingHooks()
+        query = KTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=3, tenuity=2, top_n=2
+        )
+        solver = BranchAndBoundSolver(figure1, kline_filtering=False)
+        solver.solve(query, hooks=HookList([InstrumentingHooks(registry), recorder]))
+        outcomes = {p[1] for (name, p) in recorder.events if name == "leaf_visited"}
+        assert "infeasible" in outcomes
+        counters = registry.report()["counters"]
+        assert counters["solver.filter_calls"] == 0

@@ -1,0 +1,97 @@
+"""Unit tests for the counter/timer registry and its null sink."""
+
+from repro.obs.instruments import (
+    NULL_REGISTRY,
+    TIMER_BUCKET_BOUNDS_MS,
+    Counter,
+    InstrumentRegistry,
+    NullRegistry,
+    Timer,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+
+class TestTimer:
+    def test_accumulates_observations(self):
+        timer = Timer("t")
+        timer.observe_ms(1.0)
+        timer.observe_ms(3.0)
+        assert timer.count == 2
+        assert timer.total_ms == 4.0
+        assert timer.mean_ms == 2.0
+        assert timer.min_ms == 1.0
+        assert timer.max_ms == 3.0
+
+    def test_bucket_assignment(self):
+        timer = Timer("t")
+        timer.observe_ms(0.01)  # below the first bound -> bucket 0
+        timer.observe_ms(7.0)  # between 5.0 and 10.0 -> the 10.0 bucket
+        timer.observe_ms(99999.0)  # beyond the last bound -> open bucket
+        assert sum(timer.buckets) == 3
+        assert timer.buckets[0] == 1
+        assert timer.buckets[TIMER_BUCKET_BOUNDS_MS.index(10.0)] == 1
+        assert timer.buckets[-1] == 1
+
+    def test_snapshot_is_jsonable_and_complete(self):
+        timer = Timer("t")
+        timer.observe_ms(2.0)
+        snap = timer.snapshot()
+        assert snap["count"] == 1
+        assert snap["mean_ms"] == 2.0
+        assert len(snap["buckets"]) == len(TIMER_BUCKET_BOUNDS_MS) + 1
+
+    def test_empty_snapshot_has_zero_min(self):
+        assert Timer("t").snapshot()["min_ms"] == 0.0
+
+
+class TestInstrumentRegistry:
+    def test_same_name_same_instrument(self):
+        registry = InstrumentRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.timer("b") is registry.timer("b")
+        assert registry.enabled
+
+    def test_report_contains_everything(self):
+        registry = InstrumentRegistry()
+        registry.counter("hits").inc(3)
+        registry.timer("lat").observe_ms(1.5)
+        report = registry.report()
+        assert report["counters"] == {"hits": 3}
+        assert report["timers"]["lat"]["count"] == 1
+
+    def test_reset_drops_instruments(self):
+        registry = InstrumentRegistry()
+        registry.counter("hits").inc()
+        registry.reset()
+        assert registry.report() == {"counters": {}, "timers": {}}
+        assert registry.counter("hits").value == 0
+
+
+class TestNullRegistry:
+    def test_shared_inert_singletons(self):
+        registry = NullRegistry()
+        counter = registry.counter("anything")
+        assert counter is registry.counter("something else")
+        counter.inc(100)
+        assert counter.value == 0
+        timer = registry.timer("x")
+        timer.observe_ms(50.0)
+        assert timer.count == 0
+
+    def test_report_always_empty(self):
+        registry = NullRegistry()
+        registry.counter("a").inc()
+        registry.timer("b").observe_ms(1.0)
+        assert registry.report() == {"counters": {}, "timers": {}}
+
+    def test_module_default_is_disabled(self):
+        assert not NULL_REGISTRY.enabled
+        assert isinstance(NULL_REGISTRY, NullRegistry)

@@ -1,0 +1,140 @@
+"""Property-based tests: instrument counters are internally consistent.
+
+Three ledgers, each of which must balance on arbitrary inputs:
+
+* the solver's node classification — every entered node is interior,
+  completed, exhausted or pruned (on an unbudgeted run);
+* the oracle's filter arithmetic — dropped candidates are exactly
+  input minus output;
+* the result cache's bookkeeping — lookups split into hits and misses.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.graph import AttributedGraph
+from repro.core.query import KTGQuery
+from repro.index.bfs import BFSOracle
+from repro.obs.hooks import InstrumentingHooks, SolverHooks
+from repro.obs.instruments import InstrumentRegistry
+from repro.service.cache import ResultCache
+
+KEYWORD_POOL = ["a", "b", "c", "d", "e", "f"]
+
+
+@st.composite
+def attributed_graphs(draw):
+    n = draw(st.integers(min_value=4, max_value=14))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=2 * n)
+    )
+    keywords = {
+        v: draw(st.lists(st.sampled_from(KEYWORD_POOL), unique=True, max_size=3))
+        for v in range(n)
+    }
+    return AttributedGraph(n, edges, keywords)
+
+
+@st.composite
+def queries(draw):
+    keywords = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(KEYWORD_POOL), unique=True, min_size=1, max_size=4
+            )
+        )
+    )
+    return KTGQuery(
+        keywords=keywords,
+        group_size=draw(st.integers(min_value=1, max_value=4)),
+        tenuity=draw(st.integers(min_value=0, max_value=3)),
+        top_n=draw(st.integers(min_value=1, max_value=3)),
+    )
+
+
+class FilterLedger(SolverHooks):
+    """Tally k-line filter inputs and outputs as the solver reports them."""
+
+    def __init__(self):
+        self.calls = 0
+        self.total_in = 0
+        self.total_out = 0
+
+    def candidates_filtered(self, member, before, after):
+        self.calls += 1
+        self.total_in += before
+        self.total_out += after
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=attributed_graphs(), query=queries())
+def test_node_classification_balances(graph, query):
+    """explored + completed + exhausted + pruned == total nodes entered."""
+    result = BranchAndBoundSolver(graph).solve(query)
+    stats = result.stats
+    assert not stats.budget_exhausted
+    assert stats.nodes_expanded == (
+        stats.nodes_interior
+        + stats.nodes_completed
+        + stats.nodes_exhausted
+        + stats.node_prunes
+    )
+    assert stats.keyword_prunes == stats.node_prunes + stats.leaf_prunes
+    assert stats.union_prunes <= stats.node_prunes
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=attributed_graphs(), query=queries())
+def test_instrument_counters_mirror_search_stats(graph, query):
+    registry = InstrumentRegistry()
+    result = BranchAndBoundSolver(graph).solve(
+        query, hooks=InstrumentingHooks(registry)
+    )
+    counters = registry.report()["counters"]
+    stats = result.stats
+    assert counters["solver.nodes_entered"] == stats.nodes_expanded
+    assert counters["solver.nodes_exhausted"] == stats.nodes_exhausted
+    assert (
+        counters["solver.prunes.keyword"] + counters["solver.prunes.union"]
+        == stats.node_prunes
+    )
+    assert counters["solver.prunes.union"] == stats.union_prunes
+    assert counters["solver.leaves_pruned"] == stats.leaf_prunes
+    assert counters["solver.leaves_accepted"] == stats.offers_accepted
+    assert counters["solver.filter_dropped"] == stats.kline_removed
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=attributed_graphs(), query=queries())
+def test_oracle_filter_drops_balance(graph, query):
+    """Filter drops reported == candidates in minus candidates out."""
+    ledger = FilterLedger()
+    result = BranchAndBoundSolver(graph).solve(query, hooks=ledger)
+    assert ledger.total_in - ledger.total_out == result.stats.kline_removed
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    operations=st.lists(st.integers(min_value=0, max_value=12), max_size=40),
+)
+def test_cache_hits_plus_misses_equal_lookups(capacity, operations):
+    cache = ResultCache(capacity=capacity)
+    for key in operations:
+        if cache.get(key) is None:
+            cache.put(key, object())
+    assert cache.stats.hits + cache.stats.misses == cache.stats.lookups
+    assert cache.stats.lookups == len(operations)
+    assert len(cache) <= capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=attributed_graphs(), query=queries())
+def test_oracle_memo_counts_bounded_by_probes(graph, query):
+    """Memo hits + misses never exceed the probes the oracle answered."""
+    oracle = BFSOracle(graph)
+    BranchAndBoundSolver(graph, oracle=oracle).solve(query)
+    stats = oracle.stats
+    assert stats.memo_hits >= 0 and stats.memo_misses >= 0
+    assert 0.0 <= stats.memo_hit_rate <= 1.0

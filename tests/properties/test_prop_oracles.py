@@ -3,9 +3,30 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.core.graph import AttributedGraph
+from repro.index.base import DistanceOracle
 from repro.index.bfs import BFSOracle
 from repro.index.nl import NLIndex
 from repro.index.nlrnl import NLRNLIndex
+from repro.index.pll import PLLIndex
+
+
+class MinimalOracle(DistanceOracle):
+    """Bare oracle exercising the base-class ``filter_candidates`` default."""
+
+    name = "minimal"
+
+    def is_tenuous(self, u, v, k):
+        if u == v:
+            return False
+        distance = self.graph.hop_distance(u, v)
+        return distance is None or distance > k
+
+    def within_k(self, vertex, k):
+        return {
+            v
+            for v in self.graph.vertices()
+            if v != vertex and not self.is_tenuous(vertex, v, k)
+        }
 
 
 @st.composite
@@ -60,7 +81,13 @@ def test_filter_candidates_agree_across_oracles(graph, k, member):
     member %= graph.num_vertices
     candidates = list(graph.vertices())
     reference = BFSOracle(graph).filter_candidates(candidates, member, k)
-    for oracle in (NLIndex(graph, depth=1), NLRNLIndex(graph)):
+    oracles = (
+        NLIndex(graph, depth=1),
+        NLRNLIndex(graph),
+        PLLIndex(graph),
+        MinimalOracle(graph),
+    )
+    for oracle in oracles:
         assert oracle.filter_candidates(candidates, member, k) == reference
 
 

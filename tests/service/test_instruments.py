@@ -1,0 +1,80 @@
+"""QueryService instrumentation: live registry vs the null default."""
+
+import pytest
+
+from repro.core.query import KTGQuery
+from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
+from repro.service import QueryService
+from tests.conftest import make_random_attributed_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_random_attributed_graph(num_vertices=40, seed=5)
+
+
+@pytest.fixture(scope="module")
+def query(graph):
+    labels = tuple(sorted(graph.keyword_table)[:4])
+    return KTGQuery(keywords=labels, group_size=3, tenuity=2, top_n=3)
+
+
+class TestLiveRegistry:
+    def test_counters_track_hits_and_misses(self, graph, query):
+        registry = InstrumentRegistry()
+        with QueryService(graph, "KTG-VKC-NLRNL", instruments=registry) as service:
+            service.submit(query)
+            service.submit(query)
+        counters = registry.report()["counters"]
+        assert counters["service.cache_misses"] == 1
+        assert counters["service.cache_hits"] == 1
+
+    def test_timers_observe_each_phase(self, graph, query):
+        registry = InstrumentRegistry()
+        with QueryService(graph, "KTG-VKC-NLRNL", instruments=registry) as service:
+            service.submit(query)
+            service.submit(query)
+        timers = registry.report()["timers"]
+        assert timers["service.cache_lookup_ms"]["count"] == 2
+        assert timers["service.solve_ms"]["count"] == 1  # miss only
+        assert timers["service.serve_ms"]["count"] == 2
+        assert timers["service.serve_ms"]["total_ms"] >= timers["service.solve_ms"]["total_ms"]
+
+    def test_batch_path_is_instrumented(self, graph, query):
+        registry = InstrumentRegistry()
+        with QueryService(graph, "KTG-VKC-NLRNL", instruments=registry) as service:
+            service.run_batch([query, query, query])
+        counters = registry.report()["counters"]
+        assert counters["service.cache_misses"] == 1
+        assert counters["service.cache_hits"] == 2
+
+    def test_instrument_report_structure(self, graph, query):
+        registry = InstrumentRegistry()
+        with QueryService(graph, "KTG-VKC-NLRNL", instruments=registry) as service:
+            service.submit(query)
+            report = service.instrument_report()
+        assert report["service"]["queries_served"] == 1
+        cache = report["cache"]
+        assert cache["lookups"] == cache["hits"] + cache["misses"]
+        assert "oracle" in report
+        assert report["instruments"]["counters"]["service.cache_misses"] == 1
+
+
+class TestNullDefault:
+    def test_default_sink_collects_nothing(self, graph, query):
+        with QueryService(graph, "KTG-VKC-NLRNL") as service:
+            service.submit(query)
+            report = service.instrument_report()
+        assert "instruments" not in report
+        assert NULL_REGISTRY.report() == {"counters": {}, "timers": {}}
+
+    def test_service_stats_unaffected_by_sink_choice(self, graph, query):
+        with QueryService(graph, "KTG-VKC-NLRNL") as null_service:
+            null_service.submit(query)
+            null_stats = null_service.stats()
+        with QueryService(
+            graph, "KTG-VKC-NLRNL", instruments=InstrumentRegistry()
+        ) as live_service:
+            live_service.submit(query)
+            live_stats = live_service.stats()
+        assert null_stats.cache_misses == live_stats.cache_misses == 1
