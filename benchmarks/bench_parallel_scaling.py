@@ -1,0 +1,123 @@
+"""Parallel branch-and-bound scaling — speedup vs ``jobs`` (dense-large).
+
+Runs the same dense-large workload (the Twitter profile, the paper's
+densest graph) through :class:`repro.core.parallel.ParallelBranchAndBoundSolver`
+at ``jobs`` in {1, 2, 4} and reports the speedup of each fleet size
+over the serial :class:`BranchAndBoundSolver` reference.  Every
+parallel run's ranked groups are asserted bit-identical to serial —
+the scaling curve is only meaningful because the answer is exact.
+
+The headline claim (>1.5x at ``jobs=4``) holds at full bench scale on
+a machine with at least four cores; under ``--smoke`` (tiny datasets,
+process-spawn overhead dominates) it is softened to a warning like all
+other quantitative claims.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import bench_runner, bench_workload, check_claim, register_bench_meta
+
+register_bench_meta(
+    "parallel_scaling",
+    title="parallel branch-and-bound speedup vs jobs (dense-large)",
+)
+
+from repro.core.parallel import ParallelBranchAndBoundSolver
+from repro.workloads.runner import ALGORITHMS
+from repro.workloads.sweep import DEFAULTS
+
+#: Match bench_fig7_dense_large: the dense profile at its fig7 scale.
+DENSE_SCALE = 0.35
+ALGORITHM = "KTG-VKC-DEG-NLRNL"
+
+#: Serial reference per workload key, measured once and reused by every
+#: parametrization so all speedups share one baseline.
+_serial_reference: dict[tuple, tuple[float, list]] = {}
+
+
+def _workload_settings() -> dict:
+    return dict(
+        keyword_size=DEFAULTS["keyword_size"],
+        group_size=4,  # deeper tree than the sweep default: more work to split
+        tenuity=1,  # denser graph: k=1 keeps the grid feasible (as in fig7a)
+        top_n=DEFAULTS["top_n"],
+    )
+
+
+def _serial_baseline(runner, workload) -> tuple[float, list]:
+    """Serial wall-clock and ranked groups for the workload (cached)."""
+    key = (id(runner), tuple(q.keywords for q in workload))
+    if key not in _serial_reference:
+        spec = ALGORITHMS[ALGORITHM]
+        solver = spec.build_solver(runner.graph, runner.oracle_for(spec))
+        started = time.perf_counter()
+        groups = [solver.solve(query).groups for query in workload]
+        _serial_reference[key] = (time.perf_counter() - started, groups)
+    return _serial_reference[key]
+
+
+# One named test per fleet size (not a parametrize grid) so the smoke
+# job — which keeps only the first parametrization per function — still
+# emits the full speedup-vs-jobs curve in the artifact.
+def test_parallel_scaling_jobs1(benchmark):
+    _run_scaling_point(benchmark, jobs=1)
+
+
+def test_parallel_scaling_jobs2(benchmark):
+    _run_scaling_point(benchmark, jobs=2)
+
+
+def test_parallel_scaling_jobs4(benchmark):
+    _run_scaling_point(benchmark, jobs=4)
+
+
+def _run_scaling_point(benchmark, jobs):
+    runner = bench_runner("twitter", DENSE_SCALE)
+    spec = ALGORITHMS[ALGORITHM]
+    oracle = runner.oracle_for(spec)  # build outside timing
+    queries = tuple(bench_workload("twitter", DENSE_SCALE, **_workload_settings()))
+    serial_seconds, serial_groups = _serial_baseline(runner, queries)
+
+    engine = ParallelBranchAndBoundSolver(
+        runner.graph,
+        oracle=oracle,
+        strategy=spec.build_solver(runner.graph, oracle).strategy,
+        jobs=jobs,
+        executor="process" if jobs > 1 else "inline",
+    )
+    try:
+        # Warm the pool outside the timed region (one-time spawn cost is
+        # amortised over a service's lifetime, not paid per query).
+        engine.solve(queries[0])
+
+        results = benchmark.pedantic(
+            lambda: [engine.solve(query) for query in queries],
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        engine.close()
+
+    # Determinism: the parallel fleet returns serial's exact answer.
+    assert [r.groups for r in results] == serial_groups
+
+    mean_s = benchmark.stats.stats.mean
+    speedup = serial_seconds / mean_s if mean_s > 0 else 0.0
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["serial_ms"] = round(serial_seconds * 1000.0, 3)
+    benchmark.extra_info["speedup_vs_serial"] = round(speedup, 3)
+    # Only schedule-independent counters go into extras: with bound
+    # broadcasting on, per-worker prune counts depend on broadcast
+    # timing, and the baseline-compare CI job would flag that noise.
+    benchmark.extra_info["subproblems"] = sum(r.subproblems for r in results)
+
+    if jobs == 4:
+        cores = os.cpu_count() or 1
+        check_claim(
+            cores < 4 or speedup > 1.5,
+            f"jobs=4 speedup {speedup:.2f}x <= 1.5x on the dense-large "
+            f"workload ({cores} cores)",
+        )

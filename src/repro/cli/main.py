@@ -7,7 +7,9 @@ Subcommands mirror the library's workflow:
 ``ktg generate <profile> --edges out.edges --keywords out.kw``
     Materialise a synthetic dataset to disk.
 ``ktg query <profile> --keywords a,b,c [-p 3 -k 2 -n 3] [--algorithm ...]``
-    Answer one KTG query and print the groups.
+    Answer one KTG query and print the groups.  ``ktg solve`` is an
+    alias; ``--jobs N`` fans the branch-and-bound root frontier across
+    a parallel worker fleet (results stay bit-identical to serial).
 ``ktg batch <profile> --queries 50 [--workers 4 --executor thread]``
     Serve a generated query batch through the QueryService (parallel
     workers + result cache + admission control) and print serving
@@ -73,7 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--edges", required=True, help="output edge-list path")
     generate.add_argument("--keywords", required=True, help="output keyword-table path")
 
-    query = commands.add_parser("query", help="answer one KTG/DKTG query")
+    query = commands.add_parser(
+        "query", aliases=["solve"], help="answer one KTG/DKTG query"
+    )
     query.add_argument("profile", choices=sorted(PROFILES))
     query.add_argument("--scale", type=float, default=1.0)
     query.add_argument(
@@ -90,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ALGORITHMS),
     )
     query.add_argument("--gamma", type=float, default=0.5, help="DKTG diversity weight")
+    query.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel subproblem workers for the solve (1 = serial)",
+    )
+    query.add_argument(
+        "--jobs-executor",
+        default="process",
+        choices=["process", "thread", "inline"],
+        help="fleet kind used when --jobs > 1",
+    )
 
     batch = commands.add_parser(
         "batch", help="serve a generated query batch through the QueryService"
@@ -136,6 +152,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="per-query search-node budget (graceful degradation)",
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "per-query parallel solve workers (1 = serial solves; "
+            ">1 serves the batch sequentially, each query using the fleet)"
+        ),
     )
 
     sweep = commands.add_parser("sweep", help="run a Table I parameter sweep")
@@ -235,7 +260,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_datasets()
     if args.command == "generate":
         return _cmd_generate(args)
-    if args.command == "query":
+    if args.command in ("query", "solve"):
         return _cmd_query(args)
     if args.command == "batch":
         return _cmd_batch(args)
@@ -301,6 +326,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     runner = ExperimentRunner(graph, dataset_name=args.profile)
     oracle = runner.oracle_for(spec)
+    if args.jobs > 1 and not spec.diversified:
+        from repro.core.parallel import ParallelBranchAndBoundSolver
+
+        with ParallelBranchAndBoundSolver(
+            graph,
+            oracle=oracle,
+            strategy=strategy_by_name(spec.strategy_name, graph),
+            jobs=args.jobs,
+            executor=args.jobs_executor,
+        ) as engine:
+            result = engine.solve(query)
+        print(result)
+        print(
+            f"(latency: {result.stats.elapsed_seconds * 1000:.1f} ms, "
+            f"jobs={result.jobs}, executor={result.executor}, "
+            f"subproblems={result.subproblems})"
+        )
+        return 0
     solver = spec.build_solver(graph, oracle)
     result = solver.solve(query)
     print(result)
@@ -331,6 +374,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         executor=args.executor,
         time_budget=args.time_budget,
         node_budget=args.node_budget,
+        jobs=args.jobs,
     ) as service:
         pass_rows = []
         for pass_number in range(1, args.passes + 1):
@@ -348,7 +392,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 }
             )
         stats = service.stats()
-    mode = "sequential" if args.sequential else f"{args.workers}x{args.executor}"
+    if args.jobs > 1:
+        mode = f"jobs={args.jobs} per query"
+    elif args.sequential:
+        mode = "sequential"
+    else:
+        mode = f"{args.workers}x{args.executor}"
     print(
         render_table(
             pass_rows,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from repro.core.graph import AttributedGraph
+from repro.core.graph import AttributedGraph  # noqa: F401  (doctest namespace)
 from repro.core.query import KTGQuery
 from repro.index.base import DistanceOracle
 

@@ -1,0 +1,759 @@
+"""Parallel branch-and-bound engine with shared incumbent bounds.
+
+The NP-hard KTG search of :mod:`repro.core.branch_and_bound` explores a
+tree whose first level is the ordered root frontier: choosing candidate
+``v_i`` at the root spawns one independent subtree over the candidates
+after ``v_i``.  This module splits that frontier into subproblems,
+solves them in a worker fleet (process pool, thread pool, or inline),
+and merges the per-subtree results back into one :class:`TopNPool`
+**deterministically**: an unbudgeted ``solve(jobs=N)`` returns groups
+bit-identical to the serial solver for every ordering strategy.
+
+Why the merge is exact
+----------------------
+Each worker runs the ordinary serial search over its subtree, but its
+result pool is a :class:`_RecordingFloorPool`: a local top-N pool whose
+pruning threshold is additionally floored by a broadcast bound, and
+which records every locally-admitted group in discovery order.  Three
+invariants make the final replay bit-identical to serial:
+
+1. *The floor is always a lower bound of the serial threshold.*  The
+   parent only broadcasts the threshold of the merged pool over the
+   maximal **contiguous prefix** of completed subproblems.  Serial
+   thresholds only grow, so the threshold after subtrees ``0..j`` is at
+   most the serial threshold at any point inside a later subtree
+   ``i > j`` — and a running subproblem is never inside the prefix.
+2. *The local threshold is a lower bound too.*  If the local pool's
+   N-th best exceeded the serial threshold, all N local groups would be
+   serial-admitted groups still resident in the serial pool — but then
+   the serial pool (same capacity) would have a higher threshold,
+   a contradiction.
+3. *Extra exploration is harmless.*  A worker therefore prunes at most
+   as much as serial; every group the serial search offers is recorded,
+   and every *extra* recorded group comes from a branch serial pruned,
+   so its coverage is at or below the serial threshold at that point of
+   the replay and the strict-admission pool rejects it.
+
+Replaying each subproblem's recorded offers in root order through a
+fresh pool thus reproduces the serial pool trajectory exactly.
+
+Determinism across ``jobs``
+---------------------------
+Group results are jobs-invariant always.  ``SearchStats`` aggregates
+(prune/node counters) are additionally jobs- and schedule-invariant
+when ``bound_broadcast=False`` (every subproblem then runs with a
+constant floor of 0); with broadcasts enabled the *work done* depends
+on completion timing, so only the returned groups are guaranteed
+identical.  Budgets apply per subproblem (see :meth:`solve`), keeping
+budgeted runs jobs-invariant in the broadcast-free mode as well.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.branch_and_bound import (
+    BranchAndBoundSolver,
+    KTGResult,
+    SearchStats,
+    _BudgetExhausted,
+)
+from repro.core.coverage import CoverageContext
+from repro.core.errors import IndexBuildError
+from repro.core.graph import AttributedGraph
+from repro.core.query import KTGQuery
+from repro.core.results import TopNPool
+from repro.core.strategies import OrderingStrategy
+from repro.index.base import DistanceOracle
+from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
+
+__all__ = [
+    "ParallelBranchAndBoundSolver",
+    "ParallelKTGResult",
+    "make_parallel_solver",
+    "root_frontier",
+]
+
+#: How many threshold/admission checks go through a cached floor before
+#: the shared broadcast cell is re-read (a locked read for processes).
+FLOOR_POLL_INTERVAL = 64
+
+#: Executors accepted by :class:`ParallelBranchAndBoundSolver`.
+EXECUTORS = ("inline", "thread", "process")
+
+
+# ----------------------------------------------------------------------
+# Shared incumbent floor
+# ----------------------------------------------------------------------
+class _FloorBox:
+    """In-process broadcast cell (inline/thread executors).
+
+    A bare attribute read/write of a float is atomic under the GIL,
+    which is all the protocol needs: readers tolerate staleness, and
+    the single writer only ever increases the value.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def read(self) -> float:
+        return self.value
+
+    def write(self, value: float) -> None:
+        self.value = value
+
+
+class _SharedFloor:
+    """Cross-process broadcast cell backed by ``multiprocessing.Value``."""
+
+    __slots__ = ("_cell",)
+
+    def __init__(self, cell: Any) -> None:
+        self._cell = cell
+
+    def read(self) -> float:
+        return float(self._cell.value)
+
+    def write(self, value: float) -> None:
+        self._cell.value = value
+
+
+class _RecordingFloorPool:
+    """Worker-side result pool: local top-N, floored threshold, offer log.
+
+    Duck-types the three :class:`TopNPool` methods the solver uses
+    (``threshold``, ``would_admit``, ``offer``).  Offers below the floor
+    are rejected outright and never recorded — the merge-time threshold
+    is provably at least the floor, so they could never be admitted.
+    """
+
+    __slots__ = ("_pool", "_read_floor", "_floor", "_polls", "offers")
+
+    def __init__(self, capacity: int, read_floor: Callable[[], float]) -> None:
+        self._pool = TopNPool(capacity)
+        self._read_floor = read_floor
+        self._floor = read_floor()
+        self._polls = 0
+        #: Locally admitted groups, in discovery order.
+        self.offers: list[tuple[tuple[int, ...], float]] = []
+
+    def _current_floor(self) -> float:
+        self._polls += 1
+        if self._polls >= FLOOR_POLL_INTERVAL:
+            self._polls = 0
+            fresh = self._read_floor()
+            if fresh > self._floor:
+                self._floor = fresh
+        return self._floor
+
+    @property
+    def threshold(self) -> float:
+        floor = self._current_floor()
+        local = self._pool.threshold
+        return local if local > floor else floor
+
+    def would_admit(self, coverage: float) -> bool:
+        if coverage <= self._current_floor():
+            return False
+        return self._pool.would_admit(coverage)
+
+    def offer(self, members: Sequence[int], coverage: float) -> bool:
+        if coverage <= self._current_floor():
+            return False
+        admitted = self._pool.offer(members, coverage)
+        if admitted:
+            self.offers.append((tuple(sorted(members)), coverage))
+        return admitted
+
+
+# ----------------------------------------------------------------------
+# Subproblems
+# ----------------------------------------------------------------------
+@dataclass
+class _SubproblemOutcome:
+    """What one root branch sends back to the merger."""
+
+    position: int
+    offers: list[tuple[tuple[int, ...], float]]
+    stats: SearchStats
+
+
+def root_frontier(initial: Sequence[int], group_size: int) -> range:
+    """Root-branch positions the serial search would actually expand.
+
+    The serial root loop breaks as soon as fewer than ``p - 1``
+    candidates remain after the chosen one, so positions past
+    ``len(initial) - p`` never spawn a subtree.
+    """
+    return range(0, max(0, len(initial) - group_size + 1))
+
+
+def _solve_subtree(
+    solver: BranchAndBoundSolver,
+    query: KTGQuery,
+    context: CoverageContext,
+    initial: Sequence[int],
+    position: int,
+    pool: _RecordingFloorPool,
+    deadline: Optional[float],
+) -> SearchStats:
+    """Run the serial search over the subtree rooted at one root branch.
+
+    Reproduces exactly what the serial root loop does for this position:
+    k-line-filter the tail against the chosen vertex, re-order it when
+    the strategy re-sorts, then recurse.  Returns the subtree's stats;
+    a tripped budget is recorded, not raised.
+    """
+    stats = SearchStats()
+    vertex = initial[position]
+    rest = list(initial[position + 1 :])
+    masks = context.masks
+    new_mask = masks[vertex]
+    solver._deadline = deadline
+    solver._hooks = None
+    try:
+        if solver.kline_filtering:
+            before = len(rest)
+            rest = solver.oracle.filter_candidates(rest, vertex, query.tenuity)
+            stats.kline_removed += before - len(rest)
+        if solver.strategy.resorts and new_mask != 0:
+            rest = solver.strategy.reorder(rest, new_mask, context)
+        solver._search(
+            members=[vertex],
+            covered_mask=new_mask,
+            remaining=rest,
+            query=query,
+            context=context,
+            pool=pool,
+            stats=stats,
+        )
+    except _BudgetExhausted:
+        stats.budget_exhausted = True
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing: workers receive graph/oracle/strategy/options
+# once (at pool start) plus the shared floor cell; per-task traffic is
+# (chunk positions, query, initial order) out, outcome list back.
+# ----------------------------------------------------------------------
+_WORKER: Optional[dict] = None
+
+
+def _parallel_worker_init(
+    graph: AttributedGraph,
+    oracle: DistanceOracle,
+    strategy: OrderingStrategy,
+    options: dict,
+    floor_cell: Any,
+) -> None:
+    global _WORKER
+    _WORKER = {
+        "solver": BranchAndBoundSolver(graph, oracle=oracle, strategy=strategy, **options),
+        "floor": _SharedFloor(floor_cell),
+        "context_key": None,
+        "context": None,
+    }
+
+
+def _parallel_worker_run(
+    chunk: Sequence[int],
+    query: KTGQuery,
+    initial: Sequence[int],
+    top_n: int,
+    deadline: Optional[float],
+    node_budget: Optional[int],
+) -> tuple[int, list[_SubproblemOutcome]]:
+    assert _WORKER is not None, "parallel worker initializer did not run"
+    solver: BranchAndBoundSolver = _WORKER["solver"]
+    solver.node_budget = node_budget
+    floor: _SharedFloor = _WORKER["floor"]
+    if _WORKER["context_key"] != query.keywords:
+        _WORKER["context"] = CoverageContext(solver.graph, query.keywords)
+        _WORKER["context_key"] = query.keywords
+    context: CoverageContext = _WORKER["context"]
+    outcomes = []
+    for position in chunk:
+        pool = _RecordingFloorPool(top_n, floor.read)
+        stats = _solve_subtree(solver, query, context, initial, position, pool, deadline)
+        outcomes.append(_SubproblemOutcome(position, pool.offers, stats))
+    return os.getpid(), outcomes
+
+
+# ----------------------------------------------------------------------
+# Result type
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParallelKTGResult(KTGResult):
+    """A :class:`KTGResult` plus the parallel engine's provenance.
+
+    ``groups`` (and for unbudgeted runs every admission decision behind
+    them) are identical to what the serial solver returns; the extra
+    fields describe how the search was scheduled.
+    """
+
+    jobs: int = 1
+    executor: str = "inline"
+    subproblems: int = 0
+    worker_stats: tuple[SearchStats, ...] = field(compare=False, default_factory=tuple)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class ParallelBranchAndBoundSolver:
+    """Multi-worker exact top-N KTG solver (frontier decomposition).
+
+    Parameters mirror :class:`BranchAndBoundSolver` plus:
+
+    jobs:
+        Worker count.  ``jobs=1`` degrades to in-process execution of
+        the same subproblem schedule, so results *and* stats match
+        higher job counts (the serial :class:`BranchAndBoundSolver`
+        remains the reference for classic global-budget semantics).
+    executor:
+        ``"process"`` (default; real CPU parallelism), ``"thread"``
+        (GIL-bound, cheap to spin up — scheduling tests), or
+        ``"inline"`` (no pool at all; deterministic broadcasts).
+    bound_broadcast:
+        Share the merged contiguous-prefix incumbent threshold with
+        running workers so Theorem-2 pruning tightens fleet-wide.
+        Group results stay bit-identical either way; disable to make
+        ``SearchStats`` aggregates schedule-invariant too.
+    chunk_size:
+        Root branches per worker task; defaults to
+        ``ceil(frontier / (jobs * 4))`` so late (cheap) subtrees
+        rebalance the skewed early ones.
+    instruments:
+        Registry receiving ``parallel.tasks``, ``parallel.subproblems``,
+        ``parallel.bound_broadcasts`` and ``parallel.steals`` counters.
+
+    Budgets: ``node_budget`` / ``time_budget`` apply **per subproblem**
+    (each root branch gets the full allowance).  This keeps budgeted
+    runs deterministic across ``jobs``; callers wanting one global cap
+    should use the serial solver.
+
+    A single engine reuses its worker pool across ``solve`` calls;
+    concurrent calls on one engine are not supported (the broadcast
+    cell is per-engine).  Use :meth:`close` or a ``with`` block.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        oracle: Optional[DistanceOracle] = None,
+        strategy: Optional[OrderingStrategy] = None,
+        *,
+        jobs: int = 2,
+        executor: str = "process",
+        keyword_pruning: bool = True,
+        kline_filtering: bool = True,
+        use_union_bound: bool = False,
+        node_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+        bound_broadcast: bool = True,
+        chunk_size: Optional[int] = None,
+        instruments: InstrumentRegistry = NULL_REGISTRY,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        # One worker cannot overlap with itself; skip the pool entirely.
+        self.executor_kind = "inline" if jobs == 1 else executor
+        self.bound_broadcast = bound_broadcast
+        self.chunk_size = chunk_size
+        self.instruments = instruments
+        self._template = BranchAndBoundSolver(
+            graph,
+            oracle=oracle,
+            strategy=strategy,
+            keyword_pruning=keyword_pruning,
+            kline_filtering=kline_filtering,
+            use_union_bound=use_union_bound,
+            node_budget=node_budget,
+            time_budget=time_budget,
+        )
+        self._pool: Optional[Executor] = None
+        self._floor_cell: Any = None
+        self._tasks_counter = instruments.counter("parallel.tasks")
+        self._subproblem_counter = instruments.counter("parallel.subproblems")
+        self._broadcast_counter = instruments.counter("parallel.bound_broadcasts")
+        self._steal_counter = instruments.counter("parallel.steals")
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> AttributedGraph:
+        return self._template.graph
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        return self._template.oracle
+
+    @property
+    def strategy(self) -> OrderingStrategy:
+        return self._template.strategy
+
+    @property
+    def algorithm_name(self) -> str:
+        return self._template.algorithm_name
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelBranchAndBoundSolver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        query: KTGQuery,
+        candidates: Optional[Sequence[int]] = None,
+        *,
+        node_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> ParallelKTGResult:
+        """Answer *query* across the worker fleet.
+
+        Group results are bit-identical to
+        ``BranchAndBoundSolver.solve`` for unbudgeted runs; see the
+        module docstring for the proof sketch and the class docstring
+        for budget semantics.  *node_budget* / *time_budget* override
+        the engine defaults for this call only (the admission-control
+        hook :class:`repro.service.QueryService` uses).
+        """
+        template = self._template
+        if template.oracle.is_stale():
+            # Same contract as the serial solver: force an explicit rebuild.
+            raise IndexBuildError(
+                "the distance oracle was built on an older version of the "
+                "graph; call oracle.rebuild() before solving"
+            )
+        nb = node_budget if node_budget is not None else template.node_budget
+        tb = time_budget if time_budget is not None else template.time_budget
+        started = time.perf_counter()
+        root_stats = SearchStats()
+        context = CoverageContext(template.graph, query.keywords)
+        initial = template._initial_candidates(query, context, candidates, root_stats)
+        initial = template.strategy.initial_order(initial, context)
+
+        frontier = root_frontier(initial, query.group_size)
+        if query.group_size == 1 or len(frontier) == 0:
+            # Degenerate trees (root is itself a leaf, or exhausted):
+            # delegate to the serial engine — identical for every jobs.
+            return self._wrap_serial(query, candidates, nb, tb)
+
+        deadline = started + tb if tb is not None else None
+        chunks = self._chunk(frontier)
+        self._tasks_counter.inc(len(chunks))
+        self._subproblem_counter.inc(len(frontier))
+
+        if self.executor_kind == "inline":
+            outcomes, merged, accepted, broadcasts = self._run_inline(
+                chunks, query, initial, context, deadline, nb
+            )
+            steals = 0
+        else:
+            outcomes, merged, accepted, broadcasts, steals = self._run_pool(
+                chunks, query, initial, deadline, nb
+            )
+        self._broadcast_counter.inc(broadcasts)
+        self._steal_counter.inc(steals)
+
+        stats = self._aggregate(root_stats, outcomes, accepted)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return ParallelKTGResult(
+            query=query,
+            algorithm=template.algorithm_name,
+            groups=tuple(merged.best()),
+            stats=stats,
+            jobs=self.jobs,
+            executor=self.executor_kind,
+            subproblems=len(frontier),
+            worker_stats=tuple(outcome.stats for outcome in outcomes),
+        )
+
+    # ------------------------------------------------------------------
+    def _wrap_serial(
+        self,
+        query: KTGQuery,
+        candidates: Optional[Sequence[int]],
+        node_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> ParallelKTGResult:
+        serial = self._clone_template()
+        serial.node_budget = node_budget
+        serial.time_budget = time_budget
+        serial = serial.solve(query, candidates)
+        return ParallelKTGResult(
+            query=serial.query,
+            algorithm=serial.algorithm,
+            groups=serial.groups,
+            stats=serial.stats,
+            jobs=self.jobs,
+            executor=self.executor_kind,
+            subproblems=0,
+            worker_stats=(serial.stats,),
+        )
+
+    def _chunk(self, frontier: range) -> list[list[int]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(frontier) // (self.jobs * 4)))
+        positions = list(frontier)
+        return [positions[i : i + size] for i in range(0, len(positions), size)]
+
+    # -- inline ---------------------------------------------------------
+    def _run_inline(
+        self,
+        chunks: list[list[int]],
+        query: KTGQuery,
+        initial: Sequence[int],
+        context: CoverageContext,
+        deadline: Optional[float],
+        node_budget: Optional[int],
+    ) -> tuple[list[_SubproblemOutcome], TopNPool, int, int]:
+        floor = _FloorBox()
+        merged = TopNPool(query.top_n)
+        solver = self._clone_template()
+        solver.node_budget = node_budget
+        outcomes: list[_SubproblemOutcome] = []
+        accepted = 0
+        broadcasts = 0
+        for chunk in chunks:
+            for position in chunk:
+                pool = _RecordingFloorPool(query.top_n, floor.read)
+                stats = _solve_subtree(
+                    solver, query, context, initial, position, pool, deadline
+                )
+                outcomes.append(_SubproblemOutcome(position, pool.offers, stats))
+            # Inline completion order == root order, so the contiguous
+            # prefix is simply everything so far: the broadcast floor
+            # tracks the serial threshold as tightly as possible.
+            accepted += _replay(merged, outcomes[len(outcomes) - len(chunk) :])
+            if self.bound_broadcast and merged.threshold > floor.read():
+                floor.write(merged.threshold)
+                broadcasts += 1
+        return outcomes, merged, accepted, broadcasts
+
+    # -- thread / process ----------------------------------------------
+    def _run_pool(
+        self,
+        chunks: list[list[int]],
+        query: KTGQuery,
+        initial: Sequence[int],
+        deadline: Optional[float],
+        node_budget: Optional[int],
+    ) -> tuple[list[_SubproblemOutcome], TopNPool, int, int, int]:
+        pool = self._ensure_pool()
+        if self.executor_kind == "thread":
+            floor = self._floor_cell
+            floor.write(0.0)
+            context = CoverageContext(self._template.graph, query.keywords)
+            solvers = [self._clone_template() for _ in range(len(chunks))]
+            for solver in solvers:
+                solver.node_budget = node_budget
+
+            def run_chunk(index: int) -> tuple[Any, list[_SubproblemOutcome]]:
+                solver = solvers[index]
+                results = []
+                for position in chunks[index]:
+                    local = _RecordingFloorPool(query.top_n, floor.read)
+                    stats = _solve_subtree(
+                        solver, query, context, initial, position, local, deadline
+                    )
+                    results.append(_SubproblemOutcome(position, local.offers, stats))
+                return threading.get_ident(), results
+
+            futures = {pool.submit(run_chunk, i): i for i in range(len(chunks))}
+        else:
+            floor = _SharedFloor(self._floor_cell)
+            floor.write(0.0)
+            futures = {
+                pool.submit(
+                    _parallel_worker_run,
+                    chunk,
+                    query,
+                    list(initial),
+                    query.top_n,
+                    deadline,
+                    node_budget,
+                ): i
+                for i, chunk in enumerate(chunks)
+            }
+
+        merged = TopNPool(query.top_n)
+        by_chunk: dict[int, list[_SubproblemOutcome]] = {}
+        worker_of_chunk: dict[int, Any] = {}
+        next_chunk = 0
+        accepted = 0
+        broadcasts = 0
+        for future in as_completed(futures):
+            chunk_index = futures[future]
+            worker_tag, results = future.result()
+            by_chunk[chunk_index] = results
+            worker_of_chunk[chunk_index] = worker_tag
+            # Advance the contiguous completed prefix and broadcast its
+            # merged threshold — the only bound provably at or below the
+            # serial threshold for every still-running subproblem.
+            while next_chunk in by_chunk:
+                accepted += _replay(merged, by_chunk[next_chunk])
+                next_chunk += 1
+            if self.bound_broadcast and merged.threshold > floor.read():
+                floor.write(merged.threshold)
+                broadcasts += 1
+        steals = self._count_steals(worker_of_chunk)
+        outcomes = [
+            outcome for index in sorted(by_chunk) for outcome in by_chunk[index]
+        ]
+        return outcomes, merged, accepted, broadcasts, steals
+
+    def _count_steals(self, worker_of_chunk: dict[int, Any]) -> int:
+        """Chunks not executed by their static round-robin home worker.
+
+        The pool schedules dynamically, so this measures how much load
+        rebalancing happened relative to a static ``chunk % jobs``
+        partition (0 on a perfectly uniform frontier).
+        """
+        slots: dict[Any, int] = {}
+        steals = 0
+        for chunk_index in sorted(worker_of_chunk):
+            tag = worker_of_chunk[chunk_index]
+            slot = slots.setdefault(tag, len(slots))
+            if slot != chunk_index % self.jobs:
+                steals += 1
+        return steals
+
+    # ------------------------------------------------------------------
+    def _clone_template(self) -> BranchAndBoundSolver:
+        """A fresh solver sharing the graph/oracle/strategy but owning
+        its own mutable ``_deadline`` slot (one per concurrent chunk)."""
+        template = self._template
+        return BranchAndBoundSolver(
+            template.graph,
+            oracle=template.oracle,
+            strategy=template.strategy,
+            keyword_pruning=template.keyword_pruning,
+            kline_filtering=template.kline_filtering,
+            use_union_bound=template.use_union_bound,
+            node_budget=template.node_budget,
+            time_budget=template.time_budget,
+        )
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is not None:
+            return self._pool
+        if self.executor_kind == "thread":
+            self._floor_cell = _FloorBox()
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="ktg-parallel"
+            )
+        else:
+            import multiprocessing
+
+            template = self._template
+            self._floor_cell = multiprocessing.Value("d", 0.0)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_parallel_worker_init,
+                initargs=(
+                    template.graph,
+                    template.oracle,
+                    template.strategy,
+                    {
+                        "keyword_pruning": template.keyword_pruning,
+                        "kline_filtering": template.kline_filtering,
+                        "use_union_bound": template.use_union_bound,
+                    },
+                    self._floor_cell,
+                ),
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def _aggregate(
+        self,
+        root_stats: SearchStats,
+        outcomes: list[_SubproblemOutcome],
+        accepted: int,
+    ) -> SearchStats:
+        """Fold per-subproblem stats plus the root node's own accounting."""
+        total = SearchStats()
+        # The serial root expands exactly one interior node (degenerate
+        # roots took the serial fallback path before reaching here).
+        total.nodes_expanded = 1
+        total.nodes_interior = 1
+        total.kline_removed = root_stats.kline_removed
+        total.offers_accepted = accepted
+        offset = 1  # serial node numbering: root is node 1
+        for outcome in outcomes:
+            stats = outcome.stats
+            if total.first_feasible_node is None and stats.first_feasible_node is not None:
+                total.first_feasible_node = offset + stats.first_feasible_node
+            offset += stats.nodes_expanded
+            total.nodes_expanded += stats.nodes_expanded
+            total.feasible_groups += stats.feasible_groups
+            total.keyword_prunes += stats.keyword_prunes
+            total.kline_removed += stats.kline_removed
+            total.nodes_interior += stats.nodes_interior
+            total.nodes_completed += stats.nodes_completed
+            total.nodes_exhausted += stats.nodes_exhausted
+            total.node_prunes += stats.node_prunes
+            total.leaf_prunes += stats.leaf_prunes
+            total.union_prunes += stats.union_prunes
+            total.budget_exhausted = total.budget_exhausted or stats.budget_exhausted
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelBranchAndBoundSolver({self.algorithm_name}, "
+            f"jobs={self.jobs}x{self.executor_kind}, "
+            f"broadcast={self.bound_broadcast})"
+        )
+
+
+def _replay(pool: TopNPool, outcomes: Sequence[_SubproblemOutcome]) -> int:
+    """Re-offer recorded groups in discovery order; return admissions."""
+    accepted = 0
+    for outcome in outcomes:
+        for members, coverage in outcome.offers:
+            if pool.offer(members, coverage):
+                accepted += 1
+    return accepted
+
+
+def make_parallel_solver(
+    graph: AttributedGraph,
+    strategy_name: str = "vkc-deg",
+    oracle: Optional[DistanceOracle] = None,
+    **engine_options: Any,
+) -> ParallelBranchAndBoundSolver:
+    """Convenience factory mirroring :func:`repro.core.branch_and_bound.make_solver`."""
+    from repro.core.strategies import strategy_by_name
+
+    strategy = strategy_by_name(strategy_name, graph)
+    return ParallelBranchAndBoundSolver(
+        graph, oracle=oracle, strategy=strategy, **engine_options
+    )

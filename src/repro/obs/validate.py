@@ -2,21 +2,149 @@
 
 Used by the CI bench-smoke job after running the benchmarks::
 
-    python -m repro.obs.validate BENCH_*.json --expect 14
+    python -m repro.obs.validate BENCH_*.json --expect 15
 
 Exits non-zero (with one line per problem) when any artifact is
 missing, unreadable, or violates the ``ktg-bench/1`` schema, or when
 ``--expect`` is given and the artifact count differs.
+
+Baseline compare mode (CI bench-regression job)::
+
+    python -m repro.obs.validate BENCH_*.json --baseline benchmarks/baselines
+
+With ``--baseline <dir>`` each artifact is additionally diffed against
+the committed artifact of the same filename.  Entries are matched by
+their ``test`` name and every shared numeric metric in ``extra`` (plus
+the ``stats.mean_s`` timing) is compared:
+
+* **time-like metrics** (key ends in ``_s``/``_ms``/``_us``/``_ns``/
+  ``_seconds`` or contains ``time``/``latency``) are checked one-sided:
+  only a slowdown beyond ``--timing-tolerance`` fails, and readings
+  whose normalized values both sit under ``--timing-floor`` seconds are
+  skipped as noise.  Absolute timings vary across machines, so the
+  default tolerance is generous (regressions of >2x fail).
+* **all other numeric metrics** (prune counts, node counts, ratios) are
+  checked two-sided against ``--tolerance``: these are deterministic
+  functions of the code, so *any* drift beyond the tolerance — faster
+  or slower — means behaviour changed and the baseline needs a
+  deliberate refresh.
+
+``--ignore GLOB`` (repeatable) excludes metric keys that are known to
+be machine- or schedule-dependent (e.g. ``speedup*``).  A missing
+baseline file is a note, not a failure, so brand-new benchmarks do not
+break the gate before their baseline is committed.
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import sys
+from pathlib import Path
 
 from repro.obs.bench import BenchSchemaError, load_bench_report
 
-__all__ = ["main"]
+__all__ = ["main", "compare_reports"]
+
+_TIME_SUFFIXES = ("_s", "_ms", "_us", "_ns", "_seconds")
+_TIME_SUBSTRINGS = ("time", "latency")
+
+# Normalization factors to seconds, by suffix (for the noise floor).
+_UNIT_SCALE = {"_ms": 1e-3, "_us": 1e-6, "_ns": 1e-9}
+
+
+def _is_time_like(key: str) -> bool:
+    lowered = key.lower()
+    return lowered.endswith(_TIME_SUFFIXES) or any(
+        fragment in lowered for fragment in _TIME_SUBSTRINGS
+    )
+
+
+def _to_seconds(key: str, value: float) -> float:
+    for suffix, scale in _UNIT_SCALE.items():
+        if key.lower().endswith(suffix):
+            return value * scale
+    return value
+
+
+def _numeric_metrics(entry: dict) -> dict[str, float]:
+    """Flatten an entry's comparable numeric metrics.
+
+    Pulls every non-bool int/float from ``extra`` plus the benchmark's
+    own ``stats.mean_s`` (under that reserved key).
+    """
+    metrics: dict[str, float] = {}
+    for key, value in entry.get("extra", {}).items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        metrics[key] = float(value)
+    stats = entry.get("stats")
+    if isinstance(stats, dict) and isinstance(stats.get("mean_s"), (int, float)):
+        metrics["stats.mean_s"] = float(stats["mean_s"])
+    return metrics
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    *,
+    tolerance: float = 0.25,
+    timing_tolerance: float = 1.0,
+    timing_floor: float = 0.001,
+    ignore: tuple[str, ...] = (),
+    source: str = "artifact",
+) -> tuple[list[str], list[str]]:
+    """Diff two schema-valid payloads; return ``(problems, notes)``.
+
+    ``problems`` are regressions that should fail CI; ``notes`` are
+    informational (new entries/metrics with no baseline counterpart).
+    """
+    problems: list[str] = []
+    notes: list[str] = []
+    current_by_test = {entry["test"]: entry for entry in current["entries"]}
+    baseline_by_test = {entry["test"]: entry for entry in baseline["entries"]}
+
+    for test in current_by_test:
+        if test not in baseline_by_test:
+            notes.append(f"{source}: entry {test!r} has no baseline (new)")
+    for test, base_entry in baseline_by_test.items():
+        cur_entry = current_by_test.get(test)
+        if cur_entry is None:
+            problems.append(f"{source}: baseline entry {test!r} missing from current run")
+            continue
+        if cur_entry.get("error") and not base_entry.get("error"):
+            problems.append(f"{source}: {test!r} now errors (baseline succeeded)")
+            continue
+        cur_metrics = _numeric_metrics(cur_entry)
+        base_metrics = _numeric_metrics(base_entry)
+        for key, base_value in sorted(base_metrics.items()):
+            if any(fnmatch.fnmatchcase(key, pattern) for pattern in ignore):
+                continue
+            if key not in cur_metrics:
+                problems.append(f"{source}: {test!r} lost metric {key!r}")
+                continue
+            cur_value = cur_metrics[key]
+            if _is_time_like(key):
+                cur_s = _to_seconds(key, cur_value)
+                base_s = _to_seconds(key, base_value)
+                if cur_s <= timing_floor and base_s <= timing_floor:
+                    continue  # microbenchmark noise, both effectively instant
+                limit = base_value * (1.0 + timing_tolerance)
+                if cur_value > limit:
+                    problems.append(
+                        f"{source}: {test!r} {key} regressed: "
+                        f"{cur_value:.6g} > {base_value:.6g} "
+                        f"(+{timing_tolerance:.0%} allowed)"
+                    )
+            else:
+                slack = tolerance * max(abs(base_value), 1.0)
+                if abs(cur_value - base_value) > slack:
+                    problems.append(
+                        f"{source}: {test!r} {key} drifted: "
+                        f"{cur_value:.6g} vs baseline {base_value:.6g} "
+                        f"(±{tolerance:.0%} allowed)"
+                    )
+    return problems, notes
 
 
 def main(argv=None) -> int:
@@ -31,9 +159,46 @@ def main(argv=None) -> int:
         default=None,
         help="fail unless exactly this many artifacts were given",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="DIR",
+        help="also diff each artifact against DIR/<same filename>",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative drift allowed for non-timing metrics (default 0.25)",
+    )
+    parser.add_argument(
+        "--timing-tolerance",
+        type=float,
+        default=1.0,
+        help="relative slowdown allowed for time-like metrics (default 1.0 = 2x)",
+    )
+    parser.add_argument(
+        "--timing-floor",
+        type=float,
+        default=0.001,
+        help="skip timing compares when both readings are under this many seconds",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="metric-key glob to exclude from baseline compare (repeatable)",
+    )
     args = parser.parse_args(argv)
 
+    baseline_dir = Path(args.baseline) if args.baseline else None
+    if baseline_dir is not None and not baseline_dir.is_dir():
+        print(f"FAIL baseline directory not found: {baseline_dir}", file=sys.stderr)
+        return 1
+
     failures = 0
+    compared = 0
     for path in args.paths:
         try:
             payload = load_bench_report(path)
@@ -41,7 +206,37 @@ def main(argv=None) -> int:
             print(f"FAIL {exc}", file=sys.stderr)
             failures += 1
             continue
-        print(f"ok   {path}: {len(payload['entries'])} entries" + (" (smoke)" if payload["smoke"] else ""))
+        print(
+            f"ok   {path}: {len(payload['entries'])} entries"
+            + (" (smoke)" if payload["smoke"] else "")
+        )
+        if baseline_dir is None:
+            continue
+        baseline_path = baseline_dir / Path(path).name
+        if not baseline_path.exists():
+            print(f"note {path}: no baseline at {baseline_path} (new benchmark?)")
+            continue
+        try:
+            baseline = load_bench_report(baseline_path)
+        except BenchSchemaError as exc:
+            print(f"FAIL baseline {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        problems, notes = compare_reports(
+            payload,
+            baseline,
+            tolerance=args.tolerance,
+            timing_tolerance=args.timing_tolerance,
+            timing_floor=args.timing_floor,
+            ignore=tuple(args.ignore),
+            source=str(path),
+        )
+        for note in notes:
+            print(f"note {note}")
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        failures += len(problems)
+        compared += 1
 
     if args.expect is not None and len(args.paths) != args.expect:
         print(
@@ -53,7 +248,8 @@ def main(argv=None) -> int:
     if failures:
         print(f"{failures} problem(s)", file=sys.stderr)
         return 1
-    print(f"all {len(args.paths)} artifact(s) schema-valid")
+    suffix = f", {compared} diffed against baseline" if baseline_dir else ""
+    print(f"all {len(args.paths)} artifact(s) schema-valid{suffix}")
     return 0
 
 

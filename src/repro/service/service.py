@@ -31,13 +31,15 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.dktg import DKTGResult
 from repro.core.branch_and_bound import KTGResult
 from repro.core.graph import AttributedGraph
+from repro.core.parallel import EXECUTORS, ParallelBranchAndBoundSolver
 from repro.core.query import DKTGQuery, KTGQuery
+from repro.core.strategies import strategy_by_name
 from repro.index.base import DistanceOracle
 from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
 from repro.service.cache import ResultCache, canonical_query_key
@@ -176,6 +178,18 @@ class QueryService:
     time_budget / node_budget:
         Admission-control defaults applied to every query; ``None``
         means unbounded (every answer is exact).
+    jobs:
+        Default per-query parallelism: with ``jobs > 1`` each *solve*
+        fans its branch-and-bound root frontier across a
+        :class:`repro.core.parallel.ParallelBranchAndBoundSolver`
+        fleet (results stay bit-identical to serial).  Per-query
+        parallelism replaces batch-level parallelism — a batch served
+        with ``jobs > 1`` runs its queries one after another, each
+        using the whole fleet.  Diversified (DKTG) specs ignore it.
+    jobs_executor:
+        Fleet kind for per-query parallelism: ``"process"`` (default),
+        ``"thread"`` or ``"inline"`` (see
+        :data:`repro.core.parallel.EXECUTORS`).
     cache_capacity:
         LRU result-cache size; ``0`` disables caching.
     instruments:
@@ -209,6 +223,8 @@ class QueryService:
         executor: str = "thread",
         time_budget: Optional[float] = None,
         node_budget: Optional[int] = None,
+        jobs: int = 1,
+        jobs_executor: str = "process",
         cache_capacity: int = 1024,
         instruments: InstrumentRegistry = NULL_REGISTRY,
     ) -> None:
@@ -218,13 +234,22 @@ class QueryService:
             raise ValueError(
                 f"executor must be 'thread' or 'process', got {executor!r}"
             )
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if jobs_executor not in EXECUTORS:
+            raise ValueError(
+                f"jobs_executor must be one of {EXECUTORS}, got {jobs_executor!r}"
+            )
         self.graph = graph
         self.spec = ALGORITHMS[algorithm] if isinstance(algorithm, str) else algorithm
         self.max_workers = max_workers
         self.executor_kind = executor
         self.time_budget = time_budget
         self.node_budget = node_budget
+        self.jobs = jobs
+        self.jobs_executor = jobs_executor
         self.cache = ResultCache(cache_capacity)
+        self._engines: dict[tuple, ParallelBranchAndBoundSolver] = {}
         self._oracle = oracle
         self._oracle_lock = threading.Lock()
         self._stats_lock = threading.Lock()
@@ -247,10 +272,13 @@ class QueryService:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool and any parallel engines (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -267,13 +295,20 @@ class QueryService:
         *,
         time_budget: Optional[float] = None,
         node_budget: Optional[int] = None,
+        jobs: Optional[int] = None,
     ) -> ServiceResult:
-        """Answer one query (cache-first, sequential)."""
+        """Answer one query (cache-first, sequential).
+
+        ``jobs`` overrides the service-level default for this call only;
+        with ``jobs > 1`` the solve fans out across a parallel
+        branch-and-bound fleet (bit-identical results, lower latency).
+        """
         query = self._lift(query)
         return self._serve_one(
             query,
             time_budget if time_budget is not None else self.time_budget,
             node_budget if node_budget is not None else self.node_budget,
+            jobs if jobs is not None else self.jobs,
         )
 
     def run_batch(
@@ -283,6 +318,7 @@ class QueryService:
         parallel: bool = True,
         time_budget: Optional[float] = None,
         node_budget: Optional[int] = None,
+        jobs: Optional[int] = None,
     ) -> list[ServiceResult]:
         """Answer a workload (or any query iterable), in input order.
 
@@ -291,11 +327,21 @@ class QueryService:
         and identical across sequential, thread and process execution:
         every solve is an independent exact search over an immutable
         graph, so only scheduling differs.
+
+        ``jobs`` (falling back to the service default) selects
+        *per-query* parallelism instead: the batch is served
+        sequentially while each individual solve fans its root frontier
+        across a worker fleet.  The two pool layers are never nested.
         """
         lifted = [self._lift(query) for query in queries]
         tb = time_budget if time_budget is not None else self.time_budget
         nb = node_budget if node_budget is not None else self.node_budget
+        per_query_jobs = jobs if jobs is not None else self.jobs
 
+        if per_query_jobs > 1:
+            # Per-query parallelism owns the hardware: queries run one
+            # after another, each using the whole fleet.
+            return [self._serve_one(q, tb, nb, per_query_jobs) for q in lifted]
         if not parallel or self.max_workers == 1 or len(lifted) <= 1:
             return [self._serve_one(query, tb, nb) for query in lifted]
         if self.executor_kind == "process":
@@ -378,11 +424,36 @@ class QueryService:
                 self._oracle = self.spec.build_oracle(self.graph)
             return self._oracle
 
+    def _parallel_engine(self, jobs: int) -> ParallelBranchAndBoundSolver:
+        """Cached parallel engine for this spec at the given fleet size.
+
+        Keyed by ``(jobs, graph.version)`` so a graph mutation retires
+        stale engines (their shipped worker state snapshots the graph).
+        Engines are closed by :meth:`close`.
+        """
+        key = (jobs, self.graph.version)
+        engine = self._engines.get(key)
+        if engine is None:
+            stale = [k for k in self._engines if k[1] != self.graph.version]
+            for k in stale:
+                self._engines.pop(k).close()
+            engine = ParallelBranchAndBoundSolver(
+                self.graph,
+                oracle=self._ensure_oracle(),
+                strategy=strategy_by_name(self.spec.strategy_name, self.graph),
+                jobs=jobs,
+                executor=self.jobs_executor,
+                instruments=self.instruments,
+            )
+            self._engines[key] = engine
+        return engine
+
     def _serve_one(
         self,
         query: KTGQuery,
         time_budget: Optional[float],
         node_budget: Optional[int],
+        jobs: int = 1,
     ) -> ServiceResult:
         started = time.perf_counter()
         key = self._cache_key(query)
@@ -401,12 +472,19 @@ class QueryService:
             self._record(served)
             return served
         self._cache_miss_counter.inc()
-        oracle = self._ensure_oracle()
-        solver = self.spec.build_solver(
-            self.graph, oracle, time_budget=time_budget, node_budget=node_budget
-        )
-        solve_started = time.perf_counter()
-        result = solver.solve(query)
+        if jobs > 1 and not self.spec.diversified:
+            engine = self._parallel_engine(jobs)
+            solve_started = time.perf_counter()
+            result = engine.solve(
+                query, node_budget=node_budget, time_budget=time_budget
+            )
+        else:
+            oracle = self._ensure_oracle()
+            solver = self.spec.build_solver(
+                self.graph, oracle, time_budget=time_budget, node_budget=node_budget
+            )
+            solve_started = time.perf_counter()
+            result = solver.solve(query)
         self._solve_timer.observe_ms((time.perf_counter() - solve_started) * 1000.0)
         served = ServiceResult(
             query=query,

@@ -255,3 +255,78 @@ class TestReproduceCommand:
         out = capsys.readouterr().out
         assert "nlrnl_entries" in out
         assert code in (0, 2)  # 2 when a timing-based claim diverges
+
+
+class TestParallelFlags:
+    QUERY_ARGS = [
+        "brightkite",
+        "--scale",
+        "0.1",
+        "--keywords",
+        "kw000,kw001,kw002",
+        "-p",
+        "3",
+        "-k",
+        "1",
+        "-n",
+        "2",
+    ]
+
+    def test_solve_alias_parses_like_query(self):
+        parser = build_parser()
+        args = parser.parse_args(["solve", *self.QUERY_ARGS, "--jobs", "4"])
+        assert args.command == "solve"
+        assert args.jobs == 4
+        assert args.jobs_executor == "process"
+
+    def test_jobs_executor_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", *self.QUERY_ARGS, "--jobs-executor", "fibers"]
+            )
+
+    def test_query_with_jobs_reports_fleet(self, capsys):
+        code = main(
+            ["solve", *self.QUERY_ARGS, "--jobs", "2", "--jobs-executor", "thread"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
+        assert "executor=thread" in out
+        assert "subproblems=" in out
+
+    def test_parallel_query_groups_match_serial(self, capsys):
+        assert main(["query", *self.QUERY_ARGS]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(
+                ["query", *self.QUERY_ARGS, "--jobs", "3", "--jobs-executor", "inline"]
+            )
+            == 0
+        )
+        parallel_out = capsys.readouterr().out
+        serial_groups = [ln for ln in serial_out.splitlines() if "coverage" in ln]
+        parallel_groups = [
+            ln for ln in parallel_out.splitlines() if "coverage" in ln
+        ]
+        assert serial_groups and serial_groups == parallel_groups
+
+    def test_batch_with_jobs(self, capsys):
+        code = main(
+            [
+                "batch",
+                "brightkite",
+                "--scale",
+                "0.1",
+                "--queries",
+                "2",
+                "--keyword-size",
+                "3",
+                "--jobs",
+                "2",
+                "--passes",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "jobs=2 per query" in capsys.readouterr().out

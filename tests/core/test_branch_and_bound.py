@@ -5,7 +5,6 @@ import pytest
 from repro.core.branch_and_bound import BranchAndBoundSolver, make_solver
 from repro.core.bruteforce import BruteForceSolver
 from repro.core.coverage import CoverageContext
-from repro.core.graph import AttributedGraph
 from repro.core.query import KTGQuery
 from repro.core.strategies import QKCOrdering, VKCDegreeOrdering, VKCOrdering
 from repro.index.bfs import BFSOracle

@@ -1,6 +1,5 @@
 """Unit tests for the multi-query-vertex (authors) extension."""
 
-import pytest
 
 from repro.core.multi_vertex import anchored_query, exclude_familiar
 from repro.core.query import KTGQuery

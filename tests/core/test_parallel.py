@@ -1,0 +1,266 @@
+"""Unit tests for the parallel branch-and-bound engine.
+
+The heavy serial-vs-parallel equivalence sweep lives in
+``tests/properties/test_prop_parallel.py``; this module covers the
+engine's mechanics: frontier splitting, the recording pool, executor
+plumbing, budgets, counters and the degenerate paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.errors import IndexBuildError
+from repro.core.parallel import (
+    EXECUTORS,
+    ParallelBranchAndBoundSolver,
+    ParallelKTGResult,
+    _RecordingFloorPool,
+    make_parallel_solver,
+    root_frontier,
+)
+from repro.core.query import KTGQuery
+from repro.core.strategies import VKCDegreeOrdering
+from repro.index.bfs import BFSOracle
+from repro.obs.instruments import InstrumentRegistry
+
+from tests.conftest import make_random_attributed_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_random_attributed_graph(num_vertices=36, seed=5)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return KTGQuery(
+        keywords=("kw000", "kw001", "kw002"), group_size=3, tenuity=2, top_n=3
+    )
+
+
+def serial_result(graph, query, **options):
+    solver = BranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=VKCDegreeOrdering(graph.degrees()),
+        **options,
+    )
+    return solver.solve(query)
+
+
+# ----------------------------------------------------------------------
+# Frontier splitting
+# ----------------------------------------------------------------------
+def test_root_frontier_matches_serial_root_loop():
+    # Serial iterates positions 0 .. len(initial) - group_size.
+    assert list(root_frontier([1, 2, 3, 4, 5], 3)) == [0, 1, 2]
+    assert list(root_frontier([1, 2, 3], 3)) == [0]
+
+
+def test_root_frontier_empty_when_too_few_candidates():
+    assert list(root_frontier([1, 2], 3)) == []
+    assert list(root_frontier([], 1)) == []
+
+
+# ----------------------------------------------------------------------
+# Recording floor pool
+# ----------------------------------------------------------------------
+def test_recording_pool_floors_threshold_and_records_offers():
+    floor = 0.0
+    pool = _RecordingFloorPool(2, lambda: floor)
+    assert pool.offer((1, 2), 0.5)
+    assert pool.offer((3, 4), 0.8)
+    assert pool.threshold == 0.5  # full: Nth best
+    # An offer at or below the local threshold is rejected and NOT recorded.
+    assert not pool.offer((5, 6), 0.5)
+    assert [(members, cov) for members, cov in pool.offers] == [
+        ((1, 2), 0.5),
+        ((3, 4), 0.8),
+    ]
+
+
+def test_recording_pool_respects_broadcast_floor():
+    floor = 0.9
+    pool = _RecordingFloorPool(2, lambda: floor)
+    # Below the broadcast floor: pruned fleet-wide, never recorded.
+    assert not pool.would_admit(0.5)
+    assert not pool.offer((1, 2), 0.5)
+    assert pool.offers == []
+    assert pool.threshold >= 0.9
+    # Above the floor: admitted locally.
+    assert pool.offer((3, 4), 0.95)
+
+
+# ----------------------------------------------------------------------
+# Engine equivalence across executors (the smoke version; the property
+# sweep drives many graphs/strategies)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("jobs", [2, 3])
+def test_engine_matches_serial(graph, query, executor, jobs):
+    serial = serial_result(graph, query)
+    with ParallelBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=VKCDegreeOrdering(graph.degrees()),
+        jobs=jobs,
+        executor=executor,
+    ) as engine:
+        result = engine.solve(query)
+    assert isinstance(result, ParallelKTGResult)
+    assert result.groups == serial.groups
+    assert result.stats.offers_accepted == serial.stats.offers_accepted
+    assert result.jobs == jobs
+    assert result.subproblems > 0
+
+
+def test_jobs_one_downgrades_to_inline_and_matches_serial(graph, query):
+    engine = ParallelBranchAndBoundSolver(
+        graph, oracle=BFSOracle(graph), jobs=1, executor="process"
+    )
+    assert engine.executor_kind == "inline"
+    serial = BranchAndBoundSolver(graph, oracle=BFSOracle(graph)).solve(query)
+    result = engine.solve(query)
+    assert result.groups == serial.groups
+
+
+def test_invalid_construction(graph):
+    with pytest.raises(ValueError):
+        ParallelBranchAndBoundSolver(graph, jobs=0)
+    with pytest.raises(ValueError):
+        ParallelBranchAndBoundSolver(graph, executor="fibers")
+
+
+def test_stale_oracle_rejected(query):
+    local = make_random_attributed_graph(num_vertices=20, seed=9)
+    oracle = BFSOracle(local)
+    engine = ParallelBranchAndBoundSolver(local, oracle=oracle, jobs=2, executor="inline")
+    if local.has_edge(0, 1):
+        local.remove_edge(0, 1)
+    else:
+        local.add_edge(0, 1)
+    with pytest.raises(IndexBuildError):
+        engine.solve(query)
+
+
+# ----------------------------------------------------------------------
+# Budgets
+# ----------------------------------------------------------------------
+def test_node_budget_flags_exhaustion(graph, query):
+    with ParallelBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=VKCDegreeOrdering(graph.degrees()),
+        jobs=2,
+        executor="inline",
+        node_budget=3,
+    ) as engine:
+        result = engine.solve(query)
+    assert result.stats.budget_exhausted
+
+
+def test_per_solve_budget_override(graph, query):
+    with ParallelBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=VKCDegreeOrdering(graph.degrees()),
+        jobs=2,
+        executor="inline",
+    ) as engine:
+        unbounded = engine.solve(query)
+        capped = engine.solve(query, node_budget=3)
+    assert not unbounded.stats.budget_exhausted
+    assert capped.stats.budget_exhausted
+
+
+def test_node_budget_is_jobs_invariant_without_broadcast(graph, query):
+    outcomes = []
+    for jobs in (1, 2, 4):
+        with ParallelBranchAndBoundSolver(
+            graph,
+            oracle=BFSOracle(graph),
+            strategy=VKCDegreeOrdering(graph.degrees()),
+            jobs=jobs,
+            executor="inline",
+            node_budget=20,
+            bound_broadcast=False,
+        ) as engine:
+            result = engine.solve(query)
+        outcomes.append((result.groups, result.stats.nodes_expanded))
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+# ----------------------------------------------------------------------
+# Degenerate paths
+# ----------------------------------------------------------------------
+def test_group_size_one_takes_serial_path(graph):
+    single = KTGQuery(keywords=("kw000", "kw001"), group_size=1, tenuity=2, top_n=2)
+    serial = BranchAndBoundSolver(graph, oracle=BFSOracle(graph)).solve(single)
+    with ParallelBranchAndBoundSolver(
+        graph, oracle=BFSOracle(graph), jobs=2, executor="inline"
+    ) as engine:
+        result = engine.solve(single)
+    assert result.groups == serial.groups
+    assert result.subproblems == 0
+
+
+def test_infeasible_query_empty_result(graph):
+    query = KTGQuery(keywords=("zzz",), group_size=3, tenuity=2, top_n=2)
+    with ParallelBranchAndBoundSolver(
+        graph, oracle=BFSOracle(graph), jobs=2, executor="inline"
+    ) as engine:
+        result = engine.solve(query)
+    assert result.groups == ()
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+def test_instrument_counters(graph, query):
+    registry = InstrumentRegistry()
+    with ParallelBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=VKCDegreeOrdering(graph.degrees()),
+        jobs=2,
+        executor="inline",
+        instruments=registry,
+    ) as engine:
+        engine.solve(query)
+    report = registry.report()
+    counters = report["counters"]
+    assert counters["parallel.tasks"] >= 1
+    assert counters["parallel.subproblems"] >= 1
+    assert "parallel.bound_broadcasts" in counters
+    assert "parallel.steals" in counters
+
+
+def test_worker_stats_partition_totals(graph, query):
+    with ParallelBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=VKCDegreeOrdering(graph.degrees()),
+        jobs=2,
+        executor="inline",
+        bound_broadcast=False,
+    ) as engine:
+        result = engine.solve(query)
+    # Aggregate nodes = root + per-subproblem sums.
+    assert result.worker_stats
+    assert result.stats.nodes_expanded == 1 + sum(
+        stats.nodes_expanded for stats in result.worker_stats
+    )
+
+
+def test_factory_and_repr(graph, query):
+    engine = make_parallel_solver(graph, "vkc", jobs=2, executor="inline")
+    try:
+        assert "jobs=2" in repr(engine)
+        serial = BranchAndBoundSolver(
+            graph, oracle=engine.oracle, strategy=engine.strategy
+        ).solve(query)
+        assert engine.solve(query).groups == serial.groups
+    finally:
+        engine.close()

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.coverage import CoverageContext
-from repro.core.graph import AttributedGraph
 from repro.core.strategies import (
     QKCOrdering,
     VKCDegreeOrdering,

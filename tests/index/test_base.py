@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.graph import AttributedGraph
 from repro.index.base import DistanceOracle, OracleStats
 from repro.index.nlrnl import NLRNLIndex
 

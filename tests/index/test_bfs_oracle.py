@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.graph import AttributedGraph
 from repro.index.bfs import BFSOracle
 
 

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.core.errors import IndexUpdateError
-from repro.core.graph import AttributedGraph
 from repro.index.bfs import BFSOracle
 from repro.index.nlrnl import NLRNLIndex
 from tests.conftest import make_random_attributed_graph

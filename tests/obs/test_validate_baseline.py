@@ -1,0 +1,158 @@
+"""Tests for ``repro.obs.validate``'s ``--baseline`` compare mode."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.bench import bench_entry, write_bench_report
+from repro.obs.validate import compare_reports, main
+
+
+def make_payload(tmp_path, name="demo", mean_s=0.5, prunes=100, speedup=2.0):
+    entries = [
+        bench_entry(
+            test="test_point[a]",
+            stats={"mean_s": mean_s, "min_s": mean_s, "max_s": mean_s, "rounds": 1},
+            extra={"keyword_prunes": prunes, "speedup_vs_serial": speedup},
+        )
+    ]
+    path = write_bench_report(name, entries, directory=tmp_path, smoke=True)
+    return json.loads(path.read_text())
+
+
+# ----------------------------------------------------------------------
+# compare_reports
+# ----------------------------------------------------------------------
+def test_identical_payloads_clean(tmp_path):
+    payload = make_payload(tmp_path)
+    problems, notes = compare_reports(payload, copy.deepcopy(payload))
+    assert problems == []
+    assert notes == []
+
+
+def test_counter_drift_fails_both_directions(tmp_path):
+    baseline = make_payload(tmp_path, prunes=100)
+    for drifted in (200, 10):
+        current = make_payload(tmp_path, prunes=drifted)
+        problems, _ = compare_reports(current, baseline)
+        assert any("keyword_prunes" in p for p in problems)
+
+
+def test_counter_drift_within_tolerance_passes(tmp_path):
+    baseline = make_payload(tmp_path, prunes=100)
+    current = make_payload(tmp_path, prunes=110)  # +10% < default 25%
+    problems, _ = compare_reports(current, baseline)
+    assert problems == []
+
+
+def test_timing_regression_is_one_sided(tmp_path):
+    baseline = make_payload(tmp_path, mean_s=0.5)
+    slower = make_payload(tmp_path, mean_s=2.0)  # 4x > default 2x allowance
+    problems, _ = compare_reports(slower, baseline)
+    assert any("stats.mean_s" in p for p in problems)
+    faster = make_payload(tmp_path, mean_s=0.05)
+    problems, _ = compare_reports(faster, baseline)
+    assert problems == []
+
+
+def test_timing_floor_skips_microbenchmark_noise(tmp_path):
+    baseline = make_payload(tmp_path, mean_s=0.0001)
+    current = make_payload(tmp_path, mean_s=0.0009)  # 9x but both under 1ms
+    problems, _ = compare_reports(current, baseline)
+    assert problems == []
+
+
+def test_ignore_globs_exclude_metrics(tmp_path):
+    baseline = make_payload(tmp_path, speedup=4.0)
+    current = make_payload(tmp_path, speedup=1.0)
+    problems, _ = compare_reports(current, baseline)
+    assert any("speedup_vs_serial" in p for p in problems)
+    problems, _ = compare_reports(current, baseline, ignore=("speedup*",))
+    assert problems == []
+
+
+def test_missing_entry_fails_new_entry_notes(tmp_path):
+    baseline = make_payload(tmp_path)
+    current = copy.deepcopy(baseline)
+    current["entries"][0]["test"] = "test_point[renamed]"
+    problems, notes = compare_reports(current, baseline)
+    assert any("missing from current run" in p for p in problems)
+    assert any("no baseline" in n for n in notes)
+
+
+def test_lost_metric_fails(tmp_path):
+    baseline = make_payload(tmp_path)
+    current = copy.deepcopy(baseline)
+    del current["entries"][0]["extra"]["keyword_prunes"]
+    problems, _ = compare_reports(current, baseline)
+    assert any("lost metric" in p for p in problems)
+
+
+def test_new_error_fails(tmp_path):
+    baseline = make_payload(tmp_path)
+    current = copy.deepcopy(baseline)
+    current["entries"][0]["error"] = True
+    problems, _ = compare_reports(current, baseline)
+    assert any("now errors" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+@pytest.fixture
+def artifact_dirs(tmp_path):
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "current"
+    baseline_dir.mkdir()
+    current_dir.mkdir()
+    return current_dir, baseline_dir
+
+
+def write_artifact(directory, prunes):
+    entries = [
+        bench_entry(
+            test="test_point[a]",
+            stats={"mean_s": 0.5, "min_s": 0.5, "max_s": 0.5, "rounds": 1},
+            extra={"keyword_prunes": prunes},
+        )
+    ]
+    return write_bench_report("demo", entries, directory=directory, smoke=True)
+
+
+def test_cli_baseline_pass_and_fail(artifact_dirs, capsys):
+    current_dir, baseline_dir = artifact_dirs
+    write_artifact(baseline_dir, prunes=100)
+    current = write_artifact(current_dir, prunes=100)
+    assert main([str(current), "--baseline", str(baseline_dir)]) == 0
+
+    current = write_artifact(current_dir, prunes=400)
+    assert main([str(current), "--baseline", str(baseline_dir)]) == 1
+    captured = capsys.readouterr()
+    assert "keyword_prunes" in captured.err
+
+
+def test_cli_missing_baseline_is_note_not_failure(artifact_dirs, capsys):
+    current_dir, baseline_dir = artifact_dirs
+    current = write_artifact(current_dir, prunes=100)
+    assert main([str(current), "--baseline", str(baseline_dir)]) == 0
+    assert "no baseline" in capsys.readouterr().out
+
+
+def test_cli_missing_baseline_dir_fails(artifact_dirs):
+    current_dir, _ = artifact_dirs
+    current = write_artifact(current_dir, prunes=100)
+    assert main([str(current), "--baseline", str(current_dir / "nope")]) == 1
+
+
+def test_cli_tolerance_flag(artifact_dirs):
+    current_dir, baseline_dir = artifact_dirs
+    write_artifact(baseline_dir, prunes=100)
+    current = write_artifact(current_dir, prunes=160)
+    assert main([str(current), "--baseline", str(baseline_dir)]) == 1
+    assert (
+        main([str(current), "--baseline", str(baseline_dir), "--tolerance", "0.7"])
+        == 0
+    )

@@ -1,0 +1,220 @@
+"""Property tests: ``solve(jobs=N)`` is bit-identical to serial.
+
+The engine's determinism contract, exercised over random graphs and
+queries:
+
+* ranked groups (members AND coverages, in order) are identical to the
+  serial :class:`BranchAndBoundSolver` for ``jobs in {1, 2, 4}``, every
+  ordering strategy, with bound broadcasting on or off;
+* with broadcasting off, the *aggregate prune counts* are also
+  jobs-invariant (broadcasting only changes how early workers learn the
+  incumbent bound — sharpening is timing-dependent, so prune counts are
+  only stats-reproducible with the constant floor);
+* the same holds under node budgets (applied per subproblem) and
+  generous time budgets.
+
+The process executor is exercised by one non-property smoke test at the
+bottom — spawning a pool per hypothesis example would dominate runtime
+without adding coverage (worker code paths are identical).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.graph import AttributedGraph
+from repro.core.parallel import ParallelBranchAndBoundSolver
+from repro.core.query import KTGQuery
+from repro.core.strategies import QKCOrdering, VKCDegreeOrdering, VKCOrdering
+from repro.index.bfs import BFSOracle
+
+KEYWORD_POOL = ["a", "b", "c", "d", "e", "f"]
+
+STRATEGIES = [
+    ("qkc", lambda g: QKCOrdering()),
+    ("vkc", lambda g: VKCOrdering()),
+    ("vkc-deg", lambda g: VKCDegreeOrdering(g.degrees())),
+]
+
+
+@st.composite
+def attributed_graphs(draw):
+    """Random graphs of 4-14 vertices with random keyword sets."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=2 * n)
+    )
+    keywords = {
+        v: draw(st.lists(st.sampled_from(KEYWORD_POOL), unique=True, max_size=3))
+        for v in range(n)
+    }
+    return AttributedGraph(n, edges, keywords)
+
+
+@st.composite
+def queries(draw):
+    keywords = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(KEYWORD_POOL), unique=True, min_size=1, max_size=4
+            )
+        )
+    )
+    return KTGQuery(
+        keywords=keywords,
+        group_size=draw(st.integers(min_value=2, max_value=4)),
+        tenuity=draw(st.integers(min_value=0, max_value=3)),
+        top_n=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+def ranked_groups(result):
+    return [(group.members, round(group.coverage, 12)) for group in result.groups]
+
+
+def prune_profile(stats):
+    return (
+        stats.nodes_expanded,
+        stats.keyword_prunes,
+        stats.kline_removed,
+        stats.offers_accepted,
+        stats.feasible_groups,
+    )
+
+
+def serial_solve(graph, query, strategy_factory, **budgets):
+    solver = BranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=strategy_factory(graph),
+        **budgets,
+    )
+    return solver.solve(query)
+
+
+def parallel_solve(graph, query, strategy_factory, jobs, **options):
+    with ParallelBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=strategy_factory(graph),
+        jobs=jobs,
+        executor="inline" if jobs == 1 else "thread",
+        **options,
+    ) as engine:
+        return engine.solve(query)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    query=queries(),
+    strategy_index=st.integers(0, 2),
+    jobs=st.sampled_from([1, 2, 4]),
+    broadcast=st.booleans(),
+)
+def test_parallel_groups_identical_to_serial(
+    graph, query, strategy_index, jobs, broadcast
+):
+    _, factory = STRATEGIES[strategy_index]
+    serial = serial_solve(graph, query, factory)
+    parallel = parallel_solve(
+        graph, query, factory, jobs, bound_broadcast=broadcast
+    )
+    assert ranked_groups(parallel) == ranked_groups(serial)
+    # The merged pool replays the serial admission sequence exactly.
+    assert parallel.stats.offers_accepted == serial.stats.offers_accepted
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    query=queries(),
+    strategy_index=st.integers(0, 2),
+)
+def test_prune_counts_jobs_invariant_without_broadcast(
+    graph, query, strategy_index
+):
+    """Aggregate SearchStats are identical for jobs in {1, 2, 4}."""
+    _, factory = STRATEGIES[strategy_index]
+    profiles = []
+    groups = []
+    for jobs in (1, 2, 4):
+        result = parallel_solve(
+            graph, query, factory, jobs, bound_broadcast=False
+        )
+        profiles.append(prune_profile(result.stats))
+        groups.append(ranked_groups(result))
+    assert profiles[0] == profiles[1] == profiles[2]
+    assert groups[0] == groups[1] == groups[2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    query=queries(),
+    strategy_index=st.integers(0, 2),
+    node_budget=st.integers(min_value=1, max_value=30),
+)
+def test_groups_and_stats_jobs_invariant_under_node_budget(
+    graph, query, strategy_index, node_budget
+):
+    """Per-subproblem node budgets keep the answer jobs-invariant."""
+    _, factory = STRATEGIES[strategy_index]
+    outcomes = []
+    for jobs in (1, 2, 4):
+        result = parallel_solve(
+            graph,
+            query,
+            factory,
+            jobs,
+            bound_broadcast=False,
+            node_budget=node_budget,
+        )
+        outcomes.append(
+            (
+                ranked_groups(result),
+                prune_profile(result.stats),
+                result.stats.budget_exhausted,
+            )
+        )
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    query=queries(),
+    jobs=st.sampled_from([2, 4]),
+)
+def test_generous_time_budget_still_exact(graph, query, jobs):
+    """A time budget that never trips must not change the answer."""
+    serial = serial_solve(graph, query, STRATEGIES[2][1])
+    parallel = parallel_solve(
+        graph, query, STRATEGIES[2][1], jobs, time_budget=300.0
+    )
+    assert ranked_groups(parallel) == ranked_groups(serial)
+    assert not parallel.stats.budget_exhausted
+
+
+def test_process_executor_matches_serial_once():
+    """One real process-pool run (pool spawn is too slow per-example)."""
+    from tests.conftest import make_random_attributed_graph
+
+    graph = make_random_attributed_graph(num_vertices=36, seed=5)
+    query = KTGQuery(
+        keywords=("kw000", "kw001", "kw002"), group_size=3, tenuity=2, top_n=3
+    )
+    for _, factory in STRATEGIES:
+        serial = serial_solve(graph, query, factory)
+        with ParallelBranchAndBoundSolver(
+            graph,
+            oracle=BFSOracle(graph),
+            strategy=factory(graph),
+            jobs=2,
+            executor="process",
+        ) as engine:
+            result = engine.solve(query)
+        assert ranked_groups(result) == ranked_groups(serial)
+        assert result.stats.offers_accepted == serial.stats.offers_accepted

@@ -1,0 +1,112 @@
+"""QueryService parallel serving: per-query ``jobs`` plumbing.
+
+Engine-level correctness is covered by ``tests/core/test_parallel.py``
+and the property sweep; this module checks the *service* surface —
+answers match serial, engines are cached per ``(jobs, graph.version)``,
+stale engines retire on mutation, and ``close()`` tears them down.
+"""
+
+import pytest
+
+from repro.core.parallel import ParallelKTGResult
+from repro.core.query import DKTGQuery, KTGQuery
+from repro.service import QueryService
+from tests.conftest import make_random_attributed_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_random_attributed_graph(num_vertices=40, seed=5)
+
+
+@pytest.fixture(scope="module")
+def query(graph):
+    labels = tuple(sorted(graph.keyword_table)[:4])
+    return KTGQuery(keywords=labels, group_size=3, tenuity=2, top_n=3)
+
+
+def test_jobs_validation(graph):
+    with pytest.raises(ValueError):
+        QueryService(graph, jobs=0)
+    with pytest.raises(ValueError):
+        QueryService(graph, jobs_executor="fibers")
+
+
+def test_parallel_service_matches_serial(graph, query):
+    with QueryService(graph, "KTG-VKC-DEG-NLRNL", cache_capacity=0) as serial:
+        expected = serial.submit(query)
+    with QueryService(
+        graph, "KTG-VKC-DEG-NLRNL", cache_capacity=0, jobs=2
+    ) as service:
+        answer = service.submit(query)
+    assert answer.member_sets() == expected.member_sets()
+    assert isinstance(answer.result, ParallelKTGResult)
+    assert answer.result.jobs == 2
+
+
+def test_per_call_jobs_overrides_service_default(graph, query):
+    with QueryService(graph, "KTG-VKC-NLRNL", cache_capacity=0) as service:
+        serial = service.submit(query)
+        boosted = service.submit(query, jobs=3)
+    assert isinstance(boosted.result, ParallelKTGResult)
+    assert boosted.result.jobs == 3
+    assert not isinstance(serial.result, ParallelKTGResult)
+    assert boosted.member_sets() == serial.member_sets()
+
+
+def test_cache_hit_skips_parallel_engine(graph, query):
+    with QueryService(graph, "KTG-VKC-NLRNL", jobs=2) as service:
+        first = service.submit(query)
+        second = service.submit(query)
+    assert not first.from_cache
+    assert second.from_cache
+    assert second.member_sets() == first.member_sets()
+
+
+def test_engines_cached_per_jobs_and_retired_on_mutation(query):
+    local = make_random_attributed_graph(num_vertices=30, seed=7)
+    labels = tuple(sorted(local.keyword_table)[:3])
+    q = KTGQuery(keywords=labels, group_size=3, tenuity=2, top_n=2)
+    service = QueryService(local, "KTG-VKC-NLRNL", cache_capacity=0)
+    try:
+        service.submit(q, jobs=2)
+        service.submit(q, jobs=2)
+        service.submit(q, jobs=3)
+        assert len(service._engines) == 2
+        old_keys = set(service._engines)
+        if local.has_edge(0, 1):
+            local.remove_edge(0, 1)
+        else:
+            local.add_edge(0, 1)
+        service.submit(q, jobs=2)
+        assert all(key not in service._engines for key in old_keys)
+        assert len(service._engines) == 1
+    finally:
+        service.close()
+    assert service._engines == {}
+
+
+def test_batch_with_jobs_serves_sequentially_and_matches(graph, query):
+    other = KTGQuery(
+        keywords=query.keywords[:3], group_size=3, tenuity=1, top_n=2
+    )
+    with QueryService(graph, "KTG-VKC-NLRNL", cache_capacity=0) as service:
+        expected = [r.member_sets() for r in service.run_batch([query, other])]
+        got = service.run_batch([query, other], jobs=2)
+    assert [r.member_sets() for r in got] == expected
+    assert all(isinstance(r.result, ParallelKTGResult) for r in got)
+
+
+def test_diversified_spec_falls_back_to_serial(graph, query):
+    dquery = DKTGQuery(
+        keywords=query.keywords,
+        group_size=3,
+        tenuity=2,
+        top_n=2,
+        gamma=0.5,
+    )
+    with QueryService(graph, "DKTG-GREEDY", jobs=2) as service:
+        answer = service.submit(dquery)
+    # Diversified serving stays on the serial path (no parallel engine).
+    assert not isinstance(answer.result, ParallelKTGResult)
+    assert service._engines == {}
