@@ -106,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["process", "thread", "inline"],
         help="fleet kind used when --jobs > 1",
     )
+    query.add_argument(
+        "--distance-engine",
+        default="oracle",
+        choices=["oracle", "bitset"],
+        help="tenuity-check engine: direct oracle probes or ball bitsets",
+    )
 
     batch = commands.add_parser(
         "batch", help="serve a generated query batch through the QueryService"
@@ -162,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
             ">1 serves the batch sequentially, each query using the fleet)"
         ),
     )
+    batch.add_argument(
+        "--distance-engine",
+        default="oracle",
+        choices=["oracle", "bitset"],
+        help="tenuity-check engine; 'bitset' reuses ball caches across queries",
+    )
 
     sweep = commands.add_parser("sweep", help="run a Table I parameter sweep")
     sweep.add_argument("profile", choices=sorted(PROFILES))
@@ -212,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(
             name for name, spec in ALGORITHMS.items() if not spec.diversified
         ),
+    )
+    stats.add_argument(
+        "--distance-engine",
+        default="oracle",
+        choices=["oracle", "bitset"],
+        help="tenuity-check engine for the instrumented solve",
     )
 
     trace = commands.add_parser(
@@ -335,6 +353,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             strategy=strategy_by_name(spec.strategy_name, graph),
             jobs=args.jobs,
             executor=args.jobs_executor,
+            distance_engine=args.distance_engine,
         ) as engine:
             result = engine.solve(query)
         print(result)
@@ -344,7 +363,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"subproblems={result.subproblems})"
         )
         return 0
-    solver = spec.build_solver(graph, oracle)
+    solver = spec.build_solver(graph, oracle, distance_engine=args.distance_engine)
     result = solver.solve(query)
     print(result)
     print(f"(latency: {result.stats.elapsed_seconds * 1000:.1f} ms)")
@@ -375,6 +394,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         time_budget=args.time_budget,
         node_budget=args.node_budget,
         jobs=args.jobs,
+        distance_engine=args.distance_engine,
     ) as service:
         pass_rows = []
         for pass_number in range(1, args.passes + 1):
@@ -487,8 +507,16 @@ def _cmd_stats_solve(args: argparse.Namespace, graph) -> int:
     runner = ExperimentRunner(graph, dataset_name=args.profile)
     oracle = runner.oracle_for(spec)
     oracle.stats.reset_usage()
-    solver = spec.build_solver(graph, oracle)
     registry = InstrumentRegistry()
+    options: dict = {}
+    if args.distance_engine == "bitset":
+        # Build the kernel against the live registry so its
+        # ``kernels.*`` counters land in the rendered report.
+        from repro.kernels import BallBitsetEngine
+
+        options["distance_engine"] = "bitset"
+        options["kernel"] = BallBitsetEngine(oracle, instruments=registry)
+    solver = spec.build_solver(graph, oracle, **options)
     result = solver.solve(query, hooks=InstrumentingHooks(registry))
     report = solve_report(result, oracle=oracle, instruments=registry)
     print(render_solve_report(report))

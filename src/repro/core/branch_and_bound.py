@@ -44,6 +44,7 @@ from repro.index.base import DistanceOracle
 from repro.index.bfs import BFSOracle
 
 if TYPE_CHECKING:  # hooks are duck-typed at runtime (no repro.obs import)
+    from repro.kernels.engine import BallBitsetEngine
     from repro.obs.hooks import SolverHooks
 
 __all__ = ["SearchStats", "KTGResult", "BranchAndBoundSolver"]
@@ -156,6 +157,17 @@ class BranchAndBoundSolver:
         problem is NP-hard, so production callers cap worst-case cost;
         when a budget trips, the best groups found so far are returned
         and ``result.is_exact`` is False.
+    distance_engine:
+        ``"oracle"`` (default) answers k-line filtering with per-call
+        oracle probes; ``"bitset"`` routes it through a
+        :class:`repro.kernels.BallBitsetEngine` — cached k-hop ball
+        bitsets with whole-mask filtering.  Results are bit-identical
+        either way (the kernel is a view over the same oracle).
+    kernel:
+        Optional prebuilt ball-bitset engine (implies the bitset
+        engine).  Pass one to share its ball cache across solvers —
+        clones in a parallel fleet, or queries served by one
+        :class:`repro.service.QueryService`.
 
     Examples
     --------
@@ -176,6 +188,8 @@ class BranchAndBoundSolver:
         use_union_bound: bool = False,
         node_budget: Optional[int] = None,
         time_budget: Optional[float] = None,
+        distance_engine: str = "oracle",
+        kernel: Optional["BallBitsetEngine"] = None,
     ) -> None:
         if node_budget is not None and node_budget < 1:
             raise ValueError(f"node_budget must be positive, got {node_budget}")
@@ -189,6 +203,15 @@ class BranchAndBoundSolver:
         self.use_union_bound = use_union_bound
         self.node_budget = node_budget
         self.time_budget = time_budget
+        if kernel is None and distance_engine == "oracle":
+            self.kernel: Optional["BallBitsetEngine"] = None
+        else:
+            # Lazy import: repro.kernels pulls in repro.obs, which this
+            # module otherwise avoids at runtime (hooks are duck-typed).
+            from repro.kernels.engine import resolve_distance_engine
+
+            self.kernel = resolve_distance_engine(distance_engine, self.oracle, kernel)
+        self.distance_engine = "bitset" if self.kernel is not None else "oracle"
         self._deadline: Optional[float] = None
         self._hooks: Optional["SolverHooks"] = None
 
@@ -279,6 +302,17 @@ class BranchAndBoundSolver:
         else:
             masks = context.masks
             qualified = [v for v in candidates if masks[v]]
+        kernel = self.kernel
+        if kernel is not None and query.excluded_anchors:
+            # All anchors' blocked balls fold into one exclusion mask;
+            # one subtraction removes every familiar candidate.
+            before = len(qualified)
+            excluded = kernel.exclusion_mask(query.excluded_anchors, query.tenuity)
+            removed = kernel.decode(kernel.encode(qualified) & excluded)
+            if removed:
+                qualified = [v for v in qualified if v not in removed]
+            stats.kline_removed += before - len(qualified)
+            return qualified
         for anchor in query.excluded_anchors:
             before = len(qualified)
             qualified = self.oracle.filter_candidates(qualified, anchor, query.tenuity)
@@ -295,6 +329,7 @@ class BranchAndBoundSolver:
         context: CoverageContext,
         pool: TopNPool,
         stats: SearchStats,
+        remaining_mask: Optional[int] = None,
     ) -> None:
         stats.nodes_expanded += 1
         hooks = self._hooks
@@ -345,25 +380,95 @@ class BranchAndBoundSolver:
             return
 
         stats.nodes_interior += 1
+        kernel = self.kernel
+        tail_mask = 0
+        if kernel is not None and self.kline_filtering:
+            # The tail bitset is threaded through the recursion: it is
+            # encoded once per node (or inherited from the parent's
+            # filter) and shrunk per iteration, so each k-line filter is
+            # whole-mask arithmetic instead of a per-candidate loop.
+            tail_mask = (
+                remaining_mask if remaining_mask is not None
+                else kernel.encode(remaining)
+            )
         for position, vertex in enumerate(remaining):
-            rest = remaining[position + 1 :]
-            if len(rest) < slots - 1:
+            tail_len = len(remaining) - position - 1
+            if tail_len < slots - 1:
                 break
             new_mask = covered_mask | masks[vertex]
-            if self.kline_filtering:
-                before = len(rest)
-                rest = self.oracle.filter_candidates(rest, vertex, query.tenuity)
-                stats.kline_removed += before - len(rest)
+            rest_mask: Optional[int] = None
+            if self.kline_filtering and kernel is not None:
+                # Mask-first filtering: compute the surviving bitset and
+                # prune on its popcount before paying the O(|tail|) list
+                # rebuild.  When fewer candidates survive than slots
+                # remain, the child could only exhaust — replay its
+                # bookkeeping and move on.  On dense graphs this skips
+                # the rebuild for most interior expansions.
+                tail_mask &= ~(1 << vertex)
+                rest_mask = kernel.filter_mask(tail_mask, vertex, query.tenuity)
+                survivors = rest_mask.bit_count()
+                stats.kline_removed += tail_len - survivors
                 if hooks is not None:
-                    hooks.candidates_filtered(vertex, before, len(rest))
+                    hooks.candidates_filtered(vertex, tail_len, survivors)
+                if survivors < slots - 1:
+                    members.append(vertex)
+                    self._expand_exhausted(members, slots - 1, survivors, stats)
+                    members.pop()
+                    continue
+                rest = remaining[position + 1 :]
+                if survivors != tail_len:
+                    rest = kernel.select(rest, tail_mask, rest_mask)
+            elif self.kline_filtering:
+                rest = remaining[position + 1 :]
+                rest = self.oracle.filter_candidates(rest, vertex, query.tenuity)
+                stats.kline_removed += tail_len - len(rest)
+                if hooks is not None:
+                    hooks.candidates_filtered(vertex, tail_len, len(rest))
+            else:
+                rest = remaining[position + 1 :]
             # Re-sorting is only needed when the covered set actually
             # changed: VKC values are a function of the covered mask, and
             # filtering preserves relative order.
             if self.strategy.resorts and new_mask != covered_mask:
                 rest = self.strategy.reorder(rest, new_mask, context)
             members.append(vertex)
-            self._search(members, new_mask, rest, query, context, pool, stats)
+            self._search(
+                members, new_mask, rest, query, context, pool, stats, rest_mask
+            )
             members.pop()
+
+    def _expand_exhausted(
+        self,
+        members: list[int],
+        slots: int,
+        count: int,
+        stats: SearchStats,
+    ) -> None:
+        """Stats- and hook-faithful replay of a child :meth:`_search`
+        that would exhaust immediately (*count* candidates for *slots*
+        open seats), letting the caller skip materialising the child's
+        candidate list.  Must mirror the ``_search`` prologue exactly —
+        both engines have to produce identical stats and hook streams.
+        """
+        stats.nodes_expanded += 1
+        hooks = self._hooks
+        if hooks is not None:
+            hooks.node_entered(tuple(members), slots, count)
+        if self.node_budget is not None and stats.nodes_expanded > self.node_budget:
+            if hooks is not None:
+                hooks.budget_tripped("nodes", tuple(members))
+            raise _BudgetExhausted
+        if (
+            self._deadline is not None
+            and stats.nodes_expanded % 256 == 0
+            and time.perf_counter() > self._deadline
+        ):
+            if hooks is not None:
+                hooks.budget_tripped("time", tuple(members))
+            raise _BudgetExhausted
+        stats.nodes_exhausted += 1
+        if hooks is not None:
+            hooks.node_exhausted(tuple(members))
 
     def _complete_groups(
         self,
@@ -385,6 +490,18 @@ class BranchAndBoundSolver:
         sorted_by_gain = self.strategy.resorts
         uncovered = ~covered_mask
         hooks = self._hooks
+        kernel = self.kernel
+        prefix_tenuous = True
+        members_mask = 0
+        if not self.kline_filtering:
+            # The members' own pairwise tenuity is a property of the
+            # prefix, not of the completing candidate: certify it once
+            # per leaf node and per candidate check only the p-1 new
+            # pairs.  (Before this, every candidate re-probed all
+            # p·(p-1)/2 pairs, inflating probes and wall time.)
+            prefix_tenuous = self._pairwise_tenuous(members, query.tenuity)
+            if kernel is not None:
+                members_mask = kernel.encode(members)
         # The node-level deadline check only fires between tree nodes; a
         # single dense leaf can hold tens of thousands of candidates, so
         # the scan itself re-checks the clock (amortised every 256
@@ -412,9 +529,18 @@ class BranchAndBoundSolver:
                     hooks.leaf_visited((*members, vertex), coverage, "pruned")
                 break
             if not self.kline_filtering:
-                members.append(vertex)
-                tenuous = self._pairwise_tenuous(members, query.tenuity)
-                members.pop()
+                if not prefix_tenuous:
+                    tenuous = False
+                elif kernel is not None:
+                    tenuous = kernel.new_member_tenuous(
+                        members_mask, vertex, query.tenuity
+                    )
+                else:
+                    oracle = self.oracle
+                    k = query.tenuity
+                    tenuous = all(
+                        oracle.is_tenuous(vertex, member, k) for member in members
+                    )
                 if not tenuous:
                     if hooks is not None:
                         hooks.leaf_visited((*members, vertex), coverage, "infeasible")
@@ -435,12 +561,23 @@ class BranchAndBoundSolver:
     def _pairwise_tenuous(self, members: Sequence[int], k: int) -> bool:
         """Full pairwise tenuity check, used only when k-line filtering
         is disabled (pruning ablation)."""
+        if self.kernel is not None:
+            return self.kernel.pairwise_tenuous(members, k)
         oracle = self.oracle
         for i, u in enumerate(members):
             for v in members[i + 1 :]:
                 if not oracle.is_tenuous(u, v, k):
                     return False
         return True
+
+    def _kline_filter(self, candidates: list[int], member: int, k: int) -> list[int]:
+        """Engine-dispatched bulk k-line filter (no threaded mask).
+
+        Used where a candidate list is prepared outside the recursion —
+        anchor exclusion, the parallel engine's root-branch split."""
+        if self.kernel is not None:
+            return self.kernel.filter_candidates(candidates, member, k)
+        return self.oracle.filter_candidates(candidates, member, k)
 
 
 def make_solver(

@@ -32,17 +32,31 @@ __all__ = ["BruteForceSolver"]
 
 
 class BruteForceSolver:
-    """Exhaustive top-N KTG solver (the paper's naive method)."""
+    """Exhaustive top-N KTG solver (the paper's naive method).
+
+    ``distance_engine="bitset"`` (or a shared *kernel*) answers the
+    per-pair tenuity checks from cached k-hop ball bitsets instead of
+    oracle probes; the enumeration order and results are identical.
+    """
 
     def __init__(
         self,
         graph: AttributedGraph,
         oracle: Optional[DistanceOracle] = None,
         check_prefix_tenuity: bool = True,
+        distance_engine: str = "oracle",
+        kernel=None,
     ) -> None:
         self.graph = graph
         self.oracle = oracle if oracle is not None else BFSOracle(graph)
         self.check_prefix_tenuity = check_prefix_tenuity
+        if kernel is None and distance_engine == "oracle":
+            self.kernel = None
+        else:
+            from repro.kernels.engine import resolve_distance_engine
+
+            self.kernel = resolve_distance_engine(distance_engine, self.oracle, kernel)
+        self.distance_engine = "bitset" if self.kernel is not None else "oracle"
 
     @property
     def algorithm_name(self) -> str:
@@ -71,7 +85,14 @@ class BruteForceSolver:
             masks = context.masks
             qualified = [v for v in candidates if masks[v]]
         for anchor in query.excluded_anchors:
-            qualified = self.oracle.filter_candidates(qualified, anchor, query.tenuity)
+            if self.kernel is not None:
+                qualified = self.kernel.filter_candidates(
+                    qualified, anchor, query.tenuity
+                )
+            else:
+                qualified = self.oracle.filter_candidates(
+                    qualified, anchor, query.tenuity
+                )
             qualified = [v for v in qualified if v != anchor]
 
         if self.check_prefix_tenuity:
@@ -97,15 +118,20 @@ class BruteForceSolver:
         stats: SearchStats,
     ) -> None:
         """The literal naive method: enumerate all combinations, then test."""
+        kernel = self.kernel
         is_tenuous = self.oracle.is_tenuous
         k = query.tenuity
         for members in combinations(qualified, query.group_size):
             stats.nodes_expanded += 1
-            if all(
-                is_tenuous(u, v, k)
-                for i, u in enumerate(members)
-                for v in members[i + 1 :]
-            ):
+            if kernel is not None:
+                feasible = kernel.pairwise_tenuous(members, k)
+            else:
+                feasible = all(
+                    is_tenuous(u, v, k)
+                    for i, u in enumerate(members)
+                    for v in members[i + 1 :]
+                )
+            if feasible:
                 stats.feasible_groups += 1
                 if pool.offer(members, context.group_coverage(members)):
                     stats.offers_accepted += 1
@@ -127,12 +153,18 @@ class BruteForceSolver:
                 stats.offers_accepted += 1
             return
         slots = query.group_size - len(members)
+        kernel = self.kernel
         is_tenuous = self.oracle.is_tenuous
         k = query.tenuity
+        members_mask = kernel.encode(members) if kernel is not None else 0
         for position, vertex in enumerate(rest):
             if len(rest) - position < slots:
                 break
-            if all(is_tenuous(vertex, member, k) for member in members):
+            if kernel is not None:
+                extends = kernel.new_member_tenuous(members_mask, vertex, k)
+            else:
+                extends = all(is_tenuous(vertex, member, k) for member in members)
+            if extends:
                 members.append(vertex)
                 self._grow(members, rest[position + 1 :], query, context, pool, stats)
                 members.pop()

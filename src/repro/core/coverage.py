@@ -17,6 +17,7 @@ inner loop viable in pure Python.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable, Sequence
 
 from repro.core.errors import QueryValidationError
@@ -26,7 +27,17 @@ __all__ = ["CoverageContext", "popcount"]
 
 
 def popcount(mask: int) -> int:
-    """Number of set bits in *mask* (``int.bit_count`` spelled as a function)."""
+    """Deprecated alias for :meth:`int.bit_count`.
+
+    .. deprecated::
+        Call ``mask.bit_count()`` directly; this wrapper predates the
+        minimum-supported Python gaining the builtin and will be removed.
+    """
+    warnings.warn(
+        "repro.core.coverage.popcount is deprecated; use int.bit_count()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return mask.bit_count()
 
 

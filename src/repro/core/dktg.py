@@ -130,6 +130,10 @@ class DKTGGreedySolver:
     inner_solver:
         Optional pre-configured solver for the per-round top-1 searches;
         defaults to KTG-VKC-DEG with all pruning enabled.
+    distance_engine / kernel:
+        Forwarded to the default inner solver (ignored when
+        *inner_solver* is supplied — configure it directly instead);
+        see :class:`BranchAndBoundSolver`.
     """
 
     def __init__(
@@ -137,6 +141,8 @@ class DKTGGreedySolver:
         graph: AttributedGraph,
         oracle: Optional[DistanceOracle] = None,
         inner_solver: Optional[BranchAndBoundSolver] = None,
+        distance_engine: str = "oracle",
+        kernel=None,
     ) -> None:
         self.graph = graph
         if inner_solver is None:
@@ -144,6 +150,8 @@ class DKTGGreedySolver:
                 graph,
                 oracle=oracle,
                 strategy=VKCDegreeOrdering(graph.degrees()),
+                distance_engine=distance_engine,
+                kernel=kernel,
             )
         elif oracle is not None and inner_solver.oracle is not oracle:
             raise ValueError("pass either oracle or inner_solver, not conflicting both")

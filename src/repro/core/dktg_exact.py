@@ -49,6 +49,9 @@ class DKTGExactSolver:
     max_groups:
         Cap on the number of candidate groups fed to the subset search,
         keeping the highest-coverage ones.  ``None`` disables the cap.
+    distance_engine / kernel:
+        Forwarded to the inner :class:`BruteForceSolver` enumerator;
+        see :class:`repro.core.branch_and_bound.BranchAndBoundSolver`.
     """
 
     def __init__(
@@ -56,12 +59,16 @@ class DKTGExactSolver:
         graph: AttributedGraph,
         oracle: Optional[DistanceOracle] = None,
         max_groups: Optional[int] = 512,
+        distance_engine: str = "oracle",
+        kernel=None,
     ) -> None:
         if max_groups is not None and max_groups < 1:
             raise ValueError(f"max_groups must be positive or None, got {max_groups}")
         self.graph = graph
         self.oracle = oracle
         self.max_groups = max_groups
+        self.distance_engine = distance_engine
+        self.kernel = kernel
 
     @property
     def algorithm_name(self) -> str:
@@ -128,7 +135,12 @@ class DKTGExactSolver:
     # ------------------------------------------------------------------
     def _feasible_groups(self, query: DKTGQuery, stats: SearchStats) -> list[Group]:
         """Enumerate feasible k-distance groups, best coverage first."""
-        enumerator = BruteForceSolver(self.graph, oracle=self.oracle)
+        enumerator = BruteForceSolver(
+            self.graph,
+            oracle=self.oracle,
+            distance_engine=self.distance_engine,
+            kernel=self.kernel,
+        )
         # Reuse the brute forcer with a huge pool to collect all groups.
         base = query.base_query().with_(top_n=1_000_000)
         result = enumerator.solve(base)

@@ -221,12 +221,19 @@ def _solve_subtree(
     rest = list(initial[position + 1 :])
     masks = context.masks
     new_mask = masks[vertex]
+    rest_mask = None
     solver._deadline = deadline
     solver._hooks = None
     try:
         if solver.kline_filtering:
             before = len(rest)
-            rest = solver.oracle.filter_candidates(rest, vertex, query.tenuity)
+            kernel = solver.kernel
+            if kernel is not None:
+                rest, rest_mask = kernel.filter_list(
+                    rest, kernel.encode(rest), vertex, query.tenuity
+                )
+            else:
+                rest = solver.oracle.filter_candidates(rest, vertex, query.tenuity)
             stats.kline_removed += before - len(rest)
         if solver.strategy.resorts and new_mask != 0:
             rest = solver.strategy.reorder(rest, new_mask, context)
@@ -238,6 +245,7 @@ def _solve_subtree(
             context=context,
             pool=pool,
             stats=stats,
+            remaining_mask=rest_mask,
         )
     except _BudgetExhausted:
         stats.budget_exhausted = True
@@ -336,6 +344,11 @@ class ParallelBranchAndBoundSolver:
         Root branches per worker task; defaults to
         ``ceil(frontier / (jobs * 4))`` so late (cheap) subtrees
         rebalance the skewed early ones.
+    distance_engine / kernel:
+        Forwarded to every worker solver (see
+        :class:`BranchAndBoundSolver`).  Inline/thread workers share one
+        ball cache read-only (ball values are immutable ints); process
+        workers each lazily build their own over the shipped oracle.
     instruments:
         Registry receiving ``parallel.tasks``, ``parallel.subproblems``,
         ``parallel.bound_broadcasts`` and ``parallel.steals`` counters.
@@ -366,6 +379,8 @@ class ParallelBranchAndBoundSolver:
         bound_broadcast: bool = True,
         chunk_size: Optional[int] = None,
         instruments: InstrumentRegistry = NULL_REGISTRY,
+        distance_engine: str = "oracle",
+        kernel=None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -388,6 +403,8 @@ class ParallelBranchAndBoundSolver:
             use_union_bound=use_union_bound,
             node_budget=node_budget,
             time_budget=time_budget,
+            distance_engine=distance_engine,
+            kernel=kernel,
         )
         self._pool: Optional[Executor] = None
         self._floor_cell: Any = None
@@ -660,6 +677,11 @@ class ParallelBranchAndBoundSolver:
             use_union_bound=template.use_union_bound,
             node_budget=template.node_budget,
             time_budget=template.time_budget,
+            distance_engine=template.distance_engine,
+            # Clones share the template's ball cache: values are
+            # immutable ints and the LRU bookkeeping is locked, so
+            # thread/inline fleets read each other's balls for free.
+            kernel=template.kernel,
         )
 
     def _ensure_pool(self) -> Executor:
@@ -686,6 +708,10 @@ class ParallelBranchAndBoundSolver:
                         "keyword_pruning": template.keyword_pruning,
                         "kline_filtering": template.kline_filtering,
                         "use_union_bound": template.use_union_bound,
+                        # Each process worker lazily builds its own ball
+                        # cache over its copy of the oracle (the parent's
+                        # kernel holds a lock and is not shipped).
+                        "distance_engine": template.distance_engine,
                     },
                     self._floor_cell,
                 ),

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Optional
 
 from repro.core.graph import AttributedGraph
 from repro.index.base import DistanceOracle
@@ -38,12 +39,19 @@ class BFSOracle(DistanceOracle):
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         self._cache_size = cache_size
-        self._cache: OrderedDict[tuple[int, int], set[int]] = OrderedDict()
+        # Memo entries are (seen, frontier, exhausted): *seen* is the
+        # 1..k ball (vertex excluded), *frontier* the vertices at exactly
+        # depth k (the resume point for a later, larger k), *exhausted*
+        # whether BFS saturated before depth k — in which case every
+        # larger k has the identical ball.
+        self._cache: OrderedDict[
+            tuple[int, int], tuple[set[int], list[int], bool]
+        ] = OrderedDict()
         # The memo is shared mutable state: concurrent filter_candidates
         # calls from QueryService worker threads would otherwise race
-        # move_to_end/popitem mid-iteration.  Cached frontier sets are
-        # never mutated after insertion, so readers outside the lock are
-        # safe once they hold a reference.
+        # move_to_end/popitem mid-iteration.  Cached entries are never
+        # mutated after insertion, so readers outside the lock are safe
+        # once they hold a reference.
         self._memo_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -72,18 +80,49 @@ class BFSOracle(DistanceOracle):
 
     # ------------------------------------------------------------------
     def _grow(self, vertex: int, k: int) -> set[int]:
-        """Return (and memoise) the set of vertices at distance 1..k."""
+        """Return (and memoise) the set of vertices at distance 1..k.
+
+        A miss at ``(vertex, k)`` first looks for a memoised smaller-k
+        ball of the same vertex and *resumes* BFS from its stored
+        frontier instead of restarting from scratch — the solver probes
+        the same vertices at growing k (leaf pairwise checks after
+        depth-limited filters), so the resume path is common.  Resumes
+        (and saturated smaller-k balls served directly) count as
+        ``memo_hits``; only a from-scratch BFS is a ``memo_miss``.
+        """
+        resume: Optional[tuple[int, tuple[set[int], list[int], bool]]] = None
         with self._memo_lock:
-            cached = self._cache.get((vertex, k))
-            if cached is not None:
+            entry = self._cache.get((vertex, k))
+            if entry is not None:
                 self._cache.move_to_end((vertex, k))
                 self.stats.memo_hits += 1
-                return cached
-        self.stats.memo_misses += 1
+                return entry[0]
+            for depth in range(k - 1, 0, -1):
+                prev = self._cache.get((vertex, depth))
+                if prev is not None:
+                    resume = (depth, prev)
+                    break
+        if resume is not None:
+            self.stats.memo_hits += 1
+            depth, (prev_seen, prev_frontier, prev_exhausted) = resume
+            if prev_exhausted:
+                # BFS saturated at or before *depth*: the k-ball is the
+                # same set.  Memoise it under (vertex, k) too so the
+                # next probe is a direct hit.
+                self._store(vertex, k, prev_seen, prev_frontier, True)
+                return prev_seen
+            seen = set(prev_seen)
+            seen.add(vertex)
+            frontier: list[int] = prev_frontier
+            rounds = k - depth
+        else:
+            self.stats.memo_misses += 1
+            seen = {vertex}
+            frontier = [vertex]
+            rounds = k
         adjacency = self.graph.adjacency_view()
-        seen = {vertex}
-        frontier = [vertex]
-        for _ in range(k):
+        exhausted = False
+        for _ in range(rounds):
             next_frontier = []
             for u in frontier:
                 for w in adjacency[u]:
@@ -91,15 +130,22 @@ class BFSOracle(DistanceOracle):
                         seen.add(w)
                         next_frontier.append(w)
             if not next_frontier:
+                exhausted = True
                 break
             frontier = next_frontier
         seen.discard(vertex)
-        if self._cache_size:
-            with self._memo_lock:
-                self._cache[(vertex, k)] = seen
-                if len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
+        self._store(vertex, k, seen, frontier, exhausted)
         return seen
+
+    def _store(
+        self, vertex: int, k: int, seen: set[int], frontier: list[int], exhausted: bool
+    ) -> None:
+        if not self._cache_size:
+            return
+        with self._memo_lock:
+            self._cache[(vertex, k)] = (seen, frontier, exhausted)
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
 
     def filter_candidates(self, candidates: list[int], member: int, k: int) -> list[int]:
         if k == 0:

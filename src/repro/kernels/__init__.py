@@ -1,0 +1,13 @@
+"""Bitset distance-ball kernels for the solver hot path.
+
+See :mod:`repro.kernels.engine` for the representation and the cache /
+fallback semantics, and ``docs/kernels.md`` for the design notes.
+"""
+
+from repro.kernels.engine import (
+    DEFAULT_MAX_BALLS,
+    BallBitsetEngine,
+    resolve_distance_engine,
+)
+
+__all__ = ["BallBitsetEngine", "DEFAULT_MAX_BALLS", "resolve_distance_engine"]

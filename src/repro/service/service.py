@@ -134,11 +134,19 @@ def _process_worker_init(
     graph: AttributedGraph,
     spec: AlgorithmSpec,
     oracle: Optional[DistanceOracle],
+    distance_engine: str = "oracle",
 ) -> None:
     global _WORKER_STATE
     if oracle is None:
         oracle = spec.build_oracle(graph)
-    _WORKER_STATE = (graph, spec, oracle)
+    kernel = None
+    if distance_engine == "bitset":
+        # One ball cache per worker process, reused across every query
+        # the worker serves (the cross-query reuse the kernel exists for).
+        from repro.kernels import BallBitsetEngine
+
+        kernel = BallBitsetEngine(oracle)
+    _WORKER_STATE = (graph, spec, oracle, kernel)
 
 
 def _process_solve(
@@ -147,10 +155,12 @@ def _process_solve(
     node_budget: Optional[int],
 ) -> tuple[AnyResult, float]:
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    graph, spec, oracle = _WORKER_STATE
-    solver = spec.build_solver(
-        graph, oracle, time_budget=time_budget, node_budget=node_budget
-    )
+    graph, spec, oracle, kernel = _WORKER_STATE
+    options: dict = {"time_budget": time_budget, "node_budget": node_budget}
+    if kernel is not None:
+        options["distance_engine"] = "bitset"
+        options["kernel"] = kernel
+    solver = spec.build_solver(graph, oracle, **options)
     started = time.perf_counter()
     result = solver.solve(query)
     return result, (time.perf_counter() - started) * 1000.0
@@ -192,6 +202,13 @@ class QueryService:
         :data:`repro.core.parallel.EXECUTORS`).
     cache_capacity:
         LRU result-cache size; ``0`` disables caching.
+    distance_engine:
+        ``"oracle"`` (default) probes the distance oracle directly;
+        ``"bitset"`` routes tenuity checks through one shared
+        :class:`repro.kernels.BallBitsetEngine` ball cache that is
+        **reused across queries** with the same tenuity ``k`` — the
+        second query over the same keyword universe skips every ball
+        rebuild.  Results are bit-identical either way.
     instruments:
         An :class:`repro.obs.instruments.InstrumentRegistry` collecting
         per-phase latency histograms (``service.cache_lookup_ms``,
@@ -226,6 +243,7 @@ class QueryService:
         jobs: int = 1,
         jobs_executor: str = "process",
         cache_capacity: int = 1024,
+        distance_engine: str = "oracle",
         instruments: InstrumentRegistry = NULL_REGISTRY,
     ) -> None:
         if max_workers < 1:
@@ -233,6 +251,11 @@ class QueryService:
         if executor not in ("thread", "process"):
             raise ValueError(
                 f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if distance_engine not in ("oracle", "bitset"):
+            raise ValueError(
+                f"distance_engine must be 'oracle' or 'bitset', "
+                f"got {distance_engine!r}"
             )
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -249,6 +272,8 @@ class QueryService:
         self.jobs = jobs
         self.jobs_executor = jobs_executor
         self.cache = ResultCache(cache_capacity)
+        self.distance_engine = distance_engine
+        self._kernel = None
         self._engines: dict[tuple, ParallelBranchAndBoundSolver] = {}
         self._oracle = oracle
         self._oracle_lock = threading.Lock()
@@ -391,10 +416,13 @@ class QueryService:
         }
         with self._oracle_lock:
             oracle = self._oracle
+            kernel = self._kernel
         if oracle is not None:
             from repro.obs.report import oracle_usage_row
 
             report["oracle"] = oracle_usage_row(oracle)
+        if kernel is not None:
+            report["kernel"] = {"balls_cached": len(kernel), **kernel.counters()}
         if self.instruments.enabled:
             report["instruments"] = self.instruments.report()
         return report
@@ -424,6 +452,25 @@ class QueryService:
                 self._oracle = self.spec.build_oracle(self.graph)
             return self._oracle
 
+    def _ensure_kernel(self, oracle: DistanceOracle):
+        """Shared ball-bitset kernel over *oracle* (``None`` in oracle mode).
+
+        Tied to the oracle object: when graph mutation forces
+        :meth:`_ensure_oracle` to rebuild, the kernel wrapping the old
+        oracle is discarded with it.  The kernel itself is thread-safe,
+        so thread-pool batches and parallel fleets share one ball cache.
+        """
+        if self.distance_engine != "bitset":
+            return None
+        with self._oracle_lock:
+            if self._kernel is None or self._kernel.oracle is not oracle:
+                from repro.kernels import BallBitsetEngine
+
+                self._kernel = BallBitsetEngine(
+                    oracle, instruments=self.instruments
+                )
+            return self._kernel
+
     def _parallel_engine(self, jobs: int) -> ParallelBranchAndBoundSolver:
         """Cached parallel engine for this spec at the given fleet size.
 
@@ -437,12 +484,15 @@ class QueryService:
             stale = [k for k in self._engines if k[1] != self.graph.version]
             for k in stale:
                 self._engines.pop(k).close()
+            oracle = self._ensure_oracle()
             engine = ParallelBranchAndBoundSolver(
                 self.graph,
-                oracle=self._ensure_oracle(),
+                oracle=oracle,
                 strategy=strategy_by_name(self.spec.strategy_name, self.graph),
                 jobs=jobs,
                 executor=self.jobs_executor,
+                distance_engine=self.distance_engine,
+                kernel=self._ensure_kernel(oracle),
                 instruments=self.instruments,
             )
             self._engines[key] = engine
@@ -480,9 +530,12 @@ class QueryService:
             )
         else:
             oracle = self._ensure_oracle()
-            solver = self.spec.build_solver(
-                self.graph, oracle, time_budget=time_budget, node_budget=node_budget
-            )
+            options: dict = {"time_budget": time_budget, "node_budget": node_budget}
+            kernel = self._ensure_kernel(oracle)
+            if kernel is not None:
+                options["distance_engine"] = "bitset"
+                options["kernel"] = kernel
+            solver = self.spec.build_solver(self.graph, oracle, **options)
             solve_started = time.perf_counter()
             result = solver.solve(query)
         self._solve_timer.observe_ms((time.perf_counter() - solve_started) * 1000.0)
@@ -541,7 +594,12 @@ class QueryService:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_process_worker_init,
-                initargs=(self.graph, self.spec, self._ensure_oracle()),
+                initargs=(
+                    self.graph,
+                    self.spec,
+                    self._ensure_oracle(),
+                    self.distance_engine,
+                ),
             )
             self._pool_graph_version = self.graph.version
         return self._pool

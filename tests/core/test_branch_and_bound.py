@@ -88,6 +88,28 @@ class TestPruningToggles:
         result = BranchAndBoundSolver(figure1).solve(figure1_q)
         assert result.stats.kline_removed > 0
 
+    def test_leaf_completion_probes_prefix_once(self):
+        # With k-line filtering off, the leaf completion certifies the
+        # p-1 prefix once and checks only the p-1 new pairs per
+        # candidate.  On an edgeless graph every pair is tenuous and
+        # nothing short-circuits, so re-certifying the prefix per
+        # candidate (the old behaviour) would cost exactly
+        # C(p,2) probes per visited leaf candidate.
+        from math import comb
+
+        from repro.core.graph import AttributedGraph
+
+        n, p = 7, 4
+        graph = AttributedGraph(n, [], {v: ["a"] for v in range(n)})
+        query = KTGQuery(keywords=("a",), group_size=p, tenuity=1, top_n=50)
+        oracle = BFSOracle(graph)
+        solver = BranchAndBoundSolver(graph, oracle=oracle, kline_filtering=False)
+        result = solver.solve(query)
+        leaves = comb(n, p)
+        assert len(result.groups) == min(50, leaves)
+        old_cost = leaves * comb(p, 2)
+        assert oracle.stats.probes < old_cost
+
 
 class TestEdgeCases:
     def test_group_size_one(self, figure1):

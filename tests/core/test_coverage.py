@@ -105,9 +105,11 @@ class TestHelpers:
     def test_coverage_of_mask(self, ctx):
         assert ctx.coverage_of_mask(0b101) == pytest.approx(0.4)
 
-    def test_popcount(self):
-        assert popcount(0) == 0
-        assert popcount(0b1011) == 3
+    def test_popcount_deprecated(self):
+        with pytest.deprecated_call():
+            assert popcount(0) == 0
+        with pytest.deprecated_call():
+            assert popcount(0b1011) == 3
 
     def test_repr(self, ctx):
         assert "|W_Q|=5" in repr(ctx)

@@ -180,3 +180,26 @@ class TestGreedySolver:
         query = DKTGQuery(keywords=("SN", "GD"), group_size=2, tenuity=1, top_n=2)
         text = str(DKTGGreedySolver(figure1).solve(query))
         assert "diversity=" in text and "score=" in text
+
+
+class TestDistanceEngine:
+    def test_bitset_greedy_identical(self, figure1):
+        query = DKTGQuery(
+            keywords=("SN", "QP", "DQ", "GQ", "GD"), group_size=3, tenuity=1, top_n=2
+        )
+        base = DKTGGreedySolver(figure1).solve(query)
+        solver = DKTGGreedySolver(figure1, distance_engine="bitset")
+        assert solver.inner_solver.distance_engine == "bitset"
+        fast = solver.solve(query)
+        assert [g.members for g in fast.groups] == [g.members for g in base.groups]
+        assert fast.score == pytest.approx(base.score)
+        assert fast.stats.nodes_expanded == base.stats.nodes_expanded
+
+    def test_bitset_exact_identical(self, figure1):
+        from repro.core.dktg_exact import DKTGExactSolver
+
+        query = DKTGQuery(keywords=("SN", "GD"), group_size=2, tenuity=1, top_n=2)
+        base = DKTGExactSolver(figure1).solve(query)
+        fast = DKTGExactSolver(figure1, distance_engine="bitset").solve(query)
+        assert [g.members for g in fast.groups] == [g.members for g in base.groups]
+        assert fast.score == pytest.approx(base.score)

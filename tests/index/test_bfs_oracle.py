@@ -103,6 +103,51 @@ class TestCaching:
         assert first == second == (figure1.hop_distance(3, 5) > 3)
 
 
+class TestFrontierResume:
+    """Increasing-k probes resume from the cached (k-1)-hop frontier."""
+
+    def test_resume_matches_from_scratch(self, figure1):
+        resumed = BFSOracle(figure1)
+        fresh = BFSOracle(figure1)
+        for vertex in figure1.vertices():
+            for k in (1, 2, 3, 4):
+                assert resumed.within_k(vertex, k) == fresh.within_k(vertex, k), (
+                    vertex,
+                    k,
+                )
+            fresh = BFSOracle(figure1)  # never sees the smaller-k prefixes
+
+    def test_resume_counts_as_memo_hit(self, figure1):
+        oracle = BFSOracle(figure1)
+        oracle.within_k(8, 1)
+        assert (oracle.stats.memo_hits, oracle.stats.memo_misses) == (0, 1)
+        oracle.within_k(8, 2)  # resumes from the cached 1-hop frontier
+        assert (oracle.stats.memo_hits, oracle.stats.memo_misses) == (1, 1)
+        oracle.within_k(8, 2)  # exact hit
+        assert (oracle.stats.memo_hits, oracle.stats.memo_misses) == (2, 1)
+
+    def test_resume_skips_intermediate_k(self, path_graph):
+        oracle = BFSOracle(path_graph)
+        assert oracle.within_k(0, 1) == {1}
+        # k=4 resumes from k=1 even though k=2,3 were never probed.
+        assert oracle.within_k(0, 4) == {1, 2, 3, 4}
+        assert oracle.stats.memo_hits == 1
+
+    def test_exhausted_ball_short_circuits(self, path_graph):
+        oracle = BFSOracle(path_graph)
+        full = oracle.within_k(0, 10)  # frontier empties at depth 4
+        assert full == {1, 2, 3, 4}
+        assert oracle.within_k(0, 50) == full
+        assert oracle.stats.memo_hits == 1
+
+    def test_resume_does_not_corrupt_cached_prefix(self, figure1):
+        oracle = BFSOracle(figure1)
+        one_hop = oracle.within_k(8, 1)
+        snapshot = set(one_hop)
+        oracle.within_k(8, 3)
+        assert oracle.within_k(8, 1) == snapshot
+
+
 class TestUpdates:
     def test_insert_edge_refreshes(self, path_graph):
         oracle = BFSOracle(path_graph)
