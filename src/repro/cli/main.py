@@ -50,7 +50,7 @@ from repro.core.branch_and_bound import BranchAndBoundSolver
 from repro.core.strategies import strategy_by_name
 from repro.core.trace import TracingSolver
 from repro.datasets.figure1 import figure1_example, figure1_query
-from repro.workloads.runner import ALGORITHMS, ExperimentRunner
+from repro.workloads.runner import ALGORITHMS
 from repro.workloads.experiments import experiment_ids, reproduce
 from repro.workloads.sweep import PARAMETER_TABLE, run_parameter_sweep
 
@@ -111,6 +111,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="oracle",
         choices=["oracle", "bitset"],
         help="tenuity-check engine: direct oracle probes or ball bitsets",
+    )
+    query.add_argument(
+        "--graph-layout",
+        default="adjacency",
+        choices=["adjacency", "csr"],
+        help=(
+            "traversal layout: per-vertex adjacency sets or the flat CSR "
+            "snapshot (zero-copy shared-memory fan-out with --jobs)"
+        ),
     )
 
     batch = commands.add_parser(
@@ -174,6 +183,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["oracle", "bitset"],
         help="tenuity-check engine; 'bitset' reuses ball caches across queries",
     )
+    batch.add_argument(
+        "--graph-layout",
+        default="adjacency",
+        choices=["adjacency", "csr"],
+        help="traversal layout for oracle builds and solver fan-out",
+    )
 
     sweep = commands.add_parser("sweep", help="run a Table I parameter sweep")
     sweep.add_argument("profile", choices=sorted(PROFILES))
@@ -230,6 +245,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="oracle",
         choices=["oracle", "bitset"],
         help="tenuity-check engine for the instrumented solve",
+    )
+    stats.add_argument(
+        "--graph-layout",
+        default="adjacency",
+        choices=["adjacency", "csr"],
+        help="traversal layout for the instrumented solve",
     )
 
     trace = commands.add_parser(
@@ -342,8 +363,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             tenuity=args.tenuity,
             top_n=args.top_n,
         )
-    runner = ExperimentRunner(graph, dataset_name=args.profile)
-    oracle = runner.oracle_for(spec)
+    oracle = spec.build_oracle(graph, graph_layout=args.graph_layout)
     if args.jobs > 1 and not spec.diversified:
         from repro.core.parallel import ParallelBranchAndBoundSolver
 
@@ -354,6 +374,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             executor=args.jobs_executor,
             distance_engine=args.distance_engine,
+            graph_layout=args.graph_layout,
         ) as engine:
             result = engine.solve(query)
         print(result)
@@ -363,7 +384,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"subproblems={result.subproblems})"
         )
         return 0
-    solver = spec.build_solver(graph, oracle, distance_engine=args.distance_engine)
+    solver = spec.build_solver(
+        graph,
+        oracle,
+        distance_engine=args.distance_engine,
+        graph_layout=args.graph_layout,
+    )
     result = solver.solve(query)
     print(result)
     print(f"(latency: {result.stats.elapsed_seconds * 1000:.1f} ms)")
@@ -395,6 +421,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         node_budget=args.node_budget,
         jobs=args.jobs,
         distance_engine=args.distance_engine,
+        graph_layout=args.graph_layout,
     ) as service:
         pass_rows = []
         for pass_number in range(1, args.passes + 1):
@@ -488,7 +515,30 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         for k, fraction in enumerate(statistics.hop_ball_fractions, start=1)
     )
     print(f"hop-ball fractions: {fractions}")
+    print()
+    print(render_table([_footprint_row(graph)], title="graph memory footprint"))
     return 0
+
+
+def _footprint_row(graph) -> dict:
+    """Adjacency vs CSR bytes plus snapshot lifecycle status (``ktg stats``)."""
+    from repro.core.csr import adjacency_footprint_bytes, counter_totals
+
+    adjacency_bytes = adjacency_footprint_bytes(graph)
+    snapshot = graph.csr_snapshot()
+    totals = counter_totals()
+    return {
+        "adjacency_bytes": adjacency_bytes,
+        "csr_bytes": snapshot.nbytes,
+        "csr_vs_adjacency": f"{snapshot.nbytes / adjacency_bytes:.3f}x"
+        if adjacency_bytes
+        else "n/a",
+        "snapshot": "shared" if snapshot.is_shared else "built (local)",
+        "snapshot_version": snapshot.graph_version,
+        "builds": totals["builds"],
+        "attaches": totals["attaches"],
+        "segment_releases": totals["segment_releases"],
+    }
 
 
 def _cmd_stats_solve(args: argparse.Namespace, graph) -> int:
@@ -504,18 +554,19 @@ def _cmd_stats_solve(args: argparse.Namespace, graph) -> int:
         tenuity=args.tenuity,
         top_n=args.top_n,
     )
-    runner = ExperimentRunner(graph, dataset_name=args.profile)
-    oracle = runner.oracle_for(spec)
+    oracle = spec.build_oracle(graph, graph_layout=args.graph_layout)
     oracle.stats.reset_usage()
     registry = InstrumentRegistry()
-    options: dict = {}
+    options: dict = {"graph_layout": args.graph_layout}
     if args.distance_engine == "bitset":
         # Build the kernel against the live registry so its
         # ``kernels.*`` counters land in the rendered report.
         from repro.kernels import BallBitsetEngine
 
         options["distance_engine"] = "bitset"
-        options["kernel"] = BallBitsetEngine(oracle, instruments=registry)
+        options["kernel"] = BallBitsetEngine(
+            oracle, instruments=registry, graph_layout=args.graph_layout
+        )
     solver = spec.build_solver(graph, oracle, **options)
     result = solver.solve(query, hooks=InstrumentingHooks(registry))
     report = solve_report(result, oracle=oracle, instruments=registry)

@@ -34,13 +34,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.coverage import CoverageContext
+from repro.core.csr import validate_graph_layout
 from repro.core.errors import IndexBuildError
-from repro.core.graph import AttributedGraph
 from repro.core.pruning import keyword_prune_decision
 from repro.core.query import KTGQuery
 from repro.core.results import Group, TopNPool
 from repro.core.strategies import OrderingStrategy, VKCOrdering
-from repro.index.base import DistanceOracle
+from repro.index.base import DistanceOracle, GraphLike
 from repro.index.bfs import BFSOracle
 
 if TYPE_CHECKING:  # hooks are duck-typed at runtime (no repro.obs import)
@@ -168,6 +168,15 @@ class BranchAndBoundSolver:
         engine).  Pass one to share its ball cache across solvers —
         clones in a parallel fleet, or queries served by one
         :class:`repro.service.QueryService`.
+    graph_layout:
+        ``"adjacency"`` (default) keeps every traversal on the mutable
+        ``list[set[int]]`` adjacency; ``"csr"`` routes the default
+        BFS oracle and a lazily-built bitset kernel over the graph's
+        flat CSR snapshot arrays (see :mod:`repro.core.csr`).  Groups
+        and :class:`SearchStats` are bit-identical across layouts —
+        only traversal speed (and process fan-out cost, see
+        :mod:`repro.core.parallel`) changes.  An explicitly supplied
+        *oracle*/*kernel* keeps whatever layout it was built with.
 
     Examples
     --------
@@ -180,7 +189,7 @@ class BranchAndBoundSolver:
 
     def __init__(
         self,
-        graph: AttributedGraph,
+        graph: GraphLike,
         oracle: Optional[DistanceOracle] = None,
         strategy: Optional[OrderingStrategy] = None,
         keyword_pruning: bool = True,
@@ -190,13 +199,19 @@ class BranchAndBoundSolver:
         time_budget: Optional[float] = None,
         distance_engine: str = "oracle",
         kernel: Optional["BallBitsetEngine"] = None,
+        graph_layout: str = "adjacency",
     ) -> None:
         if node_budget is not None and node_budget < 1:
             raise ValueError(f"node_budget must be positive, got {node_budget}")
         if time_budget is not None and time_budget <= 0:
             raise ValueError(f"time_budget must be positive, got {time_budget}")
         self.graph = graph
-        self.oracle = oracle if oracle is not None else BFSOracle(graph)
+        self.graph_layout = validate_graph_layout(graph_layout)
+        self.oracle = (
+            oracle
+            if oracle is not None
+            else BFSOracle(graph, graph_layout=graph_layout)
+        )
         self.strategy = strategy if strategy is not None else VKCOrdering()
         self.keyword_pruning = keyword_pruning
         self.kline_filtering = kline_filtering
@@ -210,7 +225,9 @@ class BranchAndBoundSolver:
             # module otherwise avoids at runtime (hooks are duck-typed).
             from repro.kernels.engine import resolve_distance_engine
 
-            self.kernel = resolve_distance_engine(distance_engine, self.oracle, kernel)
+            self.kernel = resolve_distance_engine(
+                distance_engine, self.oracle, kernel, graph_layout
+            )
         self.distance_engine = "bitset" if self.kernel is not None else "oracle"
         self._deadline: Optional[float] = None
         self._hooks: Optional["SolverHooks"] = None
@@ -581,7 +598,7 @@ class BranchAndBoundSolver:
 
 
 def make_solver(
-    graph: AttributedGraph,
+    graph: GraphLike,
     strategy_name: str = "vkc-deg",
     oracle: Optional[DistanceOracle] = None,
     **solver_options,

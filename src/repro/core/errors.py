@@ -18,6 +18,8 @@ __all__ = [
     "InfeasibleQueryError",
     "IndexBuildError",
     "IndexUpdateError",
+    "SnapshotError",
+    "SnapshotAttachError",
     "DatasetError",
     "WorkloadError",
 ]
@@ -73,6 +75,24 @@ class IndexUpdateError(ReproError):
 
     For example deleting an edge that does not exist, or inserting an
     edge whose endpoints are unknown to the indexed graph.
+    """
+
+
+class SnapshotError(ReproError):
+    """Raised for invalid operations on a frozen CSR graph snapshot.
+
+    Examples: mutating through a :class:`repro.core.csr.CsrGraphView`,
+    sharing a snapshot that has already been released, or reading buffers
+    after :meth:`repro.core.csr.CsrSnapshot.close`.
+    """
+
+
+class SnapshotAttachError(SnapshotError):
+    """Raised when attaching to a shared CSR segment fails.
+
+    The canonical cause is attach-after-release: the owning engine has
+    already unlinked the segment (shutdown or ``graph.version`` bump) and
+    the name no longer resolves.
     """
 
 

@@ -69,12 +69,19 @@ from repro.core.branch_and_bound import (
     _BudgetExhausted,
 )
 from repro.core.coverage import CoverageContext
+from repro.core.csr import CsrSnapshot, validate_graph_layout
 from repro.core.errors import IndexBuildError
 from repro.core.graph import AttributedGraph
 from repro.core.query import KTGQuery
 from repro.core.results import TopNPool
-from repro.core.strategies import OrderingStrategy
-from repro.index.base import DistanceOracle
+from repro.core.strategies import (
+    OrderingStrategy,
+    QKCOrdering,
+    VKCDegreeOrdering,
+    VKCOrdering,
+    strategy_by_name,
+)
+from repro.index.base import DistanceOracle, GraphLike
 from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
 
 __all__ = [
@@ -256,6 +263,14 @@ def _solve_subtree(
 # Process-pool plumbing: workers receive graph/oracle/strategy/options
 # once (at pool start) plus the shared floor cell; per-task traffic is
 # (chunk positions, query, initial order) out, outcome list back.
+#
+# Two initializers exist.  The classic one ships the pickled graph and
+# oracle.  The csr one ships only a shared-memory segment *name*: the
+# worker attaches to the parent's CSR snapshot (zero-copy), wraps it in
+# a CsrGraphView, and builds a CSR-layout BFS oracle over it.  Every
+# oracle in this library is exact, so the substitution changes neither
+# groups nor SearchStats (only oracle-internal probe/memo counters,
+# which stay worker-local either way).
 # ----------------------------------------------------------------------
 _WORKER: Optional[dict] = None
 
@@ -273,6 +288,49 @@ def _parallel_worker_init(
         "floor": _SharedFloor(floor_cell),
         "context_key": None,
         "context": None,
+    }
+
+
+def _strategy_spec(strategy: OrderingStrategy) -> Optional[tuple[str, dict]]:
+    """Compact picklable recipe for the standard strategies.
+
+    Shipping ``("vkc-deg", {...})`` instead of the object avoids
+    pickling its n-entry degree table — the worker rebuilds it from the
+    attached view (CSR degrees equal adjacency degrees).  Non-standard
+    strategy objects return ``None`` and are pickled as-is.
+    """
+    if type(strategy) is QKCOrdering:
+        return ("qkc", {})
+    if type(strategy) is VKCOrdering:
+        return ("vkc", {})
+    if type(strategy) is VKCDegreeOrdering:
+        return ("vkc-deg", {"degree_order": strategy.degree_order})
+    return None
+
+
+def _parallel_worker_init_csr(
+    segment_name: str,
+    strategy: Optional[OrderingStrategy],
+    strategy_spec: Optional[tuple[str, dict]],
+    options: dict,
+    floor_cell: Any,
+) -> None:
+    global _WORKER
+    from repro.index.bfs import BFSOracle
+
+    snapshot = CsrSnapshot.attach(segment_name)
+    view = snapshot.view()
+    if strategy_spec is not None:
+        strategy = strategy_by_name(strategy_spec[0], view, **strategy_spec[1])
+    oracle = BFSOracle(view, graph_layout="csr")
+    _WORKER = {
+        "solver": BranchAndBoundSolver(
+            view, oracle=oracle, strategy=strategy, graph_layout="csr", **options
+        ),
+        "floor": _SharedFloor(floor_cell),
+        "context_key": None,
+        "context": None,
+        "snapshot": snapshot,
     }
 
 
@@ -349,9 +407,22 @@ class ParallelBranchAndBoundSolver:
         :class:`BranchAndBoundSolver`).  Inline/thread workers share one
         ball cache read-only (ball values are immutable ints); process
         workers each lazily build their own over the shipped oracle.
+    graph_layout:
+        ``"adjacency"`` (default) keeps the classic process fan-out:
+        the graph and oracle are pickled into every worker at pool
+        start.  ``"csr"`` makes fan-out zero-copy — the engine copies
+        the graph's CSR snapshot into one shared-memory segment and
+        workers attach by *name*, building a CSR-layout BFS oracle
+        over the mapped arrays (exact, so groups and ``SearchStats``
+        match any parent oracle bit for bit; an explicitly passed
+        *oracle* still serves the inline/thread paths and the
+        root-level candidate preparation).  The engine owns the
+        segment: it is released deterministically on :meth:`close`
+        and whenever a ``graph.version`` bump forces a pool rebuild.
     instruments:
         Registry receiving ``parallel.tasks``, ``parallel.subproblems``,
-        ``parallel.bound_broadcasts`` and ``parallel.steals`` counters.
+        ``parallel.bound_broadcasts`` and ``parallel.steals`` counters,
+        plus the ``csr.*`` family when ``graph_layout="csr"``.
 
     Budgets: ``node_budget`` / ``time_budget`` apply **per subproblem**
     (each root branch gets the full allowance).  This keeps budgeted
@@ -365,7 +436,7 @@ class ParallelBranchAndBoundSolver:
 
     def __init__(
         self,
-        graph: AttributedGraph,
+        graph: GraphLike,
         oracle: Optional[DistanceOracle] = None,
         strategy: Optional[OrderingStrategy] = None,
         *,
@@ -381,6 +452,7 @@ class ParallelBranchAndBoundSolver:
         instruments: InstrumentRegistry = NULL_REGISTRY,
         distance_engine: str = "oracle",
         kernel=None,
+        graph_layout: str = "adjacency",
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -394,6 +466,7 @@ class ParallelBranchAndBoundSolver:
         self.bound_broadcast = bound_broadcast
         self.chunk_size = chunk_size
         self.instruments = instruments
+        self.graph_layout = validate_graph_layout(graph_layout)
         self._template = BranchAndBoundSolver(
             graph,
             oracle=oracle,
@@ -405,9 +478,16 @@ class ParallelBranchAndBoundSolver:
             time_budget=time_budget,
             distance_engine=distance_engine,
             kernel=kernel,
+            graph_layout=graph_layout,
         )
         self._pool: Optional[Executor] = None
         self._floor_cell: Any = None
+        # Shared-memory CSR segment owned by this engine (csr + process
+        # fan-out only); released on close() and on version-bump pool
+        # rebuilds.  _pool_version tracks the graph version the current
+        # pool's workers were initialised against.
+        self._shared_snapshot: Optional[CsrSnapshot] = None
+        self._pool_version: Optional[int] = None
         self._tasks_counter = instruments.counter("parallel.tasks")
         self._subproblem_counter = instruments.counter("parallel.subproblems")
         self._broadcast_counter = instruments.counter("parallel.bound_broadcasts")
@@ -415,7 +495,7 @@ class ParallelBranchAndBoundSolver:
 
     # ------------------------------------------------------------------
     @property
-    def graph(self) -> AttributedGraph:
+    def graph(self) -> GraphLike:
         return self._template.graph
 
     @property
@@ -432,10 +512,8 @@ class ParallelBranchAndBoundSolver:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the worker pool and release shared memory (idempotent)."""
+        self._teardown_pool()
 
     def __enter__(self) -> "ParallelBranchAndBoundSolver":
         return self
@@ -682,9 +760,42 @@ class ParallelBranchAndBoundSolver:
             # immutable ints and the LRU bookkeeping is locked, so
             # thread/inline fleets read each other's balls for free.
             kernel=template.kernel,
+            graph_layout=template.graph_layout,
         )
 
+    def _teardown_pool(self) -> None:
+        """Shut down the pool, then unlink the shared segment (idempotent).
+
+        Order matters: workers may still be attached to the segment
+        while draining, so the pool is joined *before* the unlink.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._pool_version = None
+        if self._shared_snapshot is not None:
+            self._shared_snapshot.release(instruments=self.instruments)
+            self._shared_snapshot = None
+
+    def _worker_options(self) -> dict:
+        template = self._template
+        return {
+            "keyword_pruning": template.keyword_pruning,
+            "kline_filtering": template.kline_filtering,
+            "use_union_bound": template.use_union_bound,
+            # Each process worker lazily builds its own ball cache over
+            # its own oracle (the parent's kernel holds a lock and is
+            # not shipped).
+            "distance_engine": template.distance_engine,
+        }
+
     def _ensure_pool(self) -> Executor:
+        # A graph.version bump since pool start means process workers
+        # hold a stale graph (and, under csr, a stale shared segment):
+        # tear everything down and respawn against the current version.
+        version = getattr(self.graph, "version", None)
+        if self._pool is not None and self._pool_version != version:
+            self._teardown_pool()
         if self._pool is not None:
             return self._pool
         if self.executor_kind == "thread":
@@ -697,25 +808,39 @@ class ParallelBranchAndBoundSolver:
 
             template = self._template
             self._floor_cell = multiprocessing.Value("d", 0.0)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_parallel_worker_init,
-                initargs=(
-                    template.graph,
-                    template.oracle,
-                    template.strategy,
-                    {
-                        "keyword_pruning": template.keyword_pruning,
-                        "kline_filtering": template.kline_filtering,
-                        "use_union_bound": template.use_union_bound,
-                        # Each process worker lazily builds its own ball
-                        # cache over its copy of the oracle (the parent's
-                        # kernel holds a lock and is not shipped).
-                        "distance_engine": template.distance_engine,
-                    },
-                    self._floor_cell,
-                ),
-            )
+            if self.graph_layout == "csr":
+                # Zero-copy fan-out: publish one shared-memory copy of
+                # the CSR snapshot and hand workers its *name*.  The
+                # engine owns the segment (released in _teardown_pool).
+                base = getattr(template.graph, "snapshot", None)
+                if base is None:
+                    base = template.graph.csr_snapshot()  # type: ignore[union-attr]
+                self._shared_snapshot = base.share(instruments=self.instruments)
+                spec = _strategy_spec(template.strategy)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_parallel_worker_init_csr,
+                    initargs=(
+                        self._shared_snapshot.name,
+                        None if spec is not None else template.strategy,
+                        spec,
+                        self._worker_options(),
+                        self._floor_cell,
+                    ),
+                )
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_parallel_worker_init,
+                    initargs=(
+                        template.graph,
+                        template.oracle,
+                        template.strategy,
+                        self._worker_options(),
+                        self._floor_cell,
+                    ),
+                )
+        self._pool_version = version
         return self._pool
 
     # ------------------------------------------------------------------
@@ -771,7 +896,7 @@ def _replay(pool: TopNPool, outcomes: Sequence[_SubproblemOutcome]) -> int:
 
 
 def make_parallel_solver(
-    graph: AttributedGraph,
+    graph: GraphLike,
     strategy_name: str = "vkc-deg",
     oracle: Optional[DistanceOracle] = None,
     **engine_options: Any,

@@ -21,10 +21,19 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Union
 
 from repro.core.graph import AttributedGraph
 
-__all__ = ["DistanceOracle", "OracleStats"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.csr import CsrGraphView
+
+#: Graphs an oracle can be bound to: the mutable adjacency graph or a
+#: frozen CSR view (process workers attach to a shared snapshot and
+#: build their oracle stack on the view; see repro.core.csr).
+GraphLike = Union[AttributedGraph, "CsrGraphView"]
+
+__all__ = ["DistanceOracle", "OracleStats", "GraphLike"]
 
 
 @dataclass
@@ -52,6 +61,8 @@ class OracleStats:
     extra: dict = field(default_factory=dict)
     memo_hits: int = 0
     memo_misses: int = 0
+    #: Memo entries dropped by the LRU size budget (BFS frontier memo).
+    memo_evictions: int = 0
 
     @property
     def memo_hit_rate(self) -> float:
@@ -65,6 +76,7 @@ class OracleStats:
         self.expansions = 0
         self.memo_hits = 0
         self.memo_misses = 0
+        self.memo_evictions = 0
 
 
 class DistanceOracle(abc.ABC):
@@ -80,7 +92,7 @@ class DistanceOracle(abc.ABC):
     #: Short name used in benchmark output ("bfs", "nl", "nlrnl").
     name: str = "abstract"
 
-    def __init__(self, graph: AttributedGraph) -> None:
+    def __init__(self, graph: GraphLike) -> None:
         self.graph = graph
         self.stats = OracleStats()
         self._built_version = graph.version

@@ -36,6 +36,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.dktg import DKTGResult
 from repro.core.branch_and_bound import KTGResult
+from repro.core.csr import validate_graph_layout
 from repro.core.graph import AttributedGraph
 from repro.core.parallel import EXECUTORS, ParallelBranchAndBoundSolver
 from repro.core.query import DKTGQuery, KTGQuery
@@ -135,18 +136,19 @@ def _process_worker_init(
     spec: AlgorithmSpec,
     oracle: Optional[DistanceOracle],
     distance_engine: str = "oracle",
+    graph_layout: str = "adjacency",
 ) -> None:
     global _WORKER_STATE
     if oracle is None:
-        oracle = spec.build_oracle(graph)
+        oracle = spec.build_oracle(graph, graph_layout=graph_layout)
     kernel = None
     if distance_engine == "bitset":
         # One ball cache per worker process, reused across every query
         # the worker serves (the cross-query reuse the kernel exists for).
         from repro.kernels import BallBitsetEngine
 
-        kernel = BallBitsetEngine(oracle)
-    _WORKER_STATE = (graph, spec, oracle, kernel)
+        kernel = BallBitsetEngine(oracle, graph_layout=graph_layout)
+    _WORKER_STATE = (graph, spec, oracle, kernel, graph_layout)
 
 
 def _process_solve(
@@ -155,8 +157,12 @@ def _process_solve(
     node_budget: Optional[int],
 ) -> tuple[AnyResult, float]:
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    graph, spec, oracle, kernel = _WORKER_STATE
-    options: dict = {"time_budget": time_budget, "node_budget": node_budget}
+    graph, spec, oracle, kernel, graph_layout = _WORKER_STATE
+    options: dict = {
+        "time_budget": time_budget,
+        "node_budget": node_budget,
+        "graph_layout": graph_layout,
+    }
     if kernel is not None:
         options["distance_engine"] = "bitset"
         options["kernel"] = kernel
@@ -209,6 +215,14 @@ class QueryService:
         **reused across queries** with the same tenuity ``k`` — the
         second query over the same keyword universe skips every ball
         rebuild.  Results are bit-identical either way.
+    graph_layout:
+        ``"adjacency"`` (default) or ``"csr"`` — the traversal layout
+        for oracle builds, ball construction and solver fan-out (see
+        :class:`repro.core.csr.CsrSnapshot`).  With ``jobs > 1`` and a
+        process fleet, ``"csr"`` additionally makes the fan-out
+        zero-copy: workers attach to one shared-memory snapshot instead
+        of unpickling the graph.  Served answers are bit-identical
+        across layouts.
     instruments:
         An :class:`repro.obs.instruments.InstrumentRegistry` collecting
         per-phase latency histograms (``service.cache_lookup_ms``,
@@ -244,6 +258,7 @@ class QueryService:
         jobs_executor: str = "process",
         cache_capacity: int = 1024,
         distance_engine: str = "oracle",
+        graph_layout: str = "adjacency",
         instruments: InstrumentRegistry = NULL_REGISTRY,
     ) -> None:
         if max_workers < 1:
@@ -273,6 +288,7 @@ class QueryService:
         self.jobs_executor = jobs_executor
         self.cache = ResultCache(cache_capacity)
         self.distance_engine = distance_engine
+        self.graph_layout = validate_graph_layout(graph_layout)
         self._kernel = None
         self._engines: dict[tuple, ParallelBranchAndBoundSolver] = {}
         self._oracle = oracle
@@ -423,6 +439,17 @@ class QueryService:
             report["oracle"] = oracle_usage_row(oracle)
         if kernel is not None:
             report["kernel"] = {"balls_cached": len(kernel), **kernel.counters()}
+        if self.graph_layout == "csr":
+            from repro.core.csr import counter_totals
+
+            cached = getattr(self.graph, "_csr_cache", None)
+            report["csr"] = {
+                "graph_layout": self.graph_layout,
+                "snapshot_built": cached is not None
+                and cached.graph_version == self.graph.version,
+                "snapshot_bytes": cached.nbytes if cached is not None else 0,
+                **counter_totals(),
+            }
         if self.instruments.enabled:
             report["instruments"] = self.instruments.report()
         return report
@@ -449,7 +476,9 @@ class QueryService:
         """Build (or rebuild after graph mutation) the shared oracle."""
         with self._oracle_lock:
             if self._oracle is None or self._oracle.is_stale():
-                self._oracle = self.spec.build_oracle(self.graph)
+                self._oracle = self.spec.build_oracle(
+                    self.graph, graph_layout=self.graph_layout
+                )
             return self._oracle
 
     def _ensure_kernel(self, oracle: DistanceOracle):
@@ -467,7 +496,9 @@ class QueryService:
                 from repro.kernels import BallBitsetEngine
 
                 self._kernel = BallBitsetEngine(
-                    oracle, instruments=self.instruments
+                    oracle,
+                    instruments=self.instruments,
+                    graph_layout=self.graph_layout,
                 )
             return self._kernel
 
@@ -493,6 +524,7 @@ class QueryService:
                 executor=self.jobs_executor,
                 distance_engine=self.distance_engine,
                 kernel=self._ensure_kernel(oracle),
+                graph_layout=self.graph_layout,
                 instruments=self.instruments,
             )
             self._engines[key] = engine
@@ -530,7 +562,11 @@ class QueryService:
             )
         else:
             oracle = self._ensure_oracle()
-            options: dict = {"time_budget": time_budget, "node_budget": node_budget}
+            options: dict = {
+                "time_budget": time_budget,
+                "node_budget": node_budget,
+                "graph_layout": self.graph_layout,
+            }
             kernel = self._ensure_kernel(oracle)
             if kernel is not None:
                 options["distance_engine"] = "bitset"
@@ -599,6 +635,7 @@ class QueryService:
                     self.spec,
                     self._ensure_oracle(),
                     self.distance_engine,
+                    self.graph_layout,
                 ),
             )
             self._pool_graph_version = self.graph.version

@@ -69,15 +69,20 @@ class AlgorithmSpec:
     oracle_kind: str    # "bfs" | "nl" | "nlrnl"
     diversified: bool = False
 
-    def build_oracle(self, graph: AttributedGraph) -> DistanceOracle:
+    def build_oracle(
+        self, graph: AttributedGraph, graph_layout: str = "adjacency"
+    ) -> DistanceOracle:
         if self.oracle_kind == "bfs":
-            return BFSOracle(graph)
+            return BFSOracle(graph, graph_layout=graph_layout)
         if self.oracle_kind == "nl":
-            return NLIndex(graph)
+            return NLIndex(graph, graph_layout=graph_layout)
         if self.oracle_kind == "nlrnl":
+            # NLRNL's incremental-maintenance path rebuilds per-vertex
+            # maps against the live adjacency, so its build keeps the
+            # set-based kernel regardless of layout.
             return NLRNLIndex(graph)
         if self.oracle_kind == "pll":
-            return PLLIndex(graph)
+            return PLLIndex(graph, graph_layout=graph_layout)
         raise ValueError(f"unknown oracle kind {self.oracle_kind!r}")
 
     def build_solver(

@@ -96,6 +96,28 @@ class TestCaching:
         with pytest.raises(ValueError):
             BFSOracle(figure1, cache_size=-1)
 
+    def test_eviction_counter_tracks_lru_pressure(self, figure1):
+        oracle = BFSOracle(figure1, cache_size=2)
+        for vertex in (0, 1, 2, 3):
+            oracle.within_k(vertex, 1)
+        # Four distinct sources through a two-slot memo: two evictions.
+        assert oracle.stats.memo_evictions == 2
+        assert len(oracle._cache) == 2
+
+    def test_no_evictions_within_budget(self, figure1):
+        oracle = BFSOracle(figure1, cache_size=8)
+        for vertex in (0, 1, 2):
+            oracle.within_k(vertex, 1)
+        assert oracle.stats.memo_evictions == 0
+
+    def test_reset_usage_zeroes_eviction_counter(self, figure1):
+        oracle = BFSOracle(figure1, cache_size=1)
+        oracle.within_k(0, 1)
+        oracle.within_k(1, 1)
+        assert oracle.stats.memo_evictions == 1
+        oracle.stats.reset_usage()
+        assert oracle.stats.memo_evictions == 0
+
     def test_cached_answers_stay_correct(self, figure1):
         oracle = BFSOracle(figure1)
         first = oracle.is_tenuous(3, 5, 3)

@@ -1,0 +1,194 @@
+"""Property tests: ``graph_layout="csr"`` is bit-identical to adjacency.
+
+The CSR port's correctness contract, exercised over random graphs and
+queries: for every ordering strategy, both distance engines and
+``jobs in {1, 2, 4}``, the csr layout returns the same ranked groups
+and the same ``SearchStats`` as the set-based adjacency layout.  The
+oracle-level properties pin the underlying traversals (BFS levels,
+balls, NL/PLL builds) to the same guarantee.
+
+Process pools (the shared-memory attach path) are exercised by one
+non-property smoke test at the bottom — spawning a pool per hypothesis
+example would dominate runtime without adding coverage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.graph import AttributedGraph
+from repro.core.parallel import ParallelBranchAndBoundSolver
+from repro.core.query import KTGQuery
+from repro.core.strategies import QKCOrdering, VKCDegreeOrdering, VKCOrdering
+from repro.index._traversal import bfs_levels, bfs_levels_csr
+from repro.index.bfs import BFSOracle
+from repro.index.nl import NLIndex
+from repro.index.pll import PLLIndex
+
+KEYWORD_POOL = ["a", "b", "c", "d", "e", "f"]
+
+STRATEGIES = [
+    ("qkc", lambda g: QKCOrdering()),
+    ("vkc", lambda g: VKCOrdering()),
+    ("vkc-deg", lambda g: VKCDegreeOrdering(g.degrees())),
+]
+
+
+@st.composite
+def attributed_graphs(draw):
+    """Random graphs of 4-14 vertices with random keyword sets."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=2 * n)
+    )
+    keywords = {
+        v: draw(st.lists(st.sampled_from(KEYWORD_POOL), unique=True, max_size=3))
+        for v in range(n)
+    }
+    return AttributedGraph(n, edges, keywords)
+
+
+@st.composite
+def queries(draw):
+    keywords = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(KEYWORD_POOL), unique=True, min_size=1, max_size=4
+            )
+        )
+    )
+    return KTGQuery(
+        keywords=keywords,
+        group_size=draw(st.integers(min_value=2, max_value=4)),
+        tenuity=draw(st.integers(min_value=0, max_value=3)),
+        top_n=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+def ranked_groups(result):
+    return [(group.members, round(group.coverage, 12)) for group in result.groups]
+
+
+def comparable_stats(stats):
+    """SearchStats minus wall-clock (the only layout-dependent field)."""
+    return dataclasses.replace(stats, elapsed_seconds=0.0)
+
+
+def solve(graph, query, strategy_factory, layout, distance_engine, jobs):
+    if jobs == 0:  # plain serial solver, no parallel engine at all
+        solver = BranchAndBoundSolver(
+            graph,
+            oracle=BFSOracle(graph, graph_layout=layout),
+            strategy=strategy_factory(graph),
+            distance_engine=distance_engine,
+            graph_layout=layout,
+        )
+        return solver.solve(query)
+    with ParallelBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph, graph_layout=layout),
+        strategy=strategy_factory(graph),
+        jobs=jobs,
+        executor="inline" if jobs == 1 else "thread",
+        bound_broadcast=False,
+        distance_engine=distance_engine,
+        graph_layout=layout,
+    ) as engine:
+        return engine.solve(query)
+
+
+# ----------------------------------------------------------------------
+# Solver-level parity
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    query=queries(),
+    strategy_index=st.integers(0, 2),
+    distance_engine=st.sampled_from(["oracle", "bitset"]),
+    jobs=st.sampled_from([0, 1, 2, 4]),
+)
+def test_csr_layout_bit_identical(graph, query, strategy_index, distance_engine, jobs):
+    _, factory = STRATEGIES[strategy_index]
+    adjacency = solve(graph, query, factory, "adjacency", distance_engine, jobs)
+    csr = solve(graph, query, factory, "csr", distance_engine, jobs)
+    assert ranked_groups(csr) == ranked_groups(adjacency)
+    assert comparable_stats(csr.stats) == comparable_stats(adjacency.stats)
+
+
+# ----------------------------------------------------------------------
+# Traversal / oracle-level parity
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(graph=attributed_graphs(), source=st.integers(0, 13))
+def test_bfs_levels_csr_matches_set_kernel(graph, source):
+    source %= graph.num_vertices
+    snapshot = graph.csr_snapshot()
+    set_levels = bfs_levels(graph.adjacency_view(), source)
+    csr_levels = bfs_levels_csr(snapshot.indptr, snapshot.indices, source)
+    assert [sorted(level) for level in csr_levels] == [
+        sorted(level) for level in set_levels
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=attributed_graphs(), k=st.integers(1, 4))
+def test_bfs_oracle_balls_layout_invariant(graph, k):
+    adjacency = BFSOracle(graph)
+    csr = BFSOracle(graph, graph_layout="csr")
+    for vertex in graph.vertices():
+        assert csr.within_k(vertex, k) == adjacency.within_k(vertex, k)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=attributed_graphs())
+def test_nl_and_pll_builds_layout_invariant(graph):
+    nl_a, nl_c = NLIndex(graph), NLIndex(graph, graph_layout="csr")
+    assert nl_c.depth == nl_a.depth
+    assert nl_c.stats.entries == nl_a.stats.entries
+    pll_a, pll_c = PLLIndex(graph), PLLIndex(graph, graph_layout="csr")
+    assert pll_c.stats.entries == pll_a.stats.entries
+    for v in graph.vertices():
+        assert nl_c.level_sets(v) == nl_a.level_sets(v)
+        assert pll_c.label_of(v) == pll_a.label_of(v)
+        for u in graph.vertices():
+            assert pll_c.query_distance(u, v) == pll_a.query_distance(u, v)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory process fan-out (one real pool; too slow per-example)
+# ----------------------------------------------------------------------
+def test_process_pool_shared_memory_matches_serial_once():
+    from tests.conftest import make_random_attributed_graph
+
+    graph = make_random_attributed_graph(num_vertices=36, seed=5)
+    query = KTGQuery(
+        keywords=("kw000", "kw001", "kw002"), group_size=3, tenuity=2, top_n=3
+    )
+    for _, factory in STRATEGIES:
+        for distance_engine in ("oracle", "bitset"):
+            # Reference: adjacency-layout thread fleet.  With broadcasts
+            # off the aggregate stats are schedule-invariant, so they
+            # must match the process fleet's bit for bit.
+            reference = solve(graph, query, factory, "adjacency", distance_engine, 2)
+            with ParallelBranchAndBoundSolver(
+                graph,
+                oracle=BFSOracle(graph, graph_layout="csr"),
+                strategy=factory(graph),
+                jobs=2,
+                executor="process",
+                bound_broadcast=False,
+                distance_engine=distance_engine,
+                graph_layout="csr",
+            ) as engine:
+                result = engine.solve(query)
+                segment = engine._shared_snapshot
+                assert segment is not None and segment.is_owner
+            # close() released the engine-owned segment deterministically.
+            assert engine._shared_snapshot is None
+            assert ranked_groups(result) == ranked_groups(reference)
+            assert comparable_stats(result.stats) == comparable_stats(reference.stats)
