@@ -13,9 +13,11 @@ bookkeeping are engine-independent and dominate the remainder), so the
 solve pair records its speedup without a hard claim while asserting
 the results are bit-identical.
 
-Four views, one config:
+Five views, one config:
 
 * ``filter``  — the filtering primitive, oracle vs bitset (>= 3x claim);
+* ``vec``     — cold ball construction over the CSR arrays, scalar
+  python kernel vs the numpy-vectorized twin (>= 3x claim);
 * ``solve``   — end-to-end branch and bound, bit-identical top-N;
 * ``jobs4``   — a 4-thread fleet sharing one kernel, bit-identical;
 * ``service`` — :class:`QueryService` batch over a repeated-k workload
@@ -33,9 +35,12 @@ register_bench_meta(
     title="ball-bitset engine vs oracle path (dense Twitter, k=2)",
 )
 
+import pytest
+
 from repro.core.coverage import CoverageContext
 from repro.core.parallel import ParallelBranchAndBoundSolver
 from repro.kernels import BallBitsetEngine
+from repro.kernels.vec import numpy_available
 from repro.service import QueryService
 from repro.workloads.runner import ALGORITHMS
 
@@ -194,6 +199,89 @@ def test_kernels_filter_bitset(benchmark):
     check_claim(
         speedup >= 3.0,
         f"bitset filter speedup {speedup:.2f}x < 3x over {ALGORITHM} oracle",
+    )
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernels: cold ball construction over the CSR arrays
+# ----------------------------------------------------------------------
+_vec_reference: dict[tuple, float] = {}
+
+
+def _scalar_ball_sweep(oracle) -> BallBitsetEngine:
+    """Build every vertex's k-ball through the scalar python CSR kernel
+    (``_build_ball_csr``), cache bypassed — the primitive itself."""
+    kernel = BallBitsetEngine(oracle, graph_layout="csr", kernel_backend="python")
+    build = kernel._build_ball_csr
+    for vertex in range(oracle.graph.num_vertices):
+        build(vertex, K)
+    return kernel
+
+
+def _vec_ball_sweep(oracle) -> int:
+    """The numpy twin of :func:`_scalar_ball_sweep`: one
+    ``vec.ball_bits_csr`` call per vertex over the same CSR arrays."""
+    from repro.kernels import vec
+
+    np = vec.numpy_or_none()
+    snapshot = oracle.graph.csr_snapshot()
+    indptr = np.asarray(snapshot.indptr, dtype=np.int64)
+    indices = np.asarray(snapshot.indices, dtype=np.int64)
+    ball_bits_csr = vec.ball_bits_csr
+    balls = 0
+    for vertex in range(oracle.graph.num_vertices):
+        ball_bits_csr(indptr, indices, vertex, K)
+        balls += 1
+    return balls
+
+
+def _vec_python_baseline(oracle) -> float:
+    """Warm scalar-kernel sweep wall-clock (cached across tests)."""
+    key = (id(oracle), oracle.graph.num_vertices)
+    if key not in _vec_reference:
+        _scalar_ball_sweep(oracle)  # warm (CSR snapshot build)
+        started = time.perf_counter()
+        _scalar_ball_sweep(oracle)
+        _vec_reference[key] = time.perf_counter() - started
+    return _vec_reference[key]
+
+
+def test_kernels_vec_build_python(benchmark):
+    _, _, oracle = _spec_and_oracle()
+    _scalar_ball_sweep(oracle)  # warm the CSR snapshot
+
+    benchmark.pedantic(lambda: _scalar_ball_sweep(oracle), rounds=1, iterations=1)
+    benchmark.extra_info["balls"] = oracle.graph.num_vertices
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not importable")
+def test_kernels_vec_build_numpy(benchmark):
+    _, _, oracle = _spec_and_oracle()
+
+    # Bit-identical balls through the engine, checked outside timing.
+    scalar = BallBitsetEngine(oracle, graph_layout="csr", kernel_backend="python")
+    vectorized = BallBitsetEngine(oracle, graph_layout="csr", kernel_backend="numpy")
+    for vertex in range(0, oracle.graph.num_vertices, 7):
+        assert vectorized.ball(vertex, K) == scalar.ball(vertex, K)
+
+    python_seconds = _vec_python_baseline(oracle)
+    _vec_ball_sweep(oracle)  # warm the numpy CSR arrays
+    balls = benchmark.pedantic(
+        lambda: _vec_ball_sweep(oracle), rounds=1, iterations=1
+    )
+
+    mean_s = benchmark.stats.stats.mean
+    speedup = python_seconds / mean_s if mean_s > 0 else float("inf")
+    benchmark.extra_info["balls"] = balls
+    benchmark.extra_info["python_ms"] = round(python_seconds * 1000.0, 3)
+    benchmark.extra_info["speedup_vs_python"] = round(speedup, 2)
+
+    # The acceptance bar: the vectorized frontier gathers beat the
+    # scalar python CSR sweep >= 3x at the dense k=2 config.  Soft
+    # under --smoke (tiny frontiers leave mostly per-call overhead).
+    check_claim(
+        speedup >= 3.0,
+        f"vectorized ball build speedup {speedup:.2f}x < 3x over python CSR path",
     )
 
 

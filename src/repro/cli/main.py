@@ -121,6 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
             "snapshot (zero-copy shared-memory fan-out with --jobs)"
         ),
     )
+    query.add_argument(
+        "--kernel-backend",
+        default="auto",
+        choices=["auto", "numpy", "python"],
+        help=(
+            "bitset-kernel vectorization: auto (numpy when importable), "
+            "numpy (forced; errors without numpy) or python (scalar)"
+        ),
+    )
 
     batch = commands.add_parser(
         "batch", help="serve a generated query batch through the QueryService"
@@ -189,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["adjacency", "csr"],
         help="traversal layout for oracle builds and solver fan-out",
     )
+    batch.add_argument(
+        "--kernel-backend",
+        default="auto",
+        choices=["auto", "numpy", "python"],
+        help="bitset-kernel vectorization backend for the service's kernels",
+    )
 
     sweep = commands.add_parser("sweep", help="run a Table I parameter sweep")
     sweep.add_argument("profile", choices=sorted(PROFILES))
@@ -251,6 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="adjacency",
         choices=["adjacency", "csr"],
         help="traversal layout for the instrumented solve",
+    )
+    stats.add_argument(
+        "--kernel-backend",
+        default="auto",
+        choices=["auto", "numpy", "python"],
+        help="bitset-kernel vectorization backend for the instrumented solve",
     )
 
     trace = commands.add_parser(
@@ -363,7 +384,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             tenuity=args.tenuity,
             top_n=args.top_n,
         )
-    oracle = spec.build_oracle(graph, graph_layout=args.graph_layout)
+    oracle = spec.build_oracle(
+        graph, graph_layout=args.graph_layout, kernel_backend=args.kernel_backend
+    )
     if args.jobs > 1 and not spec.diversified:
         from repro.core.parallel import ParallelBranchAndBoundSolver
 
@@ -375,6 +398,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             executor=args.jobs_executor,
             distance_engine=args.distance_engine,
             graph_layout=args.graph_layout,
+            kernel_backend=args.kernel_backend,
         ) as engine:
             result = engine.solve(query)
         print(result)
@@ -389,6 +413,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         oracle,
         distance_engine=args.distance_engine,
         graph_layout=args.graph_layout,
+        kernel_backend=args.kernel_backend,
     )
     result = solver.solve(query)
     print(result)
@@ -422,6 +447,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         distance_engine=args.distance_engine,
         graph_layout=args.graph_layout,
+        kernel_backend=args.kernel_backend,
     ) as service:
         pass_rows = []
         for pass_number in range(1, args.passes + 1):
@@ -554,7 +580,9 @@ def _cmd_stats_solve(args: argparse.Namespace, graph) -> int:
         tenuity=args.tenuity,
         top_n=args.top_n,
     )
-    oracle = spec.build_oracle(graph, graph_layout=args.graph_layout)
+    oracle = spec.build_oracle(
+        graph, graph_layout=args.graph_layout, kernel_backend=args.kernel_backend
+    )
     oracle.stats.reset_usage()
     registry = InstrumentRegistry()
     options: dict = {"graph_layout": args.graph_layout}
@@ -565,7 +593,10 @@ def _cmd_stats_solve(args: argparse.Namespace, graph) -> int:
 
         options["distance_engine"] = "bitset"
         options["kernel"] = BallBitsetEngine(
-            oracle, instruments=registry, graph_layout=args.graph_layout
+            oracle,
+            instruments=registry,
+            graph_layout=args.graph_layout,
+            kernel_backend=args.kernel_backend,
         )
     solver = spec.build_solver(graph, oracle, **options)
     result = solver.solve(query, hooks=InstrumentingHooks(registry))

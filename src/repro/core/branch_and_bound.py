@@ -177,6 +177,13 @@ class BranchAndBoundSolver:
         only traversal speed (and process fan-out cost, see
         :mod:`repro.core.parallel`) changes.  An explicitly supplied
         *oracle*/*kernel* keeps whatever layout it was built with.
+    kernel_backend:
+        Vectorization backend for a lazily-built bitset kernel:
+        ``"auto"`` (default) uses the numpy kernels from
+        :mod:`repro.kernels.vec` when numpy is importable, ``"numpy"``
+        forces them, ``"python"`` forces the scalar kernels.  Groups
+        and :class:`SearchStats` are bit-identical across backends.  An
+        explicitly supplied *kernel* keeps its own backend.
 
     Examples
     --------
@@ -200,6 +207,7 @@ class BranchAndBoundSolver:
         distance_engine: str = "oracle",
         kernel: Optional["BallBitsetEngine"] = None,
         graph_layout: str = "adjacency",
+        kernel_backend: str = "auto",
     ) -> None:
         if node_budget is not None and node_budget < 1:
             raise ValueError(f"node_budget must be positive, got {node_budget}")
@@ -207,6 +215,7 @@ class BranchAndBoundSolver:
             raise ValueError(f"time_budget must be positive, got {time_budget}")
         self.graph = graph
         self.graph_layout = validate_graph_layout(graph_layout)
+        self.kernel_backend = kernel_backend
         self.oracle = (
             oracle
             if oracle is not None
@@ -220,13 +229,19 @@ class BranchAndBoundSolver:
         self.time_budget = time_budget
         if kernel is None and distance_engine == "oracle":
             self.kernel: Optional["BallBitsetEngine"] = None
+            if kernel_backend != "auto":
+                # Still validate the string so typos fail loudly on the
+                # oracle path too (lazy import, same rationale as below).
+                from repro.kernels.vec import validate_kernel_backend
+
+                validate_kernel_backend(kernel_backend)
         else:
             # Lazy import: repro.kernels pulls in repro.obs, which this
             # module otherwise avoids at runtime (hooks are duck-typed).
             from repro.kernels.engine import resolve_distance_engine
 
             self.kernel = resolve_distance_engine(
-                distance_engine, self.oracle, kernel, graph_layout
+                distance_engine, self.oracle, kernel, graph_layout, kernel_backend
             )
         self.distance_engine = "bitset" if self.kernel is not None else "oracle"
         self._deadline: Optional[float] = None

@@ -307,17 +307,28 @@ class CsrSnapshot:
         """Attach to the shared segment *name* created by :meth:`share`.
 
         Raises :class:`SnapshotAttachError` if the segment was already
-        released or does not hold a CSR snapshot.
+        released or does not hold a CSR snapshot.  Any failure after the
+        segment handle opens closes that handle before re-raising: an
+        attacher that dies between open and view construction must not
+        keep the mapping alive, or ``/dev/shm`` stays populated after
+        the owner unlinks (the CI leak check catches exactly this).
         """
         shm = _attach_segment(name)
         snapshot = cls._blank()
-        snapshot._shm = shm
-        snapshot._buf = shm.buf
         try:
+            snapshot._shm = shm
+            snapshot._buf = shm.buf
             snapshot._load_header()
-        except SnapshotError:
+        except BaseException as exc:
             snapshot._buf = None
+            snapshot._shm = None
             shm.close()
+            if isinstance(exc, SnapshotError) and not isinstance(
+                exc, SnapshotAttachError
+            ):
+                raise SnapshotAttachError(
+                    f"segment {name!r} does not hold a CSR snapshot: {exc}"
+                ) from exc
             raise
         _bump("attaches", 1, instruments)
         return snapshot

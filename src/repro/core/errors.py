@@ -20,6 +20,7 @@ __all__ = [
     "IndexUpdateError",
     "SnapshotError",
     "SnapshotAttachError",
+    "KernelBackendError",
     "DatasetError",
     "WorkloadError",
 ]
@@ -93,6 +94,15 @@ class SnapshotAttachError(SnapshotError):
     The canonical cause is attach-after-release: the owning engine has
     already unlinked the segment (shutdown or ``graph.version`` bump) and
     the name no longer resolves.
+    """
+
+
+class KernelBackendError(ReproError, RuntimeError):
+    """Raised when a vectorized kernel backend cannot be used.
+
+    The canonical cause is forcing ``kernel_backend="numpy"`` in an
+    environment where numpy is not importable; ``"auto"`` falls back to
+    the pure-python kernels instead of raising.
     """
 
 

@@ -319,19 +319,27 @@ def _parallel_worker_init_csr(
     from repro.index.bfs import BFSOracle
 
     snapshot = CsrSnapshot.attach(segment_name)
-    view = snapshot.view()
-    if strategy_spec is not None:
-        strategy = strategy_by_name(strategy_spec[0], view, **strategy_spec[1])
-    oracle = BFSOracle(view, graph_layout="csr")
-    _WORKER = {
-        "solver": BranchAndBoundSolver(
-            view, oracle=oracle, strategy=strategy, graph_layout="csr", **options
-        ),
-        "floor": _SharedFloor(floor_cell),
-        "context_key": None,
-        "context": None,
-        "snapshot": snapshot,
-    }
+    try:
+        view = snapshot.view()
+        if strategy_spec is not None:
+            strategy = strategy_by_name(strategy_spec[0], view, **strategy_spec[1])
+        oracle = BFSOracle(view, graph_layout="csr")
+        _WORKER = {
+            "solver": BranchAndBoundSolver(
+                view, oracle=oracle, strategy=strategy, graph_layout="csr", **options
+            ),
+            "floor": _SharedFloor(floor_cell),
+            "context_key": None,
+            "context": None,
+            "snapshot": snapshot,
+        }
+    except BaseException:
+        # A worker dying between attach and solver construction must
+        # still close its handle: the owner's later unlink only removes
+        # the name, so a leaked mapping keeps /dev/shm populated on
+        # crashy fleets (the CI leak check catches exactly this).
+        snapshot.close()
+        raise
 
 
 def _parallel_worker_run(
@@ -407,6 +415,11 @@ class ParallelBranchAndBoundSolver:
         :class:`BranchAndBoundSolver`).  Inline/thread workers share one
         ball cache read-only (ball values are immutable ints); process
         workers each lazily build their own over the shipped oracle.
+    kernel_backend:
+        Vectorization backend (``"auto"``/``"numpy"``/``"python"``,
+        see :class:`BranchAndBoundSolver`) forwarded to the template,
+        every clone and every process worker's options, so a fleet
+        never mixes backends.
     graph_layout:
         ``"adjacency"`` (default) keeps the classic process fan-out:
         the graph and oracle are pickled into every worker at pool
@@ -453,6 +466,7 @@ class ParallelBranchAndBoundSolver:
         distance_engine: str = "oracle",
         kernel=None,
         graph_layout: str = "adjacency",
+        kernel_backend: str = "auto",
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -479,6 +493,7 @@ class ParallelBranchAndBoundSolver:
             distance_engine=distance_engine,
             kernel=kernel,
             graph_layout=graph_layout,
+            kernel_backend=kernel_backend,
         )
         self._pool: Optional[Executor] = None
         self._floor_cell: Any = None
@@ -761,6 +776,7 @@ class ParallelBranchAndBoundSolver:
             # thread/inline fleets read each other's balls for free.
             kernel=template.kernel,
             graph_layout=template.graph_layout,
+            kernel_backend=template.kernel_backend,
         )
 
     def _teardown_pool(self) -> None:
@@ -787,6 +803,7 @@ class ParallelBranchAndBoundSolver:
             # its own oracle (the parent's kernel holds a lock and is
             # not shipped).
             "distance_engine": template.distance_engine,
+            "kernel_backend": template.kernel_backend,
         }
 
     def _ensure_pool(self) -> Executor:
@@ -817,17 +834,26 @@ class ParallelBranchAndBoundSolver:
                     base = template.graph.csr_snapshot()  # type: ignore[union-attr]
                 self._shared_snapshot = base.share(instruments=self.instruments)
                 spec = _strategy_spec(template.strategy)
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.jobs,
-                    initializer=_parallel_worker_init_csr,
-                    initargs=(
-                        self._shared_snapshot.name,
-                        None if spec is not None else template.strategy,
-                        spec,
-                        self._worker_options(),
-                        self._floor_cell,
-                    ),
-                )
+                try:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.jobs,
+                        initializer=_parallel_worker_init_csr,
+                        initargs=(
+                            self._shared_snapshot.name,
+                            None if spec is not None else template.strategy,
+                            spec,
+                            self._worker_options(),
+                            self._floor_cell,
+                        ),
+                    )
+                except BaseException:
+                    # Pool construction failing after share() would
+                    # otherwise strand the engine-owned segment until
+                    # close(); unlink it eagerly so a crashy start
+                    # leaves /dev/shm clean.
+                    self._shared_snapshot.release(instruments=self.instruments)
+                    self._shared_snapshot = None
+                    raise
             else:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.jobs,

@@ -66,17 +66,24 @@ def bfs_levels(
     return levels
 
 
-def bfs_distance_array(adjacency: Sequence[set[int]], source: int) -> list[int]:
+def bfs_distance_array(
+    adjacency: Sequence[set[int]],
+    source: int,
+    max_depth: Optional[int] = None,
+) -> list[int]:
     """Return hop distances from *source* to every vertex.
 
     Unreachable vertices get :data:`UNREACHABLE`; the source gets 0.
+    Search stops at *max_depth* hops when given (same semantics as
+    :func:`bfs_levels`), so vertices farther than *max_depth* keep
+    :data:`UNREACHABLE` instead of forcing a whole-component sweep.
     """
     n = len(adjacency)
     distances = [UNREACHABLE] * n
     distances[source] = 0
     frontier = [source]
     depth = 0
-    while frontier:
+    while frontier and (max_depth is None or depth < max_depth):
         depth += 1
         next_frontier: list[int] = []
         append = next_frontier.append
@@ -119,7 +126,10 @@ def bfs_levels_csr(
 
 
 def bfs_distance_array_csr(
-    indptr: Sequence[int], indices: Sequence[int], source: int
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    source: int,
+    max_depth: Optional[int] = None,
 ) -> list[int]:
     """CSR twin of :func:`bfs_distance_array` over flat ``indptr``/``indices``."""
     n = len(indptr) - 1
@@ -127,7 +137,7 @@ def bfs_distance_array_csr(
     distances[source] = 0
     frontier = [source]
     depth = 0
-    while frontier:
+    while frontier and (max_depth is None or depth < max_depth):
         depth += 1
         next_frontier: list[int] = []
         append = next_frontier.append

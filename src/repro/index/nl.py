@@ -77,6 +77,14 @@ class NLIndex(DistanceOracle):
         speed differs.  On-demand expansion always uses
         ``adjacency_view()`` (a :class:`~repro.core.csr.CsrGraphView`
         materialises one on first use).
+    kernel_backend:
+        ``"auto"`` (default) routes csr-layout builds through the
+        numpy-vectorized BFS of :mod:`repro.kernels.vec` when numpy is
+        importable; ``"python"`` keeps the scalar csr kernel and
+        ``"numpy"`` forces vectorization.  Level sets, the auto-depth
+        choice and :attr:`stats` are identical across backends (the
+        vectorized kernel sorts within a level, which the stored sets
+        erase).  Ignored for the adjacency layout.
 
     Examples
     --------
@@ -96,10 +104,12 @@ class NLIndex(DistanceOracle):
         depth: Union[int, Literal["auto"]] = "auto",
         rng: random.Random | None = None,
         graph_layout: str = "adjacency",
+        kernel_backend: str = "auto",
     ) -> None:
-        # rebuild() (called at the end of __init__) reads this to pick
+        # rebuild() (called at the end of __init__) reads these to pick
         # the traversal kernel.
         self.graph_layout = validate_graph_layout(graph_layout)
+        self.kernel_backend = kernel_backend
         super().__init__(graph)
         if depth != "auto" and (not isinstance(depth, int) or depth < 1):
             raise IndexBuildError(f"depth must be a positive int or 'auto', got {depth!r}")
@@ -136,9 +146,28 @@ class NLIndex(DistanceOracle):
             if snapshot is None:
                 snapshot = graph.csr_snapshot()  # type: ignore[union-attr]
             indptr, indices = snapshot.indptr, snapshot.indices
+            # Lazy import: repro.index stays importable without pulling
+            # the kernels package unless a csr build asks for it.
+            from repro.kernels.vec import resolve_kernel_backend
 
-            def run_bfs(vertex: int, max_depth: int | None = None) -> list[list[int]]:
-                return bfs_levels_csr(indptr, indices, vertex, max_depth)
+            if resolve_kernel_backend(self.kernel_backend) == "numpy":
+                from repro.kernels import vec
+
+                np = vec.numpy_or_none()
+                np_indptr = np.asarray(indptr, dtype=np.int64)
+                np_indices = np.asarray(indices, dtype=np.int64)
+
+                def run_bfs(
+                    vertex: int, max_depth: int | None = None
+                ) -> list[list[int]]:
+                    return vec.bfs_levels_csr(np_indptr, np_indices, vertex, max_depth)
+
+            else:
+
+                def run_bfs(
+                    vertex: int, max_depth: int | None = None
+                ) -> list[list[int]]:
+                    return bfs_levels_csr(indptr, indices, vertex, max_depth)
 
         else:
             adjacency = graph.adjacency_view()

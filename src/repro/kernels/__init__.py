@@ -1,7 +1,9 @@
 """Bitset distance-ball kernels for the solver hot path.
 
 See :mod:`repro.kernels.engine` for the representation and the cache /
-fallback semantics, and ``docs/kernels.md`` for the design notes.
+fallback semantics, :mod:`repro.kernels.vec` for the numpy-vectorized
+twins and backend selection, and ``docs/kernels.md`` for the design
+notes.
 """
 
 from repro.kernels.engine import (
@@ -9,5 +11,19 @@ from repro.kernels.engine import (
     BallBitsetEngine,
     resolve_distance_engine,
 )
+from repro.kernels.vec import (
+    KERNEL_BACKENDS,
+    numpy_available,
+    resolve_kernel_backend,
+    validate_kernel_backend,
+)
 
-__all__ = ["BallBitsetEngine", "DEFAULT_MAX_BALLS", "resolve_distance_engine"]
+__all__ = [
+    "BallBitsetEngine",
+    "DEFAULT_MAX_BALLS",
+    "KERNEL_BACKENDS",
+    "numpy_available",
+    "resolve_distance_engine",
+    "resolve_kernel_backend",
+    "validate_kernel_backend",
+]

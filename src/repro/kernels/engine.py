@@ -38,6 +38,8 @@ from typing import Optional, Sequence
 
 from repro.core.csr import validate_graph_layout
 from repro.index.base import DistanceOracle, GraphLike
+from repro.kernels import vec
+from repro.kernels.vec import resolve_kernel_backend, validate_kernel_backend
 from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
 
 __all__ = ["BallBitsetEngine", "DEFAULT_MAX_BALLS", "resolve_distance_engine"]
@@ -46,6 +48,11 @@ __all__ = ["BallBitsetEngine", "DEFAULT_MAX_BALLS", "resolve_distance_engine"]
 #: scales a ball is one int of |V| bits, so the default bounds the cache
 #: at a few MB even on the largest profile.
 DEFAULT_MAX_BALLS = 8192
+
+#: Smallest mask width (bits) worth routing through the vectorized
+#: decoder: below this the to_bytes/unpackbits round-trip costs more
+#: than the isolate-lowest-bit loop it replaces.
+VEC_DECODE_MIN_BITS = 512
 
 
 class BallBitsetEngine:
@@ -64,10 +71,10 @@ class BallBitsetEngine:
         budget-exceeded fallback, exercised directly in tests).
     instruments:
         Registry receiving ``kernels.ball_builds``, ``kernels.ball_hits``,
-        ``kernels.ball_evictions`` and ``kernels.mask_filters`` counters.
-        Local integer mirrors of the same four counts are always kept
-        (see :meth:`counters`) so benches can read them without a live
-        registry.
+        ``kernels.ball_evictions``, ``kernels.mask_filters`` and
+        ``kernels.vec_sweeps`` counters.  Local integer mirrors of the
+        same counts are always kept (see :meth:`counters`) so benches
+        can read them without a live registry.
     graph_layout:
         ``"adjacency"`` (default) builds missed balls through
         ``oracle.within_k``; ``"csr"`` grows them by direct BFS over
@@ -77,6 +84,15 @@ class BallBitsetEngine:
         paths produce the identical bitset; only the oracle's own
         probe/memo counters differ (the csr path never consults it on
         a miss).
+    kernel_backend:
+        ``"auto"`` (default) uses the numpy-vectorized kernels from
+        :mod:`repro.kernels.vec` when numpy is importable and falls
+        back to the pure-python kernels otherwise; ``"numpy"`` forces
+        vectorization (raising
+        :class:`repro.core.errors.KernelBackendError` without numpy)
+        and ``"python"`` forces the scalar kernels.  Backends are
+        bit-identical by construction; each vectorized sweep bumps the
+        ``kernels.vec_sweeps`` counter.
 
     Examples
     --------
@@ -97,17 +113,26 @@ class BallBitsetEngine:
         max_balls: int = DEFAULT_MAX_BALLS,
         instruments: InstrumentRegistry = NULL_REGISTRY,
         graph_layout: str = "adjacency",
+        kernel_backend: str = "auto",
     ) -> None:
         if max_balls < 0:
             raise ValueError(f"max_balls must be >= 0, got {max_balls}")
         self.oracle = oracle
         self.max_balls = max_balls
         self.graph_layout = validate_graph_layout(graph_layout)
+        self.kernel_backend = validate_kernel_backend(kernel_backend)
+        #: The concrete backend ("numpy" | "python") after resolving
+        #: "auto" against the environment.
+        self.backend = resolve_kernel_backend(kernel_backend)
         # Flat CSR arrays for the csr layout, materialised lazily per
-        # graph version (see _csr_arrays).
+        # graph version (see _csr_arrays).  The numpy twins carry their
+        # own version stamp because either representation may be
+        # refreshed first after a graph mutation.
         self._csr_version: Optional[int] = None
         self._csr_indptr: Optional[list[int]] = None
         self._csr_indices: Optional[list[int]] = None
+        self._csr_np_version: Optional[int] = None
+        self._csr_np: Optional[tuple[object, object]] = None
         self._balls: OrderedDict[tuple[int, int], int] = OrderedDict()
         self._version = oracle.graph.version
         self._lock = threading.Lock()
@@ -115,10 +140,12 @@ class BallBitsetEngine:
         self.ball_hits = 0
         self.ball_evictions = 0
         self.mask_filters = 0
+        self.vec_sweeps = 0
         self._builds_counter = instruments.counter("kernels.ball_builds")
         self._hits_counter = instruments.counter("kernels.ball_hits")
         self._evictions_counter = instruments.counter("kernels.ball_evictions")
         self._filters_counter = instruments.counter("kernels.mask_filters")
+        self._vec_counter = instruments.counter("kernels.vec_sweeps")
 
     # ------------------------------------------------------------------
     @property
@@ -126,12 +153,13 @@ class BallBitsetEngine:
         return self.oracle.graph
 
     def counters(self) -> dict[str, int]:
-        """Snapshot of the four kernel counters (flat, JSON-able)."""
+        """Snapshot of the kernel counters (flat, JSON-able)."""
         return {
             "ball_builds": self.ball_builds,
             "ball_hits": self.ball_hits,
             "ball_evictions": self.ball_evictions,
             "mask_filters": self.mask_filters,
+            "vec_sweeps": self.vec_sweeps,
         }
 
     def __len__(self) -> int:
@@ -162,32 +190,49 @@ class BallBitsetEngine:
         balls = self._balls
         bits = balls.get(key)
         if bits is not None:
-            # Lock-free hit: dict reads are atomic under the GIL, and
-            # recency order only matters once eviction is imminent, so
-            # the LRU touch is skipped while the cache is half empty.
-            self.ball_hits += 1
-            self._hits_counter.inc()
-            if len(balls) * 2 >= self.max_balls:
-                with self._lock:
-                    if key in balls:
-                        balls.move_to_end(key)
+            # The dict read itself stays lock-free (atomic under the
+            # GIL), but the counter bump and the LRU touch share one
+            # short critical section: `self.ball_hits += 1` is a
+            # load/add/store that thread fleets can interleave, which
+            # used to lose increments and let counters() drift from the
+            # obs registry.
+            with self._lock:
+                self.ball_hits += 1
+                self._hits_counter.inc()
+                # Recency order only matters once eviction is imminent,
+                # so the touch is skipped while the cache is half empty.
+                if len(balls) * 2 >= self.max_balls and key in balls:
+                    balls.move_to_end(key)
             return bits
+        used_vec = False
         if self.graph_layout == "csr":
-            bits = self._build_ball_csr(vertex, k)
+            if self.backend == "numpy":
+                indptr, indices = self._csr_arrays_vec()
+                bits = vec.ball_bits_csr(indptr, indices, vertex, k)
+                used_vec = True
+            else:
+                bits = self._build_ball_csr(vertex, k)
+        elif self.backend == "numpy":
+            bits = vec.pack_vertices(
+                self.oracle.within_k(vertex, k), graph.num_vertices
+            )
+            used_vec = True
         else:
             bits = 0
             for u in self.oracle.within_k(vertex, k):
                 bits |= 1 << u
-        self.ball_builds += 1
-        self._builds_counter.inc()
-        if self.max_balls:
-            with self._lock:
-                if graph.version == self._version:
-                    self._balls[key] = bits
-                    if len(self._balls) > self.max_balls:
-                        self._balls.popitem(last=False)
-                        self.ball_evictions += 1
-                        self._evictions_counter.inc()
+        with self._lock:
+            self.ball_builds += 1
+            self._builds_counter.inc()
+            if used_vec:
+                self.vec_sweeps += 1
+                self._vec_counter.inc()
+            if self.max_balls and graph.version == self._version:
+                self._balls[key] = bits
+                if len(self._balls) > self.max_balls:
+                    self._balls.popitem(last=False)
+                    self.ball_evictions += 1
+                    self._evictions_counter.inc()
         return bits
 
     def _build_ball_csr(self, vertex: int, k: int) -> int:
@@ -231,6 +276,20 @@ class BallBitsetEngine:
             self._csr_version = graph.version
         assert self._csr_indices is not None
         return self._csr_indptr, self._csr_indices
+
+    def _csr_arrays_vec(self) -> tuple[object, object]:
+        """numpy int64 (indptr, indices) for the current graph version."""
+        graph = self.oracle.graph
+        if self._csr_np is None or self._csr_np_version != graph.version:
+            indptr, indices = self._csr_arrays()
+            np = vec.numpy_or_none()
+            assert np is not None  # backend "numpy" implies importable
+            self._csr_np = (
+                np.asarray(indptr, dtype=np.int64),
+                np.asarray(indices, dtype=np.int64),
+            )
+            self._csr_np_version = graph.version
+        return self._csr_np
 
     def blocked_mask(self, vertex: int, k: int) -> int:
         """The ball of *vertex* plus the vertex itself — everything a
@@ -288,8 +347,11 @@ class BallBitsetEngine:
         alone (fewer survivors than open group slots) skip the
         O(|candidates|) rebuild entirely — on dense graphs that is the
         common case and the bulk of the engine's speedup."""
-        self.mask_filters += 1
-        self._filters_counter.inc()
+        with self._lock:
+            # Lock-protected like the ball counters: bare `+= 1` loses
+            # increments under thread fleets.
+            self.mask_filters += 1
+            self._filters_counter.inc()
         return candidates_mask & ~(self.ball(member, k) | (1 << member))
 
     def select(
@@ -301,10 +363,22 @@ class BallBitsetEngine:
         # everything (decode the survivors), sparse ones almost nothing.
         removed_mask = candidates_mask & ~surviving_mask
         if surviving_mask.bit_count() <= removed_mask.bit_count():
-            keep = self.decode(surviving_mask)
+            keep = self._decode_backend(surviving_mask)
             return [v for v in candidates if v in keep]
-        dropped = self.decode(removed_mask)
+        dropped = self._decode_backend(removed_mask)
         return [v for v in candidates if v not in dropped]
+
+    def _decode_backend(self, mask: int) -> set[int]:
+        """Backend-aware :meth:`decode`: wide masks route through the
+        vectorized unpackbits decoder, narrow ones keep the big-int
+        loop (see :data:`VEC_DECODE_MIN_BITS`)."""
+        if self.backend == "numpy" and mask.bit_length() >= VEC_DECODE_MIN_BITS:
+            out = vec.decode_mask(mask)
+            with self._lock:
+                self.vec_sweeps += 1
+                self._vec_counter.inc()
+            return out
+        return self.decode(mask)
 
     def filter_candidates(self, candidates: list[int], member: int, k: int) -> list[int]:
         """Oracle-compatible signature of :meth:`filter_list` (used for
@@ -361,6 +435,8 @@ class BallBitsetEngine:
         state["_csr_version"] = None
         state["_csr_indptr"] = None
         state["_csr_indices"] = None
+        state["_csr_np_version"] = None
+        state["_csr_np"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -380,19 +456,22 @@ def resolve_distance_engine(
     oracle: DistanceOracle,
     kernel: Optional[BallBitsetEngine],
     graph_layout: str = "adjacency",
+    kernel_backend: str = "auto",
 ) -> Optional[BallBitsetEngine]:
     """Shared constructor-time validation for every solver layer.
 
     Returns the kernel to use (``None`` for the oracle path).  Passing a
     prebuilt *kernel* implies the bitset engine; building one lazily
     happens only when ``distance_engine="bitset"`` and none was shared.
-    *graph_layout* seeds a lazily-built kernel's ball-construction path;
-    a prebuilt kernel keeps whatever layout it was created with.
+    *graph_layout* and *kernel_backend* seed a lazily-built kernel's
+    ball-construction path; a prebuilt kernel keeps whatever layout and
+    backend it was created with.
     """
     if distance_engine not in ("oracle", "bitset"):
         raise ValueError(
             f"distance_engine must be 'oracle' or 'bitset', got {distance_engine!r}"
         )
+    validate_kernel_backend(kernel_backend)
     if kernel is not None:
         if kernel.oracle is not oracle:
             raise ValueError(
@@ -400,5 +479,7 @@ def resolve_distance_engine(
             )
         return kernel
     if distance_engine == "bitset":
-        return BallBitsetEngine(oracle, graph_layout=graph_layout)
+        return BallBitsetEngine(
+            oracle, graph_layout=graph_layout, kernel_backend=kernel_backend
+        )
     return None

@@ -137,17 +137,22 @@ def _process_worker_init(
     oracle: Optional[DistanceOracle],
     distance_engine: str = "oracle",
     graph_layout: str = "adjacency",
+    kernel_backend: str = "auto",
 ) -> None:
     global _WORKER_STATE
     if oracle is None:
-        oracle = spec.build_oracle(graph, graph_layout=graph_layout)
+        oracle = spec.build_oracle(
+            graph, graph_layout=graph_layout, kernel_backend=kernel_backend
+        )
     kernel = None
     if distance_engine == "bitset":
         # One ball cache per worker process, reused across every query
         # the worker serves (the cross-query reuse the kernel exists for).
         from repro.kernels import BallBitsetEngine
 
-        kernel = BallBitsetEngine(oracle, graph_layout=graph_layout)
+        kernel = BallBitsetEngine(
+            oracle, graph_layout=graph_layout, kernel_backend=kernel_backend
+        )
     _WORKER_STATE = (graph, spec, oracle, kernel, graph_layout)
 
 
@@ -223,6 +228,14 @@ class QueryService:
         zero-copy: workers attach to one shared-memory snapshot instead
         of unpickling the graph.  Served answers are bit-identical
         across layouts.
+    kernel_backend:
+        Vectorization backend for every kernel this service builds
+        (the shared one, parallel fleets' and process workers'):
+        ``"auto"`` (default) uses the numpy kernels from
+        :mod:`repro.kernels.vec` when importable, ``"numpy"`` forces
+        them, ``"python"`` forces the scalar path.  Served answers are
+        bit-identical across backends; :meth:`instrument_report` tags
+        the kernel section with the resolved backend.
     instruments:
         An :class:`repro.obs.instruments.InstrumentRegistry` collecting
         per-phase latency histograms (``service.cache_lookup_ms``,
@@ -259,6 +272,7 @@ class QueryService:
         cache_capacity: int = 1024,
         distance_engine: str = "oracle",
         graph_layout: str = "adjacency",
+        kernel_backend: str = "auto",
         instruments: InstrumentRegistry = NULL_REGISTRY,
     ) -> None:
         if max_workers < 1:
@@ -289,6 +303,9 @@ class QueryService:
         self.cache = ResultCache(cache_capacity)
         self.distance_engine = distance_engine
         self.graph_layout = validate_graph_layout(graph_layout)
+        from repro.kernels.vec import validate_kernel_backend
+
+        self.kernel_backend = validate_kernel_backend(kernel_backend)
         self._kernel = None
         self._engines: dict[tuple, ParallelBranchAndBoundSolver] = {}
         self._oracle = oracle
@@ -438,7 +455,11 @@ class QueryService:
 
             report["oracle"] = oracle_usage_row(oracle)
         if kernel is not None:
-            report["kernel"] = {"balls_cached": len(kernel), **kernel.counters()}
+            report["kernel"] = {
+                "balls_cached": len(kernel),
+                "backend": kernel.backend,
+                **kernel.counters(),
+            }
         if self.graph_layout == "csr":
             from repro.core.csr import counter_totals
 
@@ -477,7 +498,9 @@ class QueryService:
         with self._oracle_lock:
             if self._oracle is None or self._oracle.is_stale():
                 self._oracle = self.spec.build_oracle(
-                    self.graph, graph_layout=self.graph_layout
+                    self.graph,
+                    graph_layout=self.graph_layout,
+                    kernel_backend=self.kernel_backend,
                 )
             return self._oracle
 
@@ -499,6 +522,7 @@ class QueryService:
                     oracle,
                     instruments=self.instruments,
                     graph_layout=self.graph_layout,
+                    kernel_backend=self.kernel_backend,
                 )
             return self._kernel
 
@@ -525,6 +549,7 @@ class QueryService:
                 distance_engine=self.distance_engine,
                 kernel=self._ensure_kernel(oracle),
                 graph_layout=self.graph_layout,
+                kernel_backend=self.kernel_backend,
                 instruments=self.instruments,
             )
             self._engines[key] = engine
@@ -636,6 +661,7 @@ class QueryService:
                     self._ensure_oracle(),
                     self.distance_engine,
                     self.graph_layout,
+                    self.kernel_backend,
                 ),
             )
             self._pool_graph_version = self.graph.version

@@ -166,6 +166,44 @@ class TestSharedLifecycle:
         with pytest.raises(SnapshotAttachError):
             CsrSnapshot.attach("psm_no_such_segment")
 
+    def test_attach_corrupt_segment_closes_handle(self, monkeypatch):
+        """A failed attach must close the segment handle it opened.
+
+        An attacher dying between open and view construction would
+        otherwise keep the mapping alive after the owner unlinks the
+        name, leaving ``/dev/shm`` populated (the CI leak check catches
+        exactly this).  The zero-filled segment has the wrong magic, so
+        ``_load_header`` rejects it after the handle is already open.
+        """
+        import repro.core.csr as csr_mod
+        from multiprocessing import shared_memory
+
+        owner = shared_memory.SharedMemory(create=True, size=128)
+        closes: list[bool] = []
+        real_attach = csr_mod._attach_segment
+
+        def recording_attach(name):
+            shm = real_attach(name)
+            original_close = shm.close
+
+            def close():
+                closes.append(True)
+                original_close()
+
+            shm.close = close
+            return shm
+
+        monkeypatch.setattr(csr_mod, "_attach_segment", recording_attach)
+        try:
+            with pytest.raises(
+                SnapshotAttachError, match="does not hold a CSR snapshot"
+            ):
+                CsrSnapshot.attach(owner.name)
+            assert closes == [True]
+        finally:
+            owner.close()
+            owner.unlink()
+
     def test_closed_snapshot_rejects_reads(self, graph):
         shared = CsrSnapshot.from_graph(graph).share()
         attached = CsrSnapshot.attach(shared.name)

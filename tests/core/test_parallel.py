@@ -254,6 +254,59 @@ def test_worker_stats_partition_totals(graph, query):
     )
 
 
+def test_worker_init_failure_closes_attached_snapshot(graph, monkeypatch):
+    """A csr worker dying during init must close the snapshot it
+    attached, or the mapping outlives the owner's unlink and the
+    segment leaks in /dev/shm."""
+    from repro.core import parallel as parallel_mod
+    from repro.core.csr import CsrSnapshot
+
+    shared = graph.csr_snapshot().share()
+    attached: list[CsrSnapshot] = []
+    real_attach = CsrSnapshot.attach
+
+    def recording_attach(name, **kwargs):
+        snapshot = real_attach(name, **kwargs)
+        attached.append(snapshot)
+        return snapshot
+
+    monkeypatch.setattr(CsrSnapshot, "attach", recording_attach)
+    try:
+        with pytest.raises(ValueError, match="distance_engine"):
+            parallel_mod._parallel_worker_init_csr(
+                shared.name,
+                None,
+                ("vkc", {}),
+                {"distance_engine": "bogus"},
+                None,
+            )
+        assert len(attached) == 1
+        assert attached[0].closed
+    finally:
+        shared.release()
+
+
+def test_pool_construction_failure_releases_segment(graph, monkeypatch):
+    """If the process pool cannot even be constructed, the freshly
+    shared CSR segment must be unlinked eagerly instead of stranding
+    until close()."""
+    from repro.core import parallel as parallel_mod
+
+    def refuse_spawn(*args, **kwargs):
+        raise RuntimeError("spawn refused")
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", refuse_spawn)
+    engine = ParallelBranchAndBoundSolver(
+        graph, jobs=2, executor="process", graph_layout="csr"
+    )
+    try:
+        with pytest.raises(RuntimeError, match="spawn refused"):
+            engine._ensure_pool()
+        assert engine._shared_snapshot is None
+    finally:
+        engine.close()
+
+
 def test_factory_and_repr(graph, query):
     engine = make_parallel_solver(graph, "vkc", jobs=2, executor="inline")
     try:

@@ -1,7 +1,12 @@
 """Unit tests for the BFS traversal primitives."""
 
 from repro.core.graph import AttributedGraph
-from repro.index._traversal import UNREACHABLE, bfs_distance_array, bfs_levels
+from repro.index._traversal import (
+    UNREACHABLE,
+    bfs_distance_array,
+    bfs_distance_array_csr,
+    bfs_levels,
+)
 
 
 def adjacency_of(graph):
@@ -60,3 +65,43 @@ class TestBfsDistanceArray:
             for vertex in figure1.vertices():
                 expected = reference.get(vertex, UNREACHABLE)
                 assert array[vertex] == expected
+
+    def test_max_depth_truncates(self, path_graph):
+        # Vertices past max_depth hops keep UNREACHABLE, mirroring the
+        # bfs_levels semantics.
+        adjacency = adjacency_of(path_graph)
+        assert bfs_distance_array(adjacency, 0, max_depth=2) == [
+            0,
+            1,
+            2,
+            UNREACHABLE,
+            UNREACHABLE,
+        ]
+        assert bfs_distance_array(adjacency, 0, max_depth=0) == [
+            0,
+            UNREACHABLE,
+            UNREACHABLE,
+            UNREACHABLE,
+            UNREACHABLE,
+        ]
+
+    def test_max_depth_matches_unbounded_prefix(self, figure1):
+        adjacency = adjacency_of(figure1)
+        for source in figure1.vertices():
+            full = bfs_distance_array(adjacency, source)
+            for max_depth in (1, 2, 3):
+                bounded = bfs_distance_array(adjacency, source, max_depth)
+                assert bounded == [
+                    d if 0 <= d <= max_depth else UNREACHABLE for d in full
+                ]
+
+
+class TestBfsDistanceArrayCsr:
+    def test_csr_matches_adjacency(self, figure1):
+        snapshot = figure1.csr_snapshot()
+        adjacency = adjacency_of(figure1)
+        for source in figure1.vertices():
+            for max_depth in (None, 1, 2):
+                assert bfs_distance_array_csr(
+                    snapshot.indptr, snapshot.indices, source, max_depth
+                ) == bfs_distance_array(adjacency, source, max_depth)

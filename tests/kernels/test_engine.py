@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pickle
+import random
+import threading
 
 import pytest
 
@@ -124,6 +126,54 @@ class TestCache:
         # One direct re-read plus the filter's own ball lookup.
         assert report["kernels.ball_hits"] == 2
         assert report["kernels.mask_filters"] == 1
+
+
+class TestCounterThreadSafety:
+    def test_thread_hammer_counters_match_registry(self, graph):
+        """Bare ``+= 1`` on the stat counters loses increments under a
+        thread fleet; with the lock-protected bumps the local mirrors,
+        the registry totals and the exact call count all agree."""
+        registry = InstrumentRegistry()
+        engine = BallBitsetEngine(
+            BFSOracle(graph), max_balls=8, instruments=registry
+        )
+        threads = 8
+        rounds = 300
+        barrier = threading.Barrier(threads)
+        failures: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            rng = random.Random(seed)
+            barrier.wait()
+            try:
+                for _ in range(rounds):
+                    vertex = rng.randrange(graph.num_vertices)
+                    k = rng.choice((1, 2, 3))
+                    engine.ball(vertex, k)
+                    engine.filter_mask(1 << vertex, (vertex + 1) % graph.num_vertices, k)
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        fleet = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(threads)
+        ]
+        for thread in fleet:
+            thread.start()
+        for thread in fleet:
+            thread.join()
+        assert not failures
+
+        counts = engine.counters()
+        report = registry.report()["counters"]
+        for name, value in counts.items():
+            assert report.get(f"kernels.{name}", 0) == value
+        # Every iteration calls ball() twice (once directly, once inside
+        # filter_mask), so a single lost increment breaks this total.
+        assert counts["ball_builds"] + counts["ball_hits"] == threads * rounds * 2
+        assert counts["mask_filters"] == threads * rounds
+        # The tiny budget forces heavy eviction churn under contention.
+        assert counts["ball_evictions"] > 0
+        assert len(engine) <= 8
 
 
 class TestFiltering:

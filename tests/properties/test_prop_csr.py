@@ -27,8 +27,14 @@ from repro.index._traversal import bfs_levels, bfs_levels_csr
 from repro.index.bfs import BFSOracle
 from repro.index.nl import NLIndex
 from repro.index.pll import PLLIndex
+from repro.kernels.vec import numpy_available
 
 KEYWORD_POOL = ["a", "b", "c", "d", "e", "f"]
+
+# With numpy importable the interesting comparison is scalar vs forced
+# vectorization; without it, "auto" must degrade to the same scalar
+# kernels (the numpy-absent CI job runs exactly this branch).
+KERNEL_BACKENDS = ["python", "numpy"] if numpy_available() else ["python", "auto"]
 
 STRATEGIES = [
     ("qkc", lambda g: QKCOrdering()),
@@ -78,7 +84,9 @@ def comparable_stats(stats):
     return dataclasses.replace(stats, elapsed_seconds=0.0)
 
 
-def solve(graph, query, strategy_factory, layout, distance_engine, jobs):
+def solve(
+    graph, query, strategy_factory, layout, distance_engine, jobs, kernel_backend="auto"
+):
     if jobs == 0:  # plain serial solver, no parallel engine at all
         solver = BranchAndBoundSolver(
             graph,
@@ -86,6 +94,7 @@ def solve(graph, query, strategy_factory, layout, distance_engine, jobs):
             strategy=strategy_factory(graph),
             distance_engine=distance_engine,
             graph_layout=layout,
+            kernel_backend=kernel_backend,
         )
         return solver.solve(query)
     with ParallelBranchAndBoundSolver(
@@ -97,6 +106,7 @@ def solve(graph, query, strategy_factory, layout, distance_engine, jobs):
         bound_broadcast=False,
         distance_engine=distance_engine,
         graph_layout=layout,
+        kernel_backend=kernel_backend,
     ) as engine:
         return engine.solve(query)
 
@@ -118,6 +128,29 @@ def test_csr_layout_bit_identical(graph, query, strategy_index, distance_engine,
     csr = solve(graph, query, factory, "csr", distance_engine, jobs)
     assert ranked_groups(csr) == ranked_groups(adjacency)
     assert comparable_stats(csr.stats) == comparable_stats(adjacency.stats)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    query=queries(),
+    strategy_index=st.integers(0, 2),
+    layout=st.sampled_from(["adjacency", "csr"]),
+    jobs=st.sampled_from([0, 2]),
+)
+def test_kernel_backend_bit_identical(graph, query, strategy_index, layout, jobs):
+    """The vectorized kernels return the same ranked groups and the
+    same ``SearchStats`` as the scalar ones, across strategy x layout x
+    fleet size (and the auto fallback when numpy is absent)."""
+    _, factory = STRATEGIES[strategy_index]
+    base = solve(
+        graph, query, factory, layout, "bitset", jobs, KERNEL_BACKENDS[0]
+    )
+    fast = solve(
+        graph, query, factory, layout, "bitset", jobs, KERNEL_BACKENDS[1]
+    )
+    assert ranked_groups(fast) == ranked_groups(base)
+    assert comparable_stats(fast.stats) == comparable_stats(base.stats)
 
 
 # ----------------------------------------------------------------------

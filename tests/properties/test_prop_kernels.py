@@ -26,10 +26,15 @@ from repro.index.nl import NLIndex
 from repro.index.nlrnl import NLRNLIndex
 from repro.index.pll import PLLIndex
 from repro.kernels import BallBitsetEngine
+from repro.kernels.vec import numpy_available
 
 KEYWORD_POOL = ["a", "b", "c", "d", "e", "f"]
 
 ORACLES = [BFSOracle, NLIndex, NLRNLIndex, PLLIndex]
+
+# Scalar vs vectorized when numpy is importable; scalar vs the auto
+# fallback otherwise (the numpy-absent CI job runs that branch).
+KERNEL_BACKENDS = ["python", "numpy"] if numpy_available() else ["python", "auto"]
 
 STRATEGIES = [
     ("qkc", lambda g: QKCOrdering()),
@@ -93,15 +98,19 @@ def stats_profile(stats):
     graph=attributed_graphs(),
     oracle_index=st.integers(0, len(ORACLES) - 1),
     max_balls=st.sampled_from([0, 3, 8192]),
+    backend=st.sampled_from(KERNEL_BACKENDS),
+    layout=st.sampled_from(["adjacency", "csr"]),
 )
-def test_ball_decodes_to_within_k(graph, oracle_index, max_balls):
+def test_ball_decodes_to_within_k(graph, oracle_index, max_balls, backend, layout):
     oracle = ORACLES[oracle_index](graph)
-    engine = BallBitsetEngine(oracle, max_balls=max_balls)
+    engine = BallBitsetEngine(
+        oracle, max_balls=max_balls, graph_layout=layout, kernel_backend=backend
+    )
     for vertex in range(graph.num_vertices):
         for k in (1, 2, 3, 4):
             assert engine.decode(engine.ball(vertex, k)) == oracle.within_k(
                 vertex, k
-            ), (type(oracle).__name__, vertex, k)
+            ), (type(oracle).__name__, vertex, k, backend, layout)
 
 
 # ----------------------------------------------------------------------

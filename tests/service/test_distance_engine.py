@@ -124,11 +124,14 @@ class TestKernelReuse:
         assert kernel["balls_cached"] > 0
         assert set(kernel) == {
             "balls_cached",
+            "backend",
             "ball_builds",
             "ball_hits",
             "ball_evictions",
             "mask_filters",
+            "vec_sweeps",
         }
+        assert kernel["backend"] in ("numpy", "python")
 
     def test_oracle_mode_reports_no_kernel(self, graph, queries):
         with QueryService(graph, cache_capacity=0) as service:
