@@ -14,6 +14,11 @@ Subcommands mirror the library's workflow:
     Serve a generated query batch through the QueryService (parallel
     workers + result cache + admission control) and print serving
     metrics.
+``ktg serve <profile> [--port 8765 --rate-limit 50 --max-inflight 64]``
+    Serve KTG queries over HTTP: the asyncio front end with per-client
+    rate limiting, identical-query coalescing, deadline propagation and
+    degraded-mode responses (``POST /solve``, ``POST /batch``,
+    ``GET /stats``, ``GET /healthz``).
 ``ktg sweep <profile> --parameter group_size``
     Run a Table I parameter sweep and print the figure-shaped table.
 ``ktg case-study``
@@ -205,6 +210,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="bitset-kernel vectorization backend for the service's kernels",
     )
 
+    serve = commands.add_parser(
+        "serve", help="serve KTG queries over HTTP (asyncio front end)"
+    )
+    serve.add_argument("profile", choices=sorted(PROFILES))
+    serve.add_argument("--scale", type=float, default=0.5)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--algorithm",
+        default="KTG-VKC-DEG-NLRNL",
+        choices=sorted(ALGORITHMS),
+    )
+    serve.add_argument("--workers", type=int, default=4, help="solver threads")
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        help="per-client admitted requests/second (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=0.0,
+        help="per-client burst capacity (defaults to one second of rate)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="concurrent solve cap; beyond it requests get 503",
+    )
+    serve.add_argument(
+        "--pressure-threshold",
+        type=int,
+        default=None,
+        help=(
+            "in-flight solves at which new solves degrade to "
+            "--pressure-time-budget partial answers (default: disabled)"
+        ),
+    )
+    serve.add_argument(
+        "--pressure-time-budget",
+        type=float,
+        default=0.05,
+        help="clamped per-solve budget (seconds) inside the pressure band",
+    )
+    serve.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="service-wide per-query wall-clock budget in seconds",
+    )
+    serve.add_argument(
+        "--node-budget",
+        type=int,
+        default=None,
+        help="service-wide per-query search-node budget",
+    )
+    serve.add_argument("--cache-capacity", type=int, default=1024)
+    serve.add_argument(
+        "--distance-engine",
+        default="oracle",
+        choices=["oracle", "bitset"],
+        help="tenuity-check engine for served solves",
+    )
+    serve.add_argument(
+        "--graph-layout",
+        default="adjacency",
+        choices=["adjacency", "csr"],
+        help="traversal layout for oracle builds and solves",
+    )
+    serve.add_argument(
+        "--kernel-backend",
+        default="auto",
+        choices=["auto", "numpy", "python"],
+        help="bitset-kernel vectorization backend",
+    )
+
     sweep = commands.add_parser("sweep", help="run a Table I parameter sweep")
     sweep.add_argument("profile", choices=sorted(PROFILES))
     sweep.add_argument("--parameter", required=True, choices=sorted(PARAMETER_TABLE))
@@ -324,6 +409,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_query(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "case-study":
@@ -478,6 +565,64 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     )
     print(render_table([stats.as_dict()], title="service metrics"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``ktg serve``: run the asyncio HTTP front end until interrupted."""
+    import asyncio
+
+    from repro.obs import InstrumentRegistry
+    from repro.server import KTGServer
+    from repro.service import QueryService
+
+    graph, _ = load_dataset(args.profile, scale=args.scale)
+    registry = InstrumentRegistry()
+    service = QueryService(
+        graph,
+        args.algorithm,
+        max_workers=args.workers,
+        time_budget=args.time_budget,
+        node_budget=args.node_budget,
+        cache_capacity=args.cache_capacity,
+        distance_engine=args.distance_engine,
+        graph_layout=args.graph_layout,
+        kernel_backend=args.kernel_backend,
+        instruments=registry,
+    )
+    server = KTGServer(
+        service,
+        host=args.host,
+        port=args.port,
+        rate_limit_qps=args.rate_limit,
+        rate_limit_burst=args.burst,
+        max_inflight=args.max_inflight,
+        pressure_threshold=args.pressure_threshold,
+        pressure_time_budget=args.pressure_time_budget,
+        solver_threads=args.workers,
+        instruments=registry,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving {args.profile} ({args.algorithm}) "
+            f"on http://{host}:{port} — POST /solve, /batch; GET /stats, /healthz"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            # Runs inside the same event loop, so teardown can await
+            # the live connection tasks before the loop closes.
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted — shutting down")
+    finally:
+        service.close()
     return 0
 
 

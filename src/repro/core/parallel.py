@@ -442,9 +442,13 @@ class ParallelBranchAndBoundSolver:
     runs deterministic across ``jobs``; callers wanting one global cap
     should use the serial solver.
 
-    A single engine reuses its worker pool across ``solve`` calls;
-    concurrent calls on one engine are not supported (the broadcast
-    cell is per-engine).  Use :meth:`close` or a ``with`` block.
+    A single engine reuses its worker pool across ``solve`` calls.
+    Concurrent ``solve`` calls are safe but serialized: the pool and
+    the broadcast floor cell are per-engine, so overlapping pooled
+    solves would reset each other's pruning floor (and race the lazy
+    pool build).  A fleet owns the hardware for one query at a time —
+    the same contract :class:`repro.service.QueryService` documents for
+    ``jobs > 1`` batches.  Use :meth:`close` or a ``with`` block.
     """
 
     def __init__(
@@ -496,6 +500,11 @@ class ParallelBranchAndBoundSolver:
             kernel_backend=kernel_backend,
         )
         self._pool: Optional[Executor] = None
+        # Serializes pooled solves: the floor cell and pool are shared
+        # engine state, and racing solves would reset each other's
+        # broadcast floor mid-search (an over-high floor prunes valid
+        # groups) or fork duplicate worker pools.
+        self._fleet_lock = threading.Lock()
         self._floor_cell: Any = None
         # Shared-memory CSR segment owned by this engine (csr + process
         # fan-out only); released on close() and on version-bump pool
@@ -586,9 +595,10 @@ class ParallelBranchAndBoundSolver:
             )
             steals = 0
         else:
-            outcomes, merged, accepted, broadcasts, steals = self._run_pool(
-                chunks, query, initial, deadline, nb
-            )
+            with self._fleet_lock:
+                outcomes, merged, accepted, broadcasts, steals = self._run_pool(
+                    chunks, query, initial, deadline, nb
+                )
         self._broadcast_counter.inc(broadcasts)
         self._steal_counter.inc(steals)
 

@@ -1,0 +1,45 @@
+"""Asyncio HTTP serving front end for KTG/DKTG queries.
+
+:class:`repro.service.QueryService` is a library; this package puts it
+on the wire.  One :class:`~repro.server.app.KTGServer` fronts one
+service with:
+
+* request routing — ``POST /solve``, ``POST /batch``, ``GET /stats``,
+  ``GET /healthz`` over hand-rolled HTTP/1.1 framing
+  (:mod:`repro.server.http`, stdlib-only);
+* per-client token-bucket rate limiting
+  (:mod:`repro.server.ratelimit`) answered with 429 + Retry-After;
+* identical-query coalescing (:mod:`repro.server.coalesce`): N
+  concurrent duplicates of one canonical query share a single
+  in-flight solve;
+* client deadline propagation into the solver's anytime
+  ``time_budget`` machinery, and degraded-mode 503/partial responses
+  under overload;
+* per-endpoint metrics through the shared
+  :class:`repro.obs.instruments.InstrumentRegistry` (``server.*``
+  counters/timers, exported by ``GET /stats``).
+
+Solves run on a thread pool off the event loop (``run_in_executor``),
+leaning on the service's thread-safety contract.  ``ktg serve``
+exposes the whole thing on the command line; ``python -m
+repro.server.smoke`` is the CI smoke driver.  See ``docs/server.md``.
+"""
+
+from repro.server.app import KTGServer
+from repro.server.client import arequest, http_request
+from repro.server.coalesce import InflightCoalescer
+from repro.server.http import HttpError, HttpRequest
+from repro.server.ratelimit import RateLimiter, TokenBucket
+from repro.server.runner import ServerThread
+
+__all__ = [
+    "KTGServer",
+    "ServerThread",
+    "InflightCoalescer",
+    "RateLimiter",
+    "TokenBucket",
+    "HttpError",
+    "HttpRequest",
+    "arequest",
+    "http_request",
+]

@@ -1,0 +1,105 @@
+"""Tiny stdlib HTTP clients for the KTG server (tests, smoke, bench).
+
+Two flavours:
+
+* :func:`http_request` — blocking, built on :mod:`http.client`; one
+  call, one response, connection closed.  What the tests and the CI
+  smoke driver use.
+* :func:`arequest` — asyncio, built on raw ``open_connection`` framing;
+  what the open-loop load generator uses so thousands of in-flight
+  requests can share one event loop without a thread per request.
+
+Both return ``(status_code, decoded_json_or_None)``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional
+
+import asyncio
+
+__all__ = ["http_request", "arequest"]
+
+
+def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    *,
+    headers: Optional[dict[str, str]] = None,
+    timeout: float = 30.0,
+) -> tuple[int, Optional[dict]]:
+    """One blocking request; returns ``(status, parsed_json_body)``."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        send_headers = {"Connection": "close"}
+        if body is not None:
+            send_headers["Content-Type"] = "application/json"
+        if headers:
+            send_headers.update(headers)
+        connection.request(method, path, body=body, headers=send_headers)
+        response = connection.getresponse()
+        raw = response.read()
+        decoded: Optional[dict] = None
+        if raw:
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = None
+        return response.status, decoded
+    finally:
+        connection.close()
+
+
+async def arequest(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    *,
+    headers: Optional[dict[str, str]] = None,
+    timeout: float = 30.0,
+) -> tuple[int, Optional[dict]]:
+    """One asyncio request over a fresh connection (open-loop client)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout
+    )
+    try:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: close",
+        ]
+        if body:
+            lines.append("Content-Type: application/json")
+            lines.append(f"Content-Length: {len(body)}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+        head, _, rest = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        parts = status_line.split(" ")
+        status = int(parts[1]) if len(parts) >= 2 and parts[1].isdigit() else 0
+        decoded: Optional[dict] = None
+        if rest:
+            try:
+                decoded = json.loads(rest.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = None
+        return status, decoded
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass

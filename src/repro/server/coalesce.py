@@ -1,0 +1,83 @@
+"""Identical-query coalescing: N concurrent duplicates share one solve.
+
+A popular query arriving from many clients at once is the worst case
+for a cache: every request misses (the first solve has not finished
+yet) and the service solves the same problem N times.  The coalescer
+closes that window.  Requests are keyed by the same canonical identity
+the result cache uses (``canonical_query_key`` + graph version +
+algorithm); the first arrival becomes the *leader* and runs the solve,
+every later arrival becomes a *follower* and awaits the leader's
+future.  When the leader finishes, the result fans out to every
+follower — and the leader's exact answer lands in the result cache, so
+requests arriving after completion hit the cache as usual.
+
+Single-threaded by design: ``join``/``resolve`` are called only from
+the event loop (the solve itself runs in an executor thread, but the
+bookkeeping never leaves the loop), so no locks are needed.
+
+Failure semantics: a leader that raises propagates the exception to
+every follower (they would have failed identically), and the in-flight
+entry is removed so the next arrival retries fresh.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+import asyncio
+
+__all__ = ["InflightCoalescer"]
+
+
+class InflightCoalescer:
+    """Registry of in-flight solves keyed by canonical query identity."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, asyncio.Future] = {}
+        self.leaders = 0
+        self.followers = 0
+
+    def join(self, key: Hashable) -> tuple[asyncio.Future, bool]:
+        """Return ``(future, is_leader)`` for *key*.
+
+        The leader receives a fresh future it **must** settle via
+        :meth:`resolve`; followers receive the leader's future to await.
+        """
+        future = self._inflight.get(key)
+        if future is not None:
+            self.followers += 1
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        return future, True
+
+    def resolve(
+        self,
+        key: Hashable,
+        future: asyncio.Future,
+        result: object = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Settle the leader's future and retire the in-flight entry."""
+        if self._inflight.get(key) is future:
+            del self._inflight[key]
+        if future.cancelled():
+            return
+        if error is not None:
+            future.set_exception(error)
+            # A follower may have timed out and stopped awaiting; don't
+            # let its abandoned future warn about an unretrieved error.
+            future.exception()
+        else:
+            future.set_result(result)
+
+    def inflight(self) -> int:
+        """Number of distinct solves currently in flight."""
+        return len(self._inflight)
+
+    def __repr__(self) -> str:
+        return (
+            f"InflightCoalescer(inflight={len(self._inflight)}, "
+            f"leaders={self.leaders}, followers={self.followers})"
+        )

@@ -1,0 +1,206 @@
+"""Minimal asyncio HTTP/1.1 framing (stdlib only, no frameworks).
+
+The serving front end needs exactly four things from HTTP: parse a
+request line + headers + optional ``Content-Length`` body from an
+:class:`asyncio.StreamReader`, render a response with a JSON body,
+support keep-alive so a load generator can pipeline requests over one
+connection, and fail fast (with a proper status code) on malformed or
+oversized input.  That is what this module provides — deliberately not
+a web framework: no routing, no middleware, no chunked encoding
+(requests with ``Transfer-Encoding`` are rejected with 411/400), no
+TLS.  Routing and admission control live in :mod:`repro.server.app`.
+
+Limits are explicit constructor-style arguments on :func:`read_request`
+so the app layer owns the policy: header blocks over
+``max_header_bytes`` and bodies over ``max_body_bytes`` raise
+:class:`HttpError` with 431/413, which the app maps to a response
+instead of tearing the connection down silently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+from urllib.parse import parse_qsl, urlsplit
+
+import asyncio
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "render_response",
+    "json_body",
+    "json_response",
+    "STATUS_REASONS",
+]
+
+#: The subset of reason phrases this server emits.
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 1024 * 1024
+
+
+class HttpError(Exception):
+    """A request that cannot be served, with the status to answer it."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 default keep-alive unless ``Connection: close``."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_header_bytes: int = _MAX_HEADER_BYTES,
+    max_body_bytes: int = _MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Read one request; ``None`` on clean EOF before any bytes.
+
+    Raises :class:`HttpError` on malformed framing (the caller answers
+    with the error's status and closes the connection).
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HttpError(400, "connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(431, "header block too large") from exc
+    if len(header_block) > max_header_bytes:
+        raise HttpError(431, "header block too large")
+
+    try:
+        head = header_block.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable header block") from exc
+    request_line, _, header_text = head.partition("\r\n")
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in header_text.split("\r\n"):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(411, "chunked request bodies are not supported")
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "non-integer Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, f"body larger than {max_body_bytes} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "connection closed mid-body") from exc
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    request = HttpRequest(
+        method=method.upper(),
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+    if version == "HTTP/1.0" and headers.get("connection", "").lower() != "keep-alive":
+        request.headers["connection"] = "close"
+    return request
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[dict[str, str]] = None,
+) -> bytes:
+    """Serialize one HTTP/1.1 response to wire bytes."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: object,
+    *,
+    keep_alive: bool = True,
+    extra_headers: Optional[dict[str, str]] = None,
+) -> bytes:
+    """Render *payload* as a JSON response body."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return render_response(
+        status, body, keep_alive=keep_alive, extra_headers=extra_headers
+    )
+
+
+def json_body(request: HttpRequest) -> dict:
+    """Decode the request body as a JSON object (400 on anything else)."""
+    if not request.body:
+        raise HttpError(400, "request body required")
+    try:
+        payload = json.loads(request.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    return payload

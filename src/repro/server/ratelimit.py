@@ -1,0 +1,123 @@
+"""Per-client token-bucket rate limiting for the serving front end.
+
+Classic token bucket: a client accumulates ``rate`` tokens per second
+up to a ``burst`` ceiling, and each admitted request spends one token.
+A client that sustains more than ``rate`` requests/second drains its
+bucket and gets 429s until it backs off — short bursts up to ``burst``
+are absorbed without rejection, which is the behaviour interactive
+group-query clients actually need (a user refreshing a result page
+twice is a burst, not abuse).
+
+The limiter is designed for single-threaded use from the asyncio event
+loop (the server calls :meth:`RateLimiter.allow` during admission,
+before any executor hop), so it takes no locks.  The clock is
+injectable for deterministic tests.
+
+Memory is bounded: at most ``max_clients`` buckets are retained, and
+the least-recently-seen bucket is evicted beyond that.  Evicting an
+idle bucket is semantically harmless — an idle bucket refills to
+``burst`` anyway, which is exactly the state a fresh bucket starts in.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """One client's bucket: ``rate`` tokens/s refill, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst  # a new client starts with a full burst
+        self.updated = now
+
+    def try_acquire(self, now: float, tokens: float = 1.0) -> bool:
+        """Spend *tokens* if available after refilling to *now*."""
+        elapsed = now - self.updated
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            return True
+        return False
+
+
+class RateLimiter:
+    """Keyed token buckets with LRU eviction of idle clients.
+
+    ``rate <= 0`` disables limiting entirely (every request admitted) —
+    the server's default, so unconfigured deployments behave like the
+    bare service.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 0.0,
+        *,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate > 0 and burst <= 0:
+            burst = max(1.0, rate)  # default burst: one second of rate
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, client: str, tokens: float = 1.0) -> bool:
+        """Admit one request from *client* (always ``True`` if disabled)."""
+        if not self.enabled:
+            self.admitted += 1
+            return True
+        now = self._clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[client] = bucket
+            if len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        if bucket.try_acquire(now, tokens):
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def retry_after_seconds(self, client: str, tokens: float = 1.0) -> float:
+        """Seconds until *client* would next be admitted (hint for 429s)."""
+        if not self.enabled:
+            return 0.0
+        bucket = self._buckets.get(client)
+        if bucket is None or bucket.tokens >= tokens:
+            return 0.0
+        return (tokens - bucket.tokens) / bucket.rate
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return (
+            f"RateLimiter(rate={self.rate}, burst={self.burst}, "
+            f"clients={len(self._buckets)}, admitted={self.admitted}, "
+            f"rejected={self.rejected})"
+        )

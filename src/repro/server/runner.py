@@ -1,0 +1,96 @@
+"""Run a :class:`KTGServer` on a background event loop thread.
+
+Tests, the CI smoke job and the load-generator bench all need the same
+shape: bring a server up on an ephemeral port, drive requests at it
+from the calling thread, then tear it down *completely* (no leaked
+event loop, no leaked solver threads).  :class:`ServerThread` packages
+that as a context manager::
+
+    with ServerThread(server) as handle:
+        status, payload = http_request(*handle.address, "GET", "/healthz")
+    # server stopped, loop closed, threads joined
+
+The event loop lives on the background thread; ``start``/``stop`` are
+submitted to it with ``run_coroutine_threadsafe`` so the foreground
+thread never touches loop internals directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import asyncio
+
+from repro.server.app import KTGServer
+
+__all__ = ["ServerThread"]
+
+
+class ServerThread:
+    """Own one background loop thread running one started server."""
+
+    def __init__(self, server: KTGServer, *, startup_timeout: float = 10.0) -> None:
+        self.server = server
+        self.startup_timeout = startup_timeout
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="ktg-server-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(self.startup_timeout):
+            raise RuntimeError("server failed to start within the startup timeout")
+        if self._startup_error is not None:
+            raise RuntimeError("server startup failed") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # surface bind errors to start()
+                self._startup_error = exc
+                return
+            finally:
+                self._ready.set()
+            loop.run_forever()
+            # stop() below stops the loop after the server has drained;
+            # run the teardown's pending callbacks before closing.
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+            self._loop = None
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), loop)
+        future.result(timeout=30.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30.0)
+        if thread.is_alive():  # pragma: no cover - diagnostic path
+            raise RuntimeError("server loop thread failed to stop")
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,194 @@
+"""CI smoke driver: boot the server, drive the wire, assert clean exit.
+
+Run as ``python -m repro.server.smoke``.  The script brings a real
+:class:`KTGServer` up on an ephemeral port over a small dataset and
+checks every serving behaviour the front end promises, end to end:
+
+1. ``GET /healthz`` answers 200 while the server is up;
+2. ``POST /solve`` answers an exact result, and a repeat is served
+   from cache;
+3. a coalesced pair — two concurrent identical requests against a cold
+   key — executes the solver exactly once (obs counter
+   ``server.solver_runs``);
+4. a client that exceeds its token bucket gets 429 + Retry-After;
+5. a request whose deadline already expired gets a 503 degraded
+   response;
+6. ``GET /stats`` exports the server counters;
+7. shutdown is clean: thread count returns to its pre-server baseline
+   and no ``/dev/shm`` shared-memory segments are left behind.
+
+Exit code 0 on success, 1 with a diagnostic on the first failure.
+"""
+
+from __future__ import annotations
+
+import glob
+import sys
+import threading
+import time
+
+from repro.core.query import KTGQuery
+from repro.datasets.registry import load_dataset
+from repro.obs.instruments import InstrumentRegistry
+from repro.server.app import KTGServer
+from repro.server.client import http_request
+from repro.server.runner import ServerThread
+from repro.service.service import QueryService
+
+__all__ = ["main"]
+
+
+def _shm_segments() -> set[str]:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def _query_payload(labels: tuple[str, ...], tenuity: int = 2) -> dict:
+    return {
+        "keywords": list(labels),
+        "group_size": 2,
+        "tenuity": tenuity,
+        "top_n": 2,
+    }
+
+
+def main() -> int:
+    checks: list[str] = []
+
+    def ok(label: str) -> None:
+        checks.append(label)
+        print(f"ok   {label}")
+
+    def fail(label: str, detail: str) -> int:
+        print(f"FAIL {label}: {detail}", file=sys.stderr)
+        return 1
+
+    baseline_threads = threading.active_count()
+    baseline_shm = _shm_segments()
+
+    graph, _ = load_dataset("brightkite", scale=0.08)
+    labels = tuple(sorted(graph.keyword_table))
+    registry = InstrumentRegistry()
+    service = QueryService(
+        graph, "KTG-VKC-NLRNL", max_workers=4, instruments=registry
+    )
+    server = KTGServer(
+        service,
+        rate_limit_qps=0.5,
+        rate_limit_burst=2.0,
+        max_inflight=8,
+        instruments=registry,
+    )
+
+    with service, ServerThread(server) as handle:
+        host, port = handle.address
+
+        status, body = http_request(host, port, "GET", "/healthz")
+        if status != 200 or not body or body.get("status") != "ok":
+            return fail("healthz", f"status={status} body={body}")
+        ok("healthz answers 200")
+
+        solve_headers = {"X-Client-Id": "smoke-solver"}
+        status, body = http_request(
+            host, port, "POST", "/solve",
+            _query_payload(labels[:3]), headers=solve_headers,
+        )
+        if status != 200 or not body or body.get("from_cache"):
+            return fail("solve", f"status={status} body={body}")
+        ok("solve answers 200 with a fresh result")
+
+        status, body = http_request(
+            host, port, "POST", "/solve",
+            _query_payload(labels[:3]), headers=solve_headers,
+        )
+        if status != 200 or not body or not body.get("from_cache"):
+            return fail("solve-cache", f"status={status} body={body}")
+        ok("repeat solve is served from cache")
+
+        # Coalesced pair: a cold canonical key hit by two concurrent
+        # clients must execute the solver exactly once — either the
+        # follower shares the in-flight solve, or it arrives after
+        # completion and hits the cache.  Both paths mean one run.
+        runs_before = registry.counter("server.solver_runs").value
+        cold = _query_payload(labels[:4], tenuity=1)
+        outcomes: list[tuple[int, dict]] = []
+        lock = threading.Lock()
+
+        def fire(client: str) -> None:
+            result = http_request(
+                host, port, "POST", "/solve", cold,
+                headers={"X-Client-Id": client},
+            )
+            with lock:
+                outcomes.append(result)  # type: ignore[arg-type]
+
+        pair = [
+            threading.Thread(target=fire, args=(f"smoke-pair-{i}",))
+            for i in range(2)
+        ]
+        for thread in pair:
+            thread.start()
+        for thread in pair:
+            thread.join()
+        runs = registry.counter("server.solver_runs").value - runs_before
+        if len(outcomes) != 2 or any(status != 200 for status, _ in outcomes):
+            return fail("coalesce", f"outcomes={outcomes}")
+        if runs != 1:
+            return fail("coalesce", f"expected exactly 1 solver run, got {runs}")
+        groups = [body.get("groups") for _, body in outcomes]
+        if groups[0] != groups[1]:
+            return fail("coalesce", f"divergent answers: {groups}")
+        ok("coalesced pair shares one solver run")
+
+        # Token bucket: burst of 2, negligible refill — the third
+        # request from one client must be rejected.
+        limited_headers = {"X-Client-Id": "smoke-limited"}
+        statuses = [
+            http_request(
+                host, port, "POST", "/solve",
+                _query_payload(labels[:3]), headers=limited_headers,
+            )[0]
+            for _ in range(3)
+        ]
+        if statuses[:2] != [200, 200] or statuses[2] != 429:
+            return fail("rate-limit", f"statuses={statuses}")
+        ok("rate limiter rejects the post-burst request with 429")
+
+        expired = dict(_query_payload(labels[:3]), deadline_ms=0)
+        status, body = http_request(
+            host, port, "POST", "/solve", expired,
+            headers={"X-Client-Id": "smoke-deadline"},
+        )
+        if status != 503 or not body or "deadline" not in body.get("error", ""):
+            return fail("deadline", f"status={status} body={body}")
+        ok("expired deadline answers 503")
+
+        status, body = http_request(host, port, "GET", "/stats")
+        if status != 200 or not body or "server" not in body:
+            return fail("stats", f"status={status} body={body}")
+        counters = body["server"].get("counters", {})
+        if counters.get("server.solver_runs", 0) < 1:
+            return fail("stats", f"missing server counters: {counters}")
+        ok("stats exports server counters")
+
+    service.close()
+
+    # Clean shutdown: background loop thread and solver threads joined.
+    deadline = time.monotonic() + 5.0
+    while threading.active_count() > baseline_threads and time.monotonic() < deadline:
+        time.sleep(0.05)
+    if threading.active_count() > baseline_threads:
+        leftover = [t.name for t in threading.enumerate()]
+        return fail("shutdown-threads", f"threads leaked: {leftover}")
+    ok("no leaked threads after shutdown")
+
+    leaked = _shm_segments() - baseline_shm
+    if leaked:
+        return fail("shutdown-shm", f"leaked segments: {sorted(leaked)}")
+    ok("no leaked /dev/shm segments")
+
+    print(f"server smoke: all {len(checks)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Bounded latency reservoir for long-running serving statistics.
+
+``QueryService`` originally kept every observed latency in a plain
+list: a long-running server leaked memory linearly with traffic and
+``stats()`` re-sorted the whole history on every call (O(n log n) per
+snapshot).  :class:`LatencyReservoir` replaces that with Vitter's
+Algorithm R — a fixed-size uniform random sample of the observation
+stream — plus an *exact* running count and mean:
+
+* ``count`` / ``mean`` are exact over the full stream (running sum, no
+  sampling error);
+* percentiles are computed over the reservoir sample, which is a
+  uniform sample of the stream, so the estimator converges to the true
+  percentile with the usual ``O(1/sqrt(capacity))`` error — at the
+  default capacity of 4096 samples that is well under the nearest-rank
+  granularity any dashboard cares about;
+* memory is O(capacity) forever, and a ``stats()`` snapshot sorts at
+  most ``capacity`` samples.
+
+The reservoir is deliberately *not* thread-safe: ``QueryService`` owns
+one behind its stats lock.  The RNG is seeded so repeated runs of a
+deterministic workload produce identical snapshots.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["LatencyReservoir", "DEFAULT_RESERVOIR_CAPACITY"]
+
+#: Default sample size — percentile error ~1.6% at p99, a few KiB of floats.
+DEFAULT_RESERVOIR_CAPACITY = 4096
+
+
+class LatencyReservoir:
+    """Fixed-size uniform sample of a latency stream with exact count/mean.
+
+    Examples
+    --------
+    >>> reservoir = LatencyReservoir(capacity=2)
+    >>> for value in (1.0, 2.0, 3.0, 4.0):
+    ...     reservoir.observe(value)
+    >>> reservoir.count, reservoir.mean
+    (4, 2.5)
+    >>> len(reservoir.sorted_sample())
+    2
+    """
+
+    __slots__ = ("capacity", "count", "total", "_samples", "_rng")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR_CAPACITY, seed: int = 0x5EED) -> None:
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        """Record one observation (Algorithm R replacement step)."""
+        self.count += 1
+        self.total += value
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of *every* observation (not just the sample)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def sample_size(self) -> int:
+        """Number of retained samples (== min(count, capacity))."""
+        return len(self._samples)
+
+    def sorted_sample(self) -> list[float]:
+        """A sorted copy of the retained sample (for percentile queries)."""
+        return sorted(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyReservoir(capacity={self.capacity}, count={self.count}, "
+            f"sample_size={self.sample_size})"
+        )

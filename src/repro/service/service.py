@@ -20,17 +20,20 @@ DKTG queries submitted singly or in batches:
   answer is returned and flagged: :attr:`ServiceResult.is_exact` is
   False and the degradation is counted in :class:`ServiceStats`.
 
-Thread-safety: concurrent ``submit``/``run_batch`` calls are safe.
-Mutating the graph concurrently with in-flight queries is not — mutate
-between batches (the next call observes the new version, rebuilds the
-oracle and re-keys the cache).
+Thread-safety: concurrent ``submit``/``run_batch`` calls are safe —
+every lazily initialized shared structure (oracle, kernel, parallel
+engines, worker pools, stats) is built and mutated under a lock, so
+racing callers converge on one engine per ``(jobs, version)`` key and
+one worker pool.  Mutating the graph concurrently with in-flight
+queries is not — mutate between batches (the next call observes the
+new version, rebuilds the oracle and re-keys the cache).
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
@@ -44,6 +47,7 @@ from repro.core.strategies import strategy_by_name
 from repro.index.base import DistanceOracle
 from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
 from repro.service.cache import ResultCache, canonical_query_key
+from repro.service.reservoir import DEFAULT_RESERVOIR_CAPACITY, LatencyReservoir
 from repro.workloads.runner import (
     ALGORITHMS,
     AlgorithmSpec,
@@ -65,7 +69,10 @@ class ServiceResult:
 
     ``result`` is the underlying solver result (:class:`KTGResult` or
     :class:`DKTGResult`); ``latency_ms`` is the *serving* latency — for
-    cache hits that is the lookup time, for misses the solve time.
+    cache hits the lookup time, for misses the submission-to-completion
+    wall time, which includes any worker-pool queue wait (the pure
+    solve cost is observable separately via the ``service.solve_ms``
+    instrument).
     """
 
     query: KTGQuery
@@ -92,8 +99,18 @@ class ServiceResult:
 class ServiceStats:
     """Aggregate serving metrics, exported flat for benches.
 
-    Latency percentiles use the ceiling nearest-rank definition shared
-    with :class:`repro.workloads.runner.LatencyReport`.
+    ``queries_served`` and ``mean_ms`` are exact over the full serving
+    history.  Latency percentiles use the ceiling nearest-rank
+    definition shared with
+    :class:`repro.workloads.runner.LatencyReport`, computed over a
+    bounded uniform reservoir sample of the latency stream
+    (:class:`repro.service.reservoir.LatencyReservoir`) rather than the
+    full history — a long-running server keeps O(capacity) latency
+    state instead of growing without bound, at the cost of standard
+    sampling error on the percentiles once more than
+    ``latency_sample_size`` queries have been served.
+    ``latency_sample_size`` reports how many samples back the
+    percentiles (== min(queries_served, reservoir capacity)).
     """
 
     queries_served: int
@@ -106,6 +123,7 @@ class ServiceStats:
     p50_ms: float
     p95_ms: float
     p99_ms: float
+    latency_sample_size: int = 0
 
     def as_dict(self) -> dict:
         """Flat dict for table/CSV rendering and bench ``extra_info``."""
@@ -120,6 +138,7 @@ class ServiceStats:
             "p50_ms": round(self.p50_ms, 3),
             "p95_ms": round(self.p95_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
+            "latency_sample_size": self.latency_sample_size,
         }
 
 
@@ -308,10 +327,16 @@ class QueryService:
         self.kernel_backend = validate_kernel_backend(kernel_backend)
         self._kernel = None
         self._engines: dict[tuple, ParallelBranchAndBoundSolver] = {}
+        # Lazy-init guards: concurrent submit/run_batch calls race to
+        # build the parallel-engine cache and the worker pool; without
+        # these locks the losers leaked whole pools (process fleets hold
+        # shared-memory segments, so a leaked loser leaks /dev/shm too).
+        self._engines_lock = threading.Lock()
+        self._pool_lock = threading.RLock()
         self._oracle = oracle
         self._oracle_lock = threading.Lock()
         self._stats_lock = threading.Lock()
-        self._latencies_ms: list[float] = []
+        self._latencies = LatencyReservoir(DEFAULT_RESERVOIR_CAPACITY)
         self._queries_served = 0
         self._degraded_answers = 0
         self._pool: Optional[Union[ThreadPoolExecutor, ProcessPoolExecutor]] = None
@@ -331,12 +356,19 @@ class QueryService:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut down the worker pool and any parallel engines (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        for engine in self._engines.values():
+        self._close_pool()
+        with self._engines_lock:
+            engines = list(self._engines.values())
+            self._engines.clear()
+        for engine in engines:
             engine.close()
-        self._engines.clear()
+
+    def _close_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._pool_graph_version = None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -408,13 +440,19 @@ class QueryService:
         return list(pool.map(lambda q: self._serve_one(q, tb, nb), lifted))
 
     def stats(self) -> ServiceStats:
-        """Snapshot of the aggregate serving metrics."""
+        """Snapshot of the aggregate serving metrics.
+
+        Count and mean are exact; percentiles come from the bounded
+        latency reservoir (see :class:`ServiceStats`), so a snapshot
+        sorts at most ``reservoir.capacity`` samples no matter how long
+        the service has been running.
+        """
         with self._stats_lock:
-            latencies = sorted(self._latencies_ms)
+            sample = self._latencies.sorted_sample()
+            mean = self._latencies.mean
             served = self._queries_served
             degraded = self._degraded_answers
         cache_stats = self.cache.stats.snapshot()
-        mean = sum(latencies) / len(latencies) if latencies else 0.0
         return ServiceStats(
             queries_served=served,
             cache_hits=cache_stats.hits,
@@ -423,9 +461,10 @@ class QueryService:
             cache_hit_rate=cache_stats.hit_rate,
             degraded_answers=degraded,
             mean_ms=mean,
-            p50_ms=percentile_nearest_rank(latencies, 0.50),
-            p95_ms=percentile_nearest_rank(latencies, 0.95),
-            p99_ms=percentile_nearest_rank(latencies, 0.99),
+            p50_ms=percentile_nearest_rank(sample, 0.50),
+            p95_ms=percentile_nearest_rank(sample, 0.95),
+            p99_ms=percentile_nearest_rank(sample, 0.99),
+            latency_sample_size=len(sample),
         )
 
     def instrument_report(self) -> dict:
@@ -474,6 +513,16 @@ class QueryService:
         if self.instruments.enabled:
             report["instruments"] = self.instruments.report()
         return report
+
+    def cache_key(self, query: KTGQuery) -> tuple:
+        """Canonical identity of *query*'s answer on this service.
+
+        The same ``(graph.version, algorithm, canonical query)`` tuple
+        the result cache keys by — exposed publicly so the serving
+        front end (:mod:`repro.server`) can coalesce identical
+        concurrent requests onto one in-flight solve.
+        """
+        return self._cache_key(self._lift(query))
 
     # ------------------------------------------------------------------
     # Internals
@@ -531,28 +580,32 @@ class QueryService:
 
         Keyed by ``(jobs, graph.version)`` so a graph mutation retires
         stale engines (their shipped worker state snapshots the graph).
-        Engines are closed by :meth:`close`.
+        Engines are closed by :meth:`close`.  Construction is serialized
+        under ``_engines_lock``: racing submits must converge on *one*
+        engine per key — the losing duplicate of a process fleet would
+        leak worker processes and shared-memory segments.
         """
         key = (jobs, self.graph.version)
-        engine = self._engines.get(key)
-        if engine is None:
-            stale = [k for k in self._engines if k[1] != self.graph.version]
-            for k in stale:
-                self._engines.pop(k).close()
-            oracle = self._ensure_oracle()
-            engine = ParallelBranchAndBoundSolver(
-                self.graph,
-                oracle=oracle,
-                strategy=strategy_by_name(self.spec.strategy_name, self.graph),
-                jobs=jobs,
-                executor=self.jobs_executor,
-                distance_engine=self.distance_engine,
-                kernel=self._ensure_kernel(oracle),
-                graph_layout=self.graph_layout,
-                kernel_backend=self.kernel_backend,
-                instruments=self.instruments,
-            )
-            self._engines[key] = engine
+        with self._engines_lock:
+            engine = self._engines.get(key)
+            if engine is None:
+                stale = [k for k in self._engines if k[1] != self.graph.version]
+                for k in stale:
+                    self._engines.pop(k).close()
+                oracle = self._ensure_oracle()
+                engine = ParallelBranchAndBoundSolver(
+                    self.graph,
+                    oracle=oracle,
+                    strategy=strategy_by_name(self.spec.strategy_name, self.graph),
+                    jobs=jobs,
+                    executor=self.jobs_executor,
+                    distance_engine=self.distance_engine,
+                    kernel=self._ensure_kernel(oracle),
+                    graph_layout=self.graph_layout,
+                    kernel_backend=self.kernel_backend,
+                    instruments=self.instruments,
+                )
+                self._engines[key] = engine
         return engine
 
     def _serve_one(
@@ -622,50 +675,58 @@ class QueryService:
             self._degraded_counter.inc()
         with self._stats_lock:
             self._queries_served += 1
-            self._latencies_ms.append(served.latency_ms)
+            self._latencies.observe(served.latency_ms)
             if served.degraded:
                 self._degraded_answers += 1
 
     # -- thread pool ----------------------------------------------------
     def _thread_pool(self) -> ThreadPoolExecutor:
-        if self._pool is not None and not isinstance(self._pool, ThreadPoolExecutor):
-            self.close()
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.max_workers,
-                thread_name_prefix="ktg-service",
-            )
-        return self._pool
+        # Lazy init is serialized: racing run_batch calls must share one
+        # pool (the loser of an unsynchronized race leaked its threads).
+        with self._pool_lock:
+            if self._pool is not None and not isinstance(
+                self._pool, ThreadPoolExecutor
+            ):
+                self._close_pool()
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="ktg-service",
+                )
+            return self._pool
 
     # -- process pool ---------------------------------------------------
     def _process_pool(self) -> ProcessPoolExecutor:
         # Workers snapshot the graph at pool start; a mutation since then
         # would have them answering against a stale graph, so the pool is
-        # recycled whenever the version moved.
-        recycle = (
-            self._pool is not None
-            and (
-                not isinstance(self._pool, ProcessPoolExecutor)
-                or self._pool_graph_version != self.graph.version
+        # recycled whenever the version moved.  Same race rules as
+        # _thread_pool, with higher stakes: a leaked duplicate process
+        # pool holds worker processes and /dev/shm segments.
+        with self._pool_lock:
+            recycle = (
+                self._pool is not None
+                and (
+                    not isinstance(self._pool, ProcessPoolExecutor)
+                    or self._pool_graph_version != self.graph.version
+                )
             )
-        )
-        if recycle:
-            self.close()
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.max_workers,
-                initializer=_process_worker_init,
-                initargs=(
-                    self.graph,
-                    self.spec,
-                    self._ensure_oracle(),
-                    self.distance_engine,
-                    self.graph_layout,
-                    self.kernel_backend,
-                ),
-            )
-            self._pool_graph_version = self.graph.version
-        return self._pool
+            if recycle:
+                self._close_pool()
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_process_worker_init,
+                    initargs=(
+                        self.graph,
+                        self.spec,
+                        self._ensure_oracle(),
+                        self.distance_engine,
+                        self.graph_layout,
+                        self.kernel_backend,
+                    ),
+                )
+                self._pool_graph_version = self.graph.version
+            return self._pool
 
     def _run_batch_processes(
         self,
@@ -700,17 +761,30 @@ class QueryService:
                 pending.append(position)
         if pending:
             pool = self._process_pool()
-            futures = [
-                pool.submit(_process_solve, queries[position], time_budget, node_budget)
-                for position in pending
-            ]
-            for position, future in zip(pending, futures):
-                result, latency_ms = future.result()
-                self._solve_timer.observe_ms(latency_ms)
+            # Serve latency is submission-to-completion wall time, not
+            # the worker-side solve timer: in a saturated pool a task
+            # queues before it runs, and that wait is real latency the
+            # client observed.  The worker's own timer still feeds the
+            # service.solve_ms instrument (pure solve cost), so the gap
+            # between the two *is* the queueing delay.  Futures are
+            # harvested in completion order so a slow early query does
+            # not inflate the recorded wall time of fast later ones.
+            submitted: dict[int, float] = {}
+            future_position: dict = {}
+            for position in pending:
+                submitted[position] = time.perf_counter()
+                future = pool.submit(
+                    _process_solve, queries[position], time_budget, node_budget
+                )
+                future_position[future] = position
+            for future in as_completed(future_position):
+                position = future_position[future]
+                result, solve_ms = future.result()
+                self._solve_timer.observe_ms(solve_ms)
                 served = ServiceResult(
                     query=queries[position],
                     result=result,
-                    latency_ms=latency_ms,
+                    latency_ms=(time.perf_counter() - submitted[position]) * 1000.0,
                     from_cache=False,
                 )
                 self._serve_timer.observe_ms(served.latency_ms)

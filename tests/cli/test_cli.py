@@ -330,3 +330,48 @@ class TestParallelFlags:
         )
         assert code == 0
         assert "jobs=2 per query" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "brightkite"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.workers == 4
+        assert args.rate_limit == 0.0
+        assert args.max_inflight == 64
+        assert args.cache_capacity == 1024
+
+    def test_parser_full_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "brightkite",
+                "--scale",
+                "0.1",
+                "--port",
+                "0",
+                "--rate-limit",
+                "25",
+                "--burst",
+                "50",
+                "--max-inflight",
+                "8",
+                "--pressure-threshold",
+                "4",
+                "--pressure-time-budget",
+                "0.02",
+                "--workers",
+                "2",
+                "--algorithm",
+                "KTG-VKC-NLRNL",
+            ]
+        )
+        assert args.port == 0 and args.rate_limit == 25.0
+        assert args.pressure_threshold == 4
+        assert args.algorithm == "KTG-VKC-NLRNL"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "orkut"])

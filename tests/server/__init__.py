@@ -1,0 +1,1 @@
+"""Tests for the asyncio HTTP serving front end (:mod:`repro.server`)."""

@@ -1,0 +1,88 @@
+"""Unit tests for in-flight identical-query coalescing."""
+
+import asyncio
+import pytest
+
+from repro.server.coalesce import InflightCoalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestJoin:
+    def test_first_arrival_leads_later_arrivals_follow(self):
+        async def scenario():
+            coalescer = InflightCoalescer()
+            leader_future, is_leader = coalescer.join("k")
+            follower_future, follows = coalescer.join("k")
+            assert is_leader and not follows
+            assert follower_future is leader_future
+            assert coalescer.inflight() == 1
+            assert (coalescer.leaders, coalescer.followers) == (1, 1)
+            coalescer.resolve("k", leader_future, result="answer")
+            assert await follower_future == "answer"
+            assert coalescer.inflight() == 0
+
+        run(scenario())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            coalescer = InflightCoalescer()
+            future_a, lead_a = coalescer.join("a")
+            future_b, lead_b = coalescer.join("b")
+            assert lead_a and lead_b and future_a is not future_b
+            assert coalescer.inflight() == 2
+            coalescer.resolve("a", future_a, result=1)
+            coalescer.resolve("b", future_b, result=2)
+
+        run(scenario())
+
+    def test_next_arrival_after_resolve_is_a_fresh_leader(self):
+        async def scenario():
+            coalescer = InflightCoalescer()
+            first, _ = coalescer.join("k")
+            coalescer.resolve("k", first, result=1)
+            second, is_leader = coalescer.join("k")
+            assert is_leader and second is not first
+            coalescer.resolve("k", second, result=2)
+
+        run(scenario())
+
+
+class TestResolve:
+    def test_error_fans_out_to_followers_and_clears_entry(self):
+        async def scenario():
+            coalescer = InflightCoalescer()
+            future, _ = coalescer.join("k")
+            coalescer.join("k")  # follower
+            coalescer.resolve("k", future, error=RuntimeError("boom"))
+            with pytest.raises(RuntimeError, match="boom"):
+                await future
+            # The failed entry is retired: the next arrival retries fresh.
+            _, is_leader = coalescer.join("k")
+            assert is_leader
+
+        run(scenario())
+
+    def test_resolving_a_cancelled_future_is_a_no_op(self):
+        async def scenario():
+            coalescer = InflightCoalescer()
+            future, _ = coalescer.join("k")
+            future.cancel()
+            coalescer.resolve("k", future, result="late")  # must not raise
+            assert coalescer.inflight() == 0
+
+        run(scenario())
+
+    def test_many_followers_all_receive_the_result(self):
+        async def scenario():
+            coalescer = InflightCoalescer()
+            leader_future, _ = coalescer.join("k")
+            followers = [coalescer.join("k")[0] for _ in range(8)]
+            waiters = [asyncio.ensure_future(f) for f in [leader_future, *followers]]
+            coalescer.resolve("k", leader_future, result=42)
+            assert await asyncio.gather(*waiters) == [42] * 9
+            assert coalescer.followers == 8
+
+        run(scenario())

@@ -1,0 +1,187 @@
+"""Unit tests for the hand-rolled HTTP/1.1 framing layer."""
+
+import json
+
+import asyncio
+import pytest
+
+from repro.server.http import (
+    HttpError,
+    HttpRequest,
+    json_body,
+    json_response,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, **limits):
+    """Feed *raw* to a fresh StreamReader and read one request."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **limits)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_get_with_query_string(self):
+        request = parse(b"GET /stats?fmt=json&x=1 HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/stats"
+        assert request.query == {"fmt": "json", "x": "1"}
+        assert request.body == b""
+        assert request.keep_alive  # HTTP/1.1 default
+
+    def test_post_with_content_length_body(self):
+        body = b'{"keywords": ["a"]}'
+        request = parse(
+            b"POST /solve HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.method == "POST"
+        assert request.body == body
+        assert request.header("content-type") == "application/json"
+        assert request.header("Content-Type") == "application/json"  # case-fold
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_header_block_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET /healthz HTTP/1.1\r\nHost")
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET/healthz\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_version_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/2.0\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_malformed_header_line_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_transfer_encoding_rejected_411(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 411
+
+    def test_oversized_header_block_is_431(self):
+        padding = b"X-Pad: " + b"a" * 200 + b"\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(
+                b"GET / HTTP/1.1\r\n" + padding + b"\r\n",
+                max_header_bytes=64,
+            )
+        assert excinfo.value.status == 431
+
+    def test_oversized_body_is_413_before_reading(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n",
+                max_body_bytes=100,
+            )
+        assert excinfo.value.status == 413
+
+    def test_non_integer_content_length_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_negative_content_length_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert excinfo.value.status == 400
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_http_10_defaults_to_close(self):
+        request = parse(b"GET / HTTP/1.0\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_http_10_keep_alive_honoured(self):
+        request = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        assert request.keep_alive
+
+    def test_two_pipelined_requests_parse_in_order(self):
+        raw = (
+            b"GET /healthz HTTP/1.1\r\n\r\n"
+            b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            first = await read_request(reader)
+            second = await read_request(reader)
+            third = await read_request(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(run())
+        assert first.path == "/healthz" and first.keep_alive
+        assert second.path == "/stats" and not second.keep_alive
+        assert third is None
+
+
+class TestResponses:
+    def test_render_response_wire_format(self):
+        raw = render_response(200, b"hi", keep_alive=False, content_type="text/plain")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "Content-Length: 2" in lines
+        assert "Connection: close" in lines
+        assert body == b"hi"
+
+    def test_json_response_round_trips(self):
+        raw = json_response(429, {"error": "rate limited"},
+                            extra_headers={"Retry-After": "0.5"})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests")
+        assert b"Retry-After: 0.5" in head
+        assert json.loads(body) == {"error": "rate limited"}
+
+    def test_unknown_status_gets_placeholder_reason(self):
+        assert render_response(299, b"").startswith(b"HTTP/1.1 299 Unknown")
+
+
+class TestJsonBody:
+    def _request(self, body: bytes) -> HttpRequest:
+        return HttpRequest(method="POST", path="/solve", body=body)
+
+    def test_decodes_object(self):
+        assert json_body(self._request(b'{"a": 1}')) == {"a": 1}
+
+    def test_empty_body_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            json_body(self._request(b""))
+        assert excinfo.value.status == 400
+
+    def test_invalid_json_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            json_body(self._request(b"{nope"))
+        assert excinfo.value.status == 400
+
+    def test_non_object_json_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            json_body(self._request(b"[1, 2]"))
+        assert excinfo.value.status == 400

@@ -1,0 +1,108 @@
+"""Unit tests for the per-client token bucket (deterministic fake clock)."""
+
+import pytest
+
+from repro.server.ratelimit import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_new_bucket_starts_full(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
+        assert [bucket.try_acquire(0.0) for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_at_rate_up_to_burst(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0, now=0.0)
+        assert bucket.try_acquire(0.0) and bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)  # drained
+        assert bucket.try_acquire(0.5)  # 0.5s * 2/s = 1 token back
+        assert not bucket.try_acquire(0.5)
+        # A long idle period refills to burst, not beyond.
+        assert bucket.try_acquire(100.0) and bucket.try_acquire(100.0)
+        assert not bucket.try_acquire(100.0)
+
+    def test_clock_going_backwards_does_not_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, now=10.0)
+        assert bucket.try_acquire(10.0)
+        assert not bucket.try_acquire(5.0)
+
+
+class TestRateLimiter:
+    def test_disabled_limiter_admits_everything(self):
+        limiter = RateLimiter(rate=0.0)
+        assert not limiter.enabled
+        assert all(limiter.allow("c") for _ in range(100))
+        assert limiter.admitted == 100 and limiter.rejected == 0
+        assert limiter.retry_after_seconds("c") == 0.0
+        assert len(limiter) == 0  # no buckets kept when disabled
+
+    def test_burst_then_reject_then_refill(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=2.0, clock=clock)
+        assert limiter.allow("c") and limiter.allow("c")
+        assert not limiter.allow("c")
+        assert limiter.rejected == 1
+        retry = limiter.retry_after_seconds("c")
+        assert retry == pytest.approx(1.0)
+        clock.advance(retry)
+        assert limiter.allow("c")
+
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        assert limiter.allow("a")
+        assert not limiter.allow("a")
+        assert limiter.allow("b")  # b's bucket untouched by a's drain
+
+    def test_default_burst_is_one_second_of_rate(self):
+        assert RateLimiter(rate=5.0).burst == 5.0
+        assert RateLimiter(rate=0.25).burst == 1.0  # floor of one request
+
+    def test_multi_token_batch_pricing(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=3.0, clock=clock)
+        assert not limiter.allow("c", tokens=4.0)  # batch bigger than burst
+        assert limiter.allow("c", tokens=3.0)
+        assert not limiter.allow("c", tokens=1.0)
+        assert limiter.retry_after_seconds("c", tokens=2.0) == pytest.approx(2.0)
+
+    def test_lru_eviction_bounds_client_count(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, max_clients=2, clock=clock)
+        assert limiter.allow("a")
+        assert limiter.allow("b")
+        assert limiter.allow("c")  # evicts a (least recently seen)
+        assert len(limiter) == 2
+        # The evicted client returns with a fresh full bucket — the same
+        # state an idle bucket would have refilled to anyway.
+        assert limiter.allow("a")
+        assert len(limiter) == 2
+
+    def test_touching_a_client_refreshes_its_lru_slot(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=5.0, max_clients=2, clock=clock)
+        limiter.allow("a")
+        limiter.allow("b")
+        limiter.allow("a")  # a becomes most-recent
+        limiter.allow("c")  # evicts b, not a
+        limiter.allow("a")
+        assert len(limiter) == 2
+        # a kept its drained bucket: 5-token burst spent 3 so far.
+        assert limiter.allow("a") and limiter.allow("a")
+        assert not limiter.allow("a")
+
+    def test_max_clients_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, max_clients=0)

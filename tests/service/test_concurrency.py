@@ -2,14 +2,19 @@
 
 The acceptance bar: parallel execution returns identical ``member_sets``
 to sequential execution on a fixed workload (exactness preserved under
-concurrency), and graph mutations invalidate cached answers through the
-version counter.
+concurrency), graph mutations invalidate cached answers through the
+version counter, and racing callers converge on exactly one lazily
+built engine/pool per key (the unsynchronized race used to leak whole
+process fleets and their /dev/shm segments).
 """
 
+import glob
 import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import pytest
 
+import repro.service.service as service_module
 from repro.core.query import KTGQuery
 from repro.index.bfs import BFSOracle
 from repro.index.nl import NLIndex
@@ -186,3 +191,238 @@ class TestConcurrentSubmission:
         stats = service.stats()
         assert stats.queries_served == 5 * len(workload)
         assert stats.cache_hits > 0  # repeats must be amortised
+
+
+class TestLazyInitRaces:
+    """Racing callers must converge on one engine/pool per key.
+
+    The lazy initializers used to be unsynchronized: two threads could
+    both observe "no engine yet", both build one, and the loser's fleet
+    leaked (worker threads or processes, and with process fleets the
+    /dev/shm snapshot segments too).  The constructors are counted via
+    monkeypatched stand-ins so the tests assert *creations*, not just
+    the final dict size.
+    """
+
+    def _hammer(self, n_threads, work):
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def runner(worker):
+            barrier.wait()
+            try:
+                work(worker)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append((worker, exc))
+
+        threads = [
+            threading.Thread(target=runner, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_racing_jobs_submits_build_exactly_one_engine(self, monkeypatch):
+        graph = make_random_attributed_graph(num_vertices=30, seed=5)
+        labels = tuple(sorted(graph.keyword_table)[:3])
+        query = KTGQuery(keywords=labels, group_size=2, tenuity=2, top_n=2)
+
+        real_engine = service_module.ParallelBranchAndBoundSolver
+        built = []
+
+        def counting_engine(*args, **kwargs):
+            engine = real_engine(*args, **kwargs)
+            built.append(engine)
+            return engine
+
+        monkeypatch.setattr(
+            service_module, "ParallelBranchAndBoundSolver", counting_engine
+        )
+        with QueryService(
+            graph, "KTG-VKC-NLRNL", jobs_executor="thread", cache_capacity=0
+        ) as service:
+            self._hammer(8, lambda worker: service.submit(query, jobs=2))
+            assert len(built) == 1  # exactly one construction, no leaked loser
+            assert set(service._engines) == {(2, graph.version)}
+
+    def test_distinct_fleet_sizes_get_distinct_engines(self, monkeypatch):
+        graph = make_random_attributed_graph(num_vertices=30, seed=5)
+        labels = tuple(sorted(graph.keyword_table)[:3])
+        query = KTGQuery(keywords=labels, group_size=2, tenuity=2, top_n=2)
+
+        real_engine = service_module.ParallelBranchAndBoundSolver
+        built = []
+
+        def counting_engine(*args, **kwargs):
+            engine = real_engine(*args, **kwargs)
+            built.append(engine)
+            return engine
+
+        monkeypatch.setattr(
+            service_module, "ParallelBranchAndBoundSolver", counting_engine
+        )
+        with QueryService(
+            graph, "KTG-VKC-NLRNL", jobs_executor="thread", cache_capacity=0
+        ) as service:
+            # Half the hammer asks for a 2-wide fleet, half for 3-wide:
+            # exactly one engine per (jobs, version) key may be built.
+            self._hammer(
+                8, lambda worker: service.submit(query, jobs=2 + worker % 2)
+            )
+            assert len(built) == 2
+            assert set(service._engines) == {
+                (2, graph.version),
+                (3, graph.version),
+            }
+
+    def test_racing_thread_batches_share_one_pool(self, monkeypatch):
+        graph = make_random_attributed_graph(num_vertices=30, seed=6)
+        labels = tuple(sorted(graph.keyword_table)[:3])
+        queries = [
+            KTGQuery(keywords=labels, group_size=2, tenuity=t, top_n=2)
+            for t in (1, 2)
+        ]
+        created = []
+
+        class CountingThreadPool(ThreadPoolExecutor):
+            def __init__(self, *args, **kwargs):
+                created.append(self)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(
+            service_module, "ThreadPoolExecutor", CountingThreadPool
+        )
+        with QueryService(graph, "KTG-VKC-NLRNL", max_workers=2) as service:
+            self._hammer(8, lambda worker: service.run_batch(queries))
+            assert len(created) == 1
+
+    def test_racing_process_batches_share_one_pool_and_leak_no_shm(
+        self, monkeypatch
+    ):
+        # The high-stakes variant: a leaked loser pool would hold worker
+        # processes and (with the CSR layout) /dev/shm snapshot segments.
+        baseline_shm = set(glob.glob("/dev/shm/psm_*"))
+        graph = make_random_attributed_graph(num_vertices=25, seed=7)
+        labels = tuple(sorted(graph.keyword_table)[:3])
+        queries = [
+            KTGQuery(keywords=labels, group_size=2, tenuity=t, top_n=2)
+            for t in (1, 2)
+        ]
+        created = []
+
+        class CountingProcessPool(ProcessPoolExecutor):
+            def __init__(self, *args, **kwargs):
+                created.append(self)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(
+            service_module, "ProcessPoolExecutor", CountingProcessPool
+        )
+        with QueryService(
+            graph,
+            "KTG-VKC-NLRNL",
+            max_workers=2,
+            executor="process",
+            graph_layout="csr",
+            cache_capacity=0,
+        ) as service:
+            self._hammer(4, lambda worker: service.run_batch(queries))
+            assert len(created) == 1
+        leaked = set(glob.glob("/dev/shm/psm_*")) - baseline_shm
+        assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
+
+    def test_racing_process_fleet_submits_leak_no_shm(self, monkeypatch):
+        # Process fleets with the CSR layout attach workers to a
+        # shared-memory graph snapshot; a duplicate engine built by a
+        # race loser used to orphan that segment.  One engine may be
+        # built, and closing the service must return /dev/shm to its
+        # baseline.
+        baseline_shm = set(glob.glob("/dev/shm/psm_*"))
+        graph = make_random_attributed_graph(num_vertices=25, seed=8)
+        labels = tuple(sorted(graph.keyword_table)[:3])
+        query = KTGQuery(keywords=labels, group_size=2, tenuity=2, top_n=2)
+
+        real_engine = service_module.ParallelBranchAndBoundSolver
+        built = []
+
+        def counting_engine(*args, **kwargs):
+            engine = real_engine(*args, **kwargs)
+            built.append(engine)
+            return engine
+
+        monkeypatch.setattr(
+            service_module, "ParallelBranchAndBoundSolver", counting_engine
+        )
+        with QueryService(
+            graph,
+            "KTG-VKC-NLRNL",
+            jobs_executor="process",
+            graph_layout="csr",
+            cache_capacity=0,
+        ) as service:
+            self._hammer(4, lambda worker: service.submit(query, jobs=2))
+            assert len(built) == 1
+            assert set(service._engines) == {(2, graph.version)}
+        leaked = set(glob.glob("/dev/shm/psm_*")) - baseline_shm
+        assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
+
+
+class TestMixedInterleavings:
+    """Per-query fleets and batch pools interleaving from many threads."""
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_submit_jobs_and_run_batch_interleave(
+        self, graph, workload, executor
+    ):
+        queries = list(workload)[:5]
+        truth = [
+            r.member_sets()
+            for r in QueryService(
+                graph, "KTG-VKC-NLRNL", cache_capacity=0
+            ).run_batch(queries, parallel=False)
+        ]
+        failures = []
+        # cache_capacity=0 keeps every path honest: each call really
+        # solves, so the batch pool and the jobs fleet are both built
+        # and exercised no matter how the threads interleave.
+        with QueryService(
+            graph,
+            "KTG-VKC-NLRNL",
+            max_workers=2,
+            executor=executor,
+            jobs_executor="thread",
+            cache_capacity=0,
+        ) as service:
+            barrier = threading.Barrier(4)
+
+            def submitter(worker):
+                barrier.wait()
+                for position, query in enumerate(queries):
+                    served = service.submit(query, jobs=2)
+                    if served.member_sets() != truth[position]:
+                        failures.append(("submit", worker, position))
+
+            def batcher(worker):
+                barrier.wait()
+                results = service.run_batch(queries)
+                for position, served in enumerate(results):
+                    if served.member_sets() != truth[position]:
+                        failures.append(("batch", worker, position))
+
+            threads = [
+                threading.Thread(target=submitter, args=(0,)),
+                threading.Thread(target=submitter, args=(1,)),
+                threading.Thread(target=batcher, args=(2,)),
+                threading.Thread(target=batcher, args=(3,)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures
+            # Both lazy layers were exercised: the jobs fleet registry
+            # holds exactly one engine, and the batch pool exists.
+            assert set(service._engines) == {(2, graph.version)}
+            assert service._pool is not None

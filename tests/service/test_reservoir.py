@@ -1,0 +1,80 @@
+"""Unit tests for the bounded latency reservoir (Algorithm R)."""
+
+import random
+
+import pytest
+
+from repro.service.reservoir import DEFAULT_RESERVOIR_CAPACITY, LatencyReservoir
+from repro.workloads.runner import percentile_nearest_rank
+
+
+class TestBelowCapacity:
+    def test_sample_is_exact_until_capacity(self):
+        reservoir = LatencyReservoir(capacity=8)
+        values = [5.0, 1.0, 3.0, 2.0]
+        for value in values:
+            reservoir.observe(value)
+        assert reservoir.count == 4
+        assert reservoir.sample_size == 4
+        assert reservoir.sorted_sample() == sorted(values)
+        assert reservoir.mean == pytest.approx(sum(values) / 4)
+
+    def test_empty_reservoir(self):
+        reservoir = LatencyReservoir(capacity=4)
+        assert reservoir.count == 0
+        assert reservoir.mean == 0.0
+        assert reservoir.sorted_sample() == []
+        assert len(reservoir) == 0
+
+
+class TestBeyondCapacity:
+    def test_count_and_mean_stay_exact(self):
+        reservoir = LatencyReservoir(capacity=16)
+        stream = [float(i) for i in range(1, 1001)]
+        for value in stream:
+            reservoir.observe(value)
+        assert reservoir.count == 1000
+        assert reservoir.sample_size == 16  # bounded memory
+        assert reservoir.mean == pytest.approx(sum(stream) / 1000)
+        assert reservoir.total == pytest.approx(sum(stream))
+
+    def test_sample_values_come_from_the_stream(self):
+        reservoir = LatencyReservoir(capacity=8)
+        stream = {float(i) * 0.5 for i in range(200)}
+        for value in stream:
+            reservoir.observe(value)
+        assert set(reservoir.sorted_sample()) <= stream
+
+    def test_seeded_runs_are_deterministic(self):
+        first = LatencyReservoir(capacity=32)
+        second = LatencyReservoir(capacity=32)
+        stream = [random.Random(7).uniform(0, 100) for _ in range(500)]
+        for value in stream:
+            first.observe(value)
+            second.observe(value)
+        assert first.sorted_sample() == second.sorted_sample()
+
+    def test_percentile_estimate_converges(self):
+        # Uniform stream 0..9999: the p50 sample estimate must land
+        # near 5000 with the default 4096-slot reservoir.
+        reservoir = LatencyReservoir()
+        shuffled = list(range(10_000))
+        random.Random(3).shuffle(shuffled)
+        for value in shuffled:
+            reservoir.observe(float(value))
+        assert reservoir.sample_size == DEFAULT_RESERVOIR_CAPACITY
+        p50 = percentile_nearest_rank(reservoir.sorted_sample(), 0.50)
+        assert 4500 <= p50 <= 5500
+        p99 = percentile_nearest_rank(reservoir.sorted_sample(), 0.99)
+        assert 9700 <= p99 <= 10_000
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=0)
+
+    def test_repr_mentions_state(self):
+        reservoir = LatencyReservoir(capacity=2)
+        reservoir.observe(1.0)
+        assert "count=1" in repr(reservoir)

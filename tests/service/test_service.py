@@ -131,6 +131,7 @@ class TestStats:
             "p50_ms",
             "p95_ms",
             "p99_ms",
+            "latency_sample_size",
         }
         assert all(isinstance(value, (int, float)) for value in row.values())
 
