@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Fail when a job leaves POSIX shared-memory segments behind.
+#
+# Every multiprocessing.shared_memory segment the repo creates is named
+# psm_* by CPython; a segment still present in /dev/shm after a test or
+# smoke job exits means an unlink was skipped (e.g. an epoch retired
+# without its last lease being released).  Used by every CI job after
+# its test step.
+set -euo pipefail
+
+leaked=$(ls /dev/shm/psm_* 2>/dev/null || true)
+if [ -n "$leaked" ]; then
+    echo "leaked shared-memory segments: $leaked" >&2
+    exit 1
+fi
+echo "no leaked /dev/shm segments"

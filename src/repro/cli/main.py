@@ -289,6 +289,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "numpy", "python"],
         help="bitset-kernel vectorization backend",
     )
+    serve.add_argument(
+        "--mutations",
+        action="store_true",
+        help=(
+            "accept POST /mutate graph edits: mutations are delta-buffered "
+            "against epoch CSR snapshots and served without a restart"
+        ),
+    )
+    serve.add_argument(
+        "--rotate-after",
+        type=int,
+        default=64,
+        help="delta depth that triggers a background epoch rotation",
+    )
+    serve.add_argument(
+        "--max-delta",
+        type=int,
+        default=256,
+        help="delta depth that forces a synchronous epoch rotation",
+    )
+    serve.add_argument(
+        "--epoch-shared",
+        action="store_true",
+        help="place epoch snapshots in shared memory (process fan-out)",
+    )
 
     sweep = commands.add_parser("sweep", help="run a Table I parameter sweep")
     sweep.add_argument("profile", choices=sorted(PROFILES))
@@ -357,6 +382,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=["auto", "numpy", "python"],
         help="bitset-kernel vectorization backend for the instrumented solve",
+    )
+    stats.add_argument(
+        "--churn",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "apply N random edge mutations through an epoch-mode service "
+            "interleaved with solves and print the epoch serving metrics"
+        ),
     )
 
     trace = commands.add_parser(
@@ -588,6 +623,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         distance_engine=args.distance_engine,
         graph_layout=args.graph_layout,
         kernel_backend=args.kernel_backend,
+        mutations=args.mutations,
+        epoch_rotate_after=args.rotate_after,
+        epoch_max_delta=args.max_delta,
+        epoch_shared=args.epoch_shared,
         instruments=registry,
     )
     server = KTGServer(
@@ -606,9 +645,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def _serve() -> None:
         await server.start()
         host, port = server.address
+        endpoints = "POST /solve, /batch; GET /stats, /healthz"
+        if args.mutations:
+            endpoints = "POST /solve, /batch, /mutate; GET /stats, /healthz"
         print(
             f"serving {args.profile} ({args.algorithm}) "
-            f"on http://{host}:{port} — POST /solve, /batch; GET /stats, /healthz"
+            f"on http://{host}:{port} — {endpoints}"
         )
         try:
             await server.serve_forever()
@@ -671,7 +713,9 @@ def _cmd_index_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    graph, _ = load_dataset(args.profile, scale=args.scale)
+    graph, vocabulary = load_dataset(args.profile, scale=args.scale)
+    if args.churn:
+        return _cmd_stats_churn(args, graph, vocabulary)
     if args.keywords:
         return _cmd_stats_solve(args, graph)
     statistics = compute_statistics(graph)
@@ -710,6 +754,63 @@ def _footprint_row(graph) -> dict:
         "attaches": totals["attaches"],
         "segment_releases": totals["segment_releases"],
     }
+
+
+def _cmd_stats_churn(args: argparse.Namespace, graph, vocabulary) -> int:
+    """``ktg stats <profile> --churn N``: serve under a mutation stream.
+
+    Interleaves solves with N random edge flips through an epoch-mode
+    :class:`QueryService`, then prints the service metrics (epoch id,
+    delta depth, rotation timings) and the epoch instrument section —
+    the quickest way to see snapshot rotation working end to end.
+    """
+    import random
+
+    from repro.service import QueryService
+    from repro.workloads.generator import WorkloadGenerator
+
+    generator = WorkloadGenerator(graph, vocabulary, dataset_name=args.profile)
+    workload = generator.generate(
+        count=max(4, min(args.churn, 16)),
+        keyword_size=4,
+        group_size=args.group_size,
+        tenuity=args.tenuity,
+        top_n=args.top_n,
+        seed=0,
+    )
+    rng = random.Random(0)
+    rotate_after = max(1, min(8, args.churn // 4 or 1))
+    with QueryService(
+        graph,
+        args.algorithm,
+        mutations=True,
+        epoch_rotate_after=rotate_after,
+        epoch_max_delta=4 * rotate_after,
+        epoch_rotate_sync=True,
+        distance_engine=args.distance_engine,
+        kernel_backend=args.kernel_backend,
+    ) as service:
+        n = graph.num_vertices
+        for step in range(args.churn):
+            u, v = rng.sample(range(n), 2)
+            if graph.has_edge(u, v):
+                service.remove_edge(u, v)
+            else:
+                service.add_edge(u, v)
+            service.submit(workload.queries[step % len(workload)])
+        stats = service.stats()
+        report = service.instrument_report()
+    print(
+        render_table(
+            [stats.as_dict()],
+            title=(
+                f"{args.profile}: service metrics under {args.churn} "
+                f"mutations (rotate_after={rotate_after})"
+            ),
+        )
+    )
+    print(render_table([report["epoch"]], title="epoch manager"))
+    return 0
 
 
 def _cmd_stats_solve(args: argparse.Namespace, graph) -> int:

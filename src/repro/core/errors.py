@@ -20,6 +20,7 @@ __all__ = [
     "IndexUpdateError",
     "SnapshotError",
     "SnapshotAttachError",
+    "EpochError",
     "KernelBackendError",
     "DatasetError",
     "WorkloadError",
@@ -94,6 +95,16 @@ class SnapshotAttachError(SnapshotError):
     The canonical cause is attach-after-release: the owning engine has
     already unlinked the segment (shutdown or ``graph.version`` bump) and
     the name no longer resolves.
+    """
+
+
+class EpochError(SnapshotError):
+    """Raised for invalid operations on an epoch manager.
+
+    Examples: mutating through a closed
+    :class:`repro.core.epoch.EpochManager`, or enabling epoch serving
+    on a service configuration that cannot support it (see
+    ``QueryService(mutations=True)``).
     """
 
 

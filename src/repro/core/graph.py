@@ -379,6 +379,20 @@ class AttributedGraph:
         self._vertex_keywords[vertex] = frozenset(intern(label) for label in labels)
         self._version += 1
 
+    def add_vertex(self, labels: Iterable[str] = ()) -> int:
+        """Append a new isolated vertex carrying *labels*; return its id.
+
+        Vertex ids stay dense: the new vertex gets id ``num_vertices``
+        (pre-insert).  Connect it with :meth:`add_edge` afterwards.
+        """
+        intern = self._keyword_table.intern
+        vertex = self._num_vertices
+        self._adjacency.append(set())
+        self._vertex_keywords.append(frozenset(intern(label) for label in labels))
+        self._num_vertices += 1
+        self._version += 1
+        return vertex
+
     # ------------------------------------------------------------------
     # Frozen snapshots (see repro.core.csr)
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Iterable, Union
 
 from repro.core.graph import AttributedGraph
 
@@ -160,6 +160,27 @@ class DistanceOracle(abc.ABC):
         """Remove edge ``(u, v)`` from the graph and update the index."""
         self.graph.remove_edge(u, v)
         self.rebuild()
+
+    def insert_vertex(self, labels: Iterable[str] = ()) -> int:
+        """Append an isolated vertex to the graph and update the index.
+
+        The default rebuilds; indexes with per-vertex state override it
+        to append an empty entry instead (an isolated vertex changes no
+        existing distance).
+        """
+        vertex = self.graph.add_vertex(labels)
+        self.rebuild()
+        return vertex
+
+    def note_keywords_changed(self) -> None:
+        """Resync after a keyword-only graph mutation.
+
+        Every oracle here stores distances, not keywords, so a
+        ``set_keywords`` bump never invalidates index state — only the
+        version stamp needs to follow, lest :meth:`is_stale` trigger a
+        pointless full rebuild.
+        """
+        self._built_version = self.graph.version
 
     def rebuild(self) -> None:
         """Recompute all index state from the current graph."""

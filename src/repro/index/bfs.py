@@ -207,25 +207,51 @@ class BFSOracle(DistanceOracle):
         return [v for v in candidates if v != member and v not in blocked]
 
     # ------------------------------------------------------------------
-    # The BFS oracle has no materialised state, so edits are free.
+    # Dynamic maintenance: the only materialised state is the frontier
+    # memo, and a ball B(c, k) can only change if an endpoint of the
+    # edited edge lies in it (any new/destroyed path of length <= k
+    # through the edge puts that endpoint within k of c).  Evicting just
+    # those entries keeps the warm memo alive under a mutation stream.
     # ------------------------------------------------------------------
     def supports_incremental_updates(self) -> bool:
         return True
 
     def insert_edge(self, u: int, v: int) -> None:
         self.graph.add_edge(u, v)
-        self.rebuild()
+        self._evict_touching(u, v)
 
     def delete_edge(self, u: int, v: int) -> None:
         self.graph.remove_edge(u, v)
-        self.rebuild()
+        self._evict_touching(u, v)
+
+    def insert_vertex(self, labels=()) -> int:
+        # An isolated vertex is in no memoised ball; nothing to evict.
+        vertex = self.graph.add_vertex(labels)
+        self._drop_csr_arrays()
+        self._built_version = self.graph.version
+        return vertex
+
+    def _evict_touching(self, u: int, v: int) -> None:
+        with self._memo_lock:
+            stale = [
+                key
+                for key, (seen, _frontier, _exhausted) in self._cache.items()
+                if key[0] == u or key[0] == v or u in seen or v in seen
+            ]
+            for key in stale:
+                del self._cache[key]
+        self._drop_csr_arrays()
+        self._built_version = self.graph.version
+
+    def _drop_csr_arrays(self) -> None:
+        self._csr_version = None
+        self._csr_indptr = None
+        self._csr_indices = None
 
     def rebuild(self) -> None:
         with self._memo_lock:
             self._cache.clear()
-        self._csr_version = None
-        self._csr_indptr = None
-        self._csr_indices = None
+        self._drop_csr_arrays()
         super().rebuild()
 
     # ------------------------------------------------------------------

@@ -306,6 +306,64 @@ class NLIndex(DistanceOracle):
             self._expand_and_find(vertex, -1, k)
 
     # ------------------------------------------------------------------
+    # Dynamic maintenance (affected-label repair, Section V-B)
+    # ------------------------------------------------------------------
+    def supports_incremental_updates(self) -> bool:
+        return True
+
+    def insert_edge(self, u: int, v: int) -> None:
+        self.graph.add_edge(u, v)
+        self._repair_affected(u, v)
+
+    def delete_edge(self, u: int, v: int) -> None:
+        self.graph.remove_edge(u, v)
+        self._repair_affected(u, v)
+
+    def insert_vertex(self, labels=()) -> int:
+        # An isolated vertex changes no existing level set; its own
+        # profile is the empty one the full build would produce.
+        vertex = self.graph.add_vertex(labels)
+        with self._expand_lock:
+            self._levels.append([])
+            self._stored_depth.append(0)
+            self._exhausted.append(True)
+            self._built_version = self.graph.version
+        return vertex
+
+    def _repair_affected(self, u: int, v: int) -> None:
+        """Recompute level sets only where the edited edge can matter.
+
+        A path of length <= d from *x* that the edit created or
+        destroyed passes through ``u`` or ``v`` at distance < d, so a
+        vertex whose materialised levels contain neither endpoint (and
+        is not an endpoint itself) keeps exactly its old levels.
+        Affected vertices are rebuilt to the base depth ``h`` —
+        on-demand expansions beyond it are cache and re-expand lazily.
+        """
+        with self._expand_lock:
+            adjacency = self.graph.adjacency_view()
+            affected = [
+                x
+                for x in range(len(self._levels))
+                if x == u
+                or x == v
+                or any(u in level or v in level for level in self._levels[x])
+            ]
+            for x in affected:
+                old_entries = sum(len(level) for level in self._levels[x])
+                new_levels = [set(level) for level in bfs_levels(adjacency, x, self.depth)]
+                self._levels[x] = new_levels
+                self._stored_depth[x] = len(new_levels)
+                self._exhausted[x] = len(new_levels) < self.depth
+                self.stats.entries += (
+                    sum(len(level) for level in new_levels) - old_entries
+                )
+            self.stats.extra["repaired_vertices"] = (
+                self.stats.extra.get("repaired_vertices", 0) + len(affected)
+            )
+            self._built_version = self.graph.version
+
+    # ------------------------------------------------------------------
     def level_sets(self, vertex: int) -> list[frozenset[int]]:
         """Materialised levels of *vertex* (read-only copies, for tests)."""
         return [frozenset(level) for level in self._levels[vertex]]

@@ -253,6 +253,20 @@ class NLRNLIndex(DistanceOracle):
         ]
         self._rebuild_vertices(affected)
 
+    def insert_vertex(self, labels=()) -> int:
+        """Append an isolated vertex: empty map, fresh singleton component.
+
+        No existing distance changes, so no map is rebuilt; the new
+        vertex's own map is the empty one a full build would produce and
+        its ``c`` is the empty-profile peak level.
+        """
+        vertex = self.graph.add_vertex(labels)
+        self._depth_of.append({})
+        self._c.append(choose_peak_level([]))
+        self._component = self.graph.connected_components()
+        self._built_version = self.graph.version
+        return vertex
+
     def _rebuild_vertices(self, vertices: list[int]) -> None:
         """Recompute the maps of *vertices* from fresh BFS runs.
 

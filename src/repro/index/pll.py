@@ -124,9 +124,90 @@ class PLLIndex(DistanceOracle):
 
         self._labels = labels
         self._order = order
+        self._rank = {vertex: position for position, vertex in enumerate(order)}
         self.stats.entries = sum(len(label) for label in labels)
         self.stats.build_seconds = time.perf_counter() - started
         super().rebuild()
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def supports_incremental_updates(self) -> bool:
+        return True
+
+    def insert_edge(self, u: int, v: int) -> None:
+        """Add edge ``(u, v)`` and repair labels with resumed pruned BFS.
+
+        The incremental-insertion rule for pruned landmark labels: every
+        landmark ``w`` that labels one endpoint may now reach vertices
+        beyond the *other* endpoint more cheaply, so its pruned BFS is
+        resumed from that endpoint at distance ``d(w, endpoint) + 1``.
+        Distances only shrink on insertion, so surviving entries stay
+        exact and the resumed searches add exactly the labels needed to
+        certify every improved pair.  Landmarks are resumed in rank
+        order so higher-rank labels prune the lower-rank resumes.
+        """
+        graph = self.graph
+        graph.add_edge(u, v)
+        rank = self._rank
+        resumes = sorted(
+            [(w, d, v) for w, d in self._labels[u].items()]
+            + [(w, d, u) for w, d in self._labels[v].items()],
+            key=lambda item: rank[item[0]],
+        )
+        for w, d, start in resumes:
+            self._resume_pruned_bfs(w, start, d + 1)
+        self._built_version = graph.version
+
+    def _resume_pruned_bfs(self, landmark: int, start: int, start_depth: int) -> None:
+        labels = self._labels
+        landmark_label = labels[landmark]
+        adjacency = self.graph.adjacency_view()
+        distances = {start: start_depth}
+        frontier = [start]
+        depth = start_depth
+        added = 0
+        while frontier:
+            next_frontier: list[int] = []
+            for vertex in frontier:
+                if _query(labels[vertex], landmark_label) <= depth:
+                    continue
+                labels[vertex][landmark] = depth
+                added += 1
+                for neighbor in adjacency[vertex]:
+                    if neighbor not in distances:
+                        distances[neighbor] = depth + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+            depth += 1
+        self.stats.entries += added
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Remove edge ``(u, v)``; labels are rebuilt from scratch.
+
+        Decremental 2-hop maintenance has no sound local repair: a
+        deletion can invalidate entries whose *pruning certificates*
+        (labels of unaffected, higher-rank landmarks) pass through the
+        affected region, so the damage is not confined to vertices whose
+        own distances changed.  The incremental-PLL literature leaves
+        deletions to a rebuild, and so do we — counted so operators can
+        see the cost.
+        """
+        self.graph.remove_edge(u, v)
+        self.stats.extra["delete_rebuilds"] = (
+            self.stats.extra.get("delete_rebuilds", 0) + 1
+        )
+        self.rebuild()
+
+    def insert_vertex(self, labels=()) -> int:
+        """Append an isolated vertex: its label is just itself at 0."""
+        vertex = self.graph.add_vertex(labels)
+        self._labels.append({vertex: 0})
+        self._order.append(vertex)
+        self._rank[vertex] = len(self._order) - 1
+        self.stats.entries += 1
+        self._built_version = self.graph.version
+        return vertex
 
     # ------------------------------------------------------------------
     # Probing

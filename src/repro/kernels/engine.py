@@ -297,6 +297,56 @@ class BallBitsetEngine:
         return self.ball(vertex, k) | (1 << vertex)
 
     # ------------------------------------------------------------------
+    # Dynamic maintenance (epoch mode)
+    # ------------------------------------------------------------------
+    def apply_edge_update(self, u: int, v: int) -> None:
+        """Selective eviction after the edge ``(u, v)`` was added/removed.
+
+        A resident ball ``B(c, k)`` can only change if the edit touches
+        it: any new or destroyed path of length <= k through the edge
+        puts an endpoint within k of ``c``, so a ball containing neither
+        endpoint (and not centred on one) is unaffected at every k.
+        Evicting just those keys — instead of the wholesale
+        version-mismatch clear in :meth:`ball` — keeps a warm cache
+        alive under a mutation stream.  Call *after* the graph mutation
+        so the version stamp lands on the post-edit version.
+        """
+        graph = self.oracle.graph
+        with self._lock:
+            stale = [
+                key
+                for key, bits in self._balls.items()
+                if key[0] == u or key[0] == v or (bits >> u) & 1 or (bits >> v) & 1
+            ]
+            for key in stale:
+                del self._balls[key]
+            self.ball_evictions += len(stale)
+            self._evictions_counter.inc(len(stale))
+            self._version = graph.version
+            self._csr_version = None
+            self._csr_indptr = None
+            self._csr_indices = None
+            self._csr_np_version = None
+            self._csr_np = None
+
+    def sync_version(self) -> None:
+        """Adopt the graph version after a ball-preserving mutation.
+
+        Keyword edits and isolated-vertex appends change no distance, so
+        every resident ball stays exact; only the version stamp (and the
+        flat CSR mirrors, whose width may have grown) must follow, lest
+        the next :meth:`ball` call clear the cache wholesale.
+        """
+        graph = self.oracle.graph
+        with self._lock:
+            self._version = graph.version
+            self._csr_version = None
+            self._csr_indptr = None
+            self._csr_indices = None
+            self._csr_np_version = None
+            self._csr_np = None
+
+    # ------------------------------------------------------------------
     # Encoding helpers
     # ------------------------------------------------------------------
     @staticmethod

@@ -30,9 +30,12 @@ the ``stats.mean_s`` timing) is compared:
   deliberate refresh.
 
 ``--ignore GLOB`` (repeatable) excludes metric keys that are known to
-be machine- or schedule-dependent (e.g. ``speedup*``).  A missing
-baseline file is a note, not a failure, so brand-new benchmarks do not
-break the gate before their baseline is committed.
+be machine- or schedule-dependent (e.g. ``speedup*``).  A fresh
+artifact with no committed baseline **fails** with a remediation
+message — an uncommitted baseline means a new benchmark is silently
+exempt from the regression gate.  Pass ``--allow-missing-baseline`` to
+downgrade that to a note (e.g. while iterating locally before the
+baseline refresh lands).
 """
 
 from __future__ import annotations
@@ -190,6 +193,11 @@ def main(argv=None) -> int:
         metavar="GLOB",
         help="metric-key glob to exclude from baseline compare (repeatable)",
     )
+    parser.add_argument(
+        "--allow-missing-baseline",
+        action="store_true",
+        help="note (instead of fail) artifacts with no committed baseline",
+    )
     args = parser.parse_args(argv)
 
     baseline_dir = Path(args.baseline) if args.baseline else None
@@ -214,7 +222,16 @@ def main(argv=None) -> int:
             continue
         baseline_path = baseline_dir / Path(path).name
         if not baseline_path.exists():
-            print(f"note {path}: no baseline at {baseline_path} (new benchmark?)")
+            if args.allow_missing_baseline:
+                print(f"note {path}: no baseline at {baseline_path} (new benchmark?)")
+            else:
+                print(
+                    f"FAIL {path}: no committed baseline at {baseline_path} — "
+                    f"run `pytest benchmarks --smoke` and copy the artifact "
+                    f"into {baseline_dir}/, or pass --allow-missing-baseline",
+                    file=sys.stderr,
+                )
+                failures += 1
             continue
         try:
             baseline = load_bench_report(baseline_path)

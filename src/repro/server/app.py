@@ -66,7 +66,16 @@ from repro.service.service import QueryService, ServiceResult
 __all__ = ["KTGServer"]
 
 #: Endpoint names used in per-endpoint counters/timers.
-_ENDPOINTS = ("solve", "batch", "stats", "healthz")
+_ENDPOINTS = ("solve", "batch", "stats", "healthz", "mutate")
+
+#: Mutation operations accepted by ``POST /mutate`` and the payload
+#: fields each one requires beyond ``op``.
+_MUTATION_OPS = {
+    "add_edge": ("u", "v"),
+    "remove_edge": ("u", "v"),
+    "set_keywords": ("vertex", "keywords"),
+    "add_vertex": (),
+}
 
 
 def _parse_query(payload: dict) -> KTGQuery:
@@ -209,6 +218,7 @@ class KTGServer:
         self._pressure_degraded = instruments.counter("server.pressure_degraded")
         self._coalesced_followers = instruments.counter("server.coalesced_followers")
         self._solver_runs = instruments.counter("server.solver_runs")
+        self._mutations = instruments.counter("server.mutations")
         self._degraded_responses = instruments.counter("server.degraded_responses")
         self._request_timer = instruments.timer("server.request_ms")
         self._solve_timer = instruments.timer("server.solve_request_ms")
@@ -342,6 +352,11 @@ class KTGServer:
             if method != "POST":
                 raise HttpError(405, "batch is POST-only")
             return await self._handle_batch(request, peer_host)
+        if path == "/mutate":
+            self._endpoint_counters["mutate"].inc()
+            if method != "POST":
+                raise HttpError(405, "mutate is POST-only")
+            return await self._handle_mutate(request)
         self._not_found.inc()
         raise HttpError(404, f"no route for {path!r}")
 
@@ -510,6 +525,67 @@ class KTGServer:
             self._solver_runs.inc()
         self.coalescer.resolve(key, future, result=served)
         return 200, self._result_payload(served, coalesced=False, pressure=pressure)
+
+    # ------------------------------------------------------------------
+    # Mutation path (epoch-mode services)
+    # ------------------------------------------------------------------
+    async def _handle_mutate(self, request: HttpRequest) -> bytes:
+        """Apply one graph mutation through the service's epoch manager.
+
+        Requires a ``QueryService(..., mutations=True)`` service; against
+        a read-only one the :class:`~repro.core.errors.EpochError` the
+        service raises surfaces as a 400 via the generic ``ReproError``
+        handler.  The apply may wait on the epoch write gate (draining
+        in-flight solves), so it runs in the solver pool — the event
+        loop never blocks.
+        """
+        payload = json_body(request)
+        op = payload.get("op")
+        if op not in _MUTATION_OPS:
+            raise HttpError(
+                400, f"'op' must be one of {sorted(_MUTATION_OPS)}, got {op!r}"
+            )
+        for field in ("u", "v", "vertex"):
+            if field in _MUTATION_OPS[op]:
+                value = payload.get(field)
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise HttpError(400, f"'{field}' must be an integer")
+        keywords = payload.get("keywords", [])
+        if op in ("set_keywords", "add_vertex"):
+            if not isinstance(keywords, list) or not all(
+                isinstance(label, str) for label in keywords
+            ):
+                raise HttpError(400, "'keywords' must be a list of strings")
+
+        service = self.service
+        if op == "add_edge":
+            apply = functools.partial(service.add_edge, payload["u"], payload["v"])
+        elif op == "remove_edge":
+            apply = functools.partial(service.remove_edge, payload["u"], payload["v"])
+        elif op == "set_keywords":
+            apply = functools.partial(
+                service.set_keywords, payload["vertex"], keywords
+            )
+        else:
+            apply = functools.partial(service.add_vertex, keywords)
+
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        new_vertex = await loop.run_in_executor(self._solver_pool, apply)
+        self._mutations.inc()
+        epoch_stats = service.epochs.stats()
+        body = {
+            "op": op,
+            "applied": True,
+            "graph_version": service.graph.version,
+            "epoch_id": epoch_stats.epoch_id,
+            "delta_depth": epoch_stats.delta_depth,
+            "rotations": epoch_stats.rotations,
+            "latency_ms": round((time.perf_counter() - started) * 1000.0, 3),
+        }
+        if op == "add_vertex":
+            body["vertex"] = new_vertex
+        return json_response(200, body, keep_alive=request.keep_alive)
 
     def _result_payload(
         self, served: ServiceResult, *, coalesced: bool, pressure: bool = False

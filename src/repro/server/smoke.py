@@ -17,12 +17,21 @@ checks every serving behaviour the front end promises, end to end:
 7. shutdown is clean: thread count returns to its pre-server baseline
    and no ``/dev/shm`` shared-memory segments are left behind.
 
+``python -m repro.server.smoke --churn`` runs the serve-during-mutation
+lane instead: the server boots in epoch mode (``mutations=True`` with
+shared-memory snapshots), a driver thread streams ``POST /mutate`` edge
+edits while the foreground fires solves, and the run asserts zero 5xx
+responses, at least one observed epoch rotation, a read-only control
+server rejecting ``/mutate`` with 400, and the same thread/shm leak
+checks on the way out.
+
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 """
 
 from __future__ import annotations
 
 import glob
+import random
 import sys
 import threading
 import time
@@ -190,5 +199,132 @@ def main() -> int:
     return 0
 
 
+def churn_main() -> int:
+    """The ``--churn`` lane: serve while the graph mutates underneath.
+
+    Asserts the serve-during-mutation contract end to end over the
+    wire: zero 5xx responses while edges stream in, at least one epoch
+    rotation observed through ``/stats``, mutation effects visible in
+    the serving state (graph version moves, answers stay 200/exact),
+    and a clean shutdown with no leaked threads or shm segments.
+    """
+    checks: list[str] = []
+
+    def ok(label: str) -> None:
+        checks.append(label)
+        print(f"ok   {label}")
+
+    def fail(label: str, detail: str) -> int:
+        print(f"FAIL {label}: {detail}", file=sys.stderr)
+        return 1
+
+    baseline_threads = threading.active_count()
+    baseline_shm = _shm_segments()
+
+    graph, _ = load_dataset("brightkite", scale=0.08)
+    labels = tuple(sorted(graph.keyword_table))
+    registry = InstrumentRegistry()
+    service = QueryService(
+        graph,
+        "KTG-VKC-NLRNL",
+        max_workers=4,
+        mutations=True,
+        epoch_rotate_after=8,
+        epoch_max_delta=64,
+        epoch_shared=True,
+        instruments=registry,
+    )
+    server = KTGServer(service, max_inflight=16, instruments=registry)
+
+    mutations = 60
+    solves = 24
+    bad: list[tuple[str, int, dict]] = []
+    bad_lock = threading.Lock()
+
+    with service, ServerThread(server) as handle:
+        host, port = handle.address
+
+        # Read-only control: a second server over a plain service must
+        # reject /mutate with a 400 (EpochError), never a 5xx.
+        control_service = QueryService(graph, "KTG-VKC-NLRNL", max_workers=1)
+        with control_service, ServerThread(KTGServer(control_service)) as control:
+            chost, cport = control.address
+            status, body = http_request(
+                chost, cport, "POST", "/mutate", {"op": "add_edge", "u": 0, "v": 1}
+            )
+            if status != 400 or not body or "read-only" not in body.get("error", ""):
+                return fail("mutate-readonly", f"status={status} body={body}")
+        ok("read-only server rejects /mutate with 400")
+
+        rng = random.Random(0)
+        n = graph.num_vertices
+
+        def drive_mutations() -> None:
+            for _ in range(mutations):
+                u, v = rng.sample(range(n), 2)
+                op = "remove_edge" if graph.has_edge(u, v) else "add_edge"
+                status, body = http_request(
+                    host, port, "POST", "/mutate", {"op": op, "u": u, "v": v}
+                )
+                if status >= 500 or status != 200:
+                    with bad_lock:
+                        bad.append(("mutate", status, body or {}))
+
+        driver = threading.Thread(target=drive_mutations, name="churn-driver")
+        driver.start()
+        statuses: list[int] = []
+        for i in range(solves):
+            status, body = http_request(
+                host, port, "POST", "/solve",
+                _query_payload(labels[i % max(1, len(labels) - 3):][:3]),
+                headers={"X-Client-Id": "churn-solver"},
+            )
+            statuses.append(status)
+            if status >= 500:
+                with bad_lock:
+                    bad.append(("solve", status, body or {}))
+        driver.join()
+
+        if bad:
+            return fail("zero-5xx", f"failed requests: {bad[:5]}")
+        if any(status != 200 for status in statuses):
+            return fail("solve-status", f"statuses={statuses}")
+        ok(f"zero 5xx across {mutations} mutations and {solves} solves")
+
+        status, body = http_request(host, port, "GET", "/stats")
+        if status != 200 or not body or "epoch" not in body:
+            return fail("stats-epoch", f"status={status} body={body}")
+        epoch = body["epoch"]
+        if epoch.get("rotations", 0) < 1:
+            return fail("rotation", f"no epoch rotation observed: {epoch}")
+        ok(f"observed {epoch['rotations']} epoch rotations (epoch {epoch['epoch_id']})")
+        counters = body["server"].get("counters", {})
+        if counters.get("server.mutations", 0) != mutations:
+            return fail("mutate-counter", f"counters={counters}")
+        ok("server.mutations counter matches the driven stream")
+        service_stats = body.get("service", {})
+        if "epoch_id" not in service_stats:
+            return fail("stats-service", f"service stats lack epoch fields: {service_stats}")
+        ok("service stats export epoch id / delta depth")
+
+    service.close()
+
+    deadline = time.monotonic() + 5.0
+    while threading.active_count() > baseline_threads and time.monotonic() < deadline:
+        time.sleep(0.05)
+    if threading.active_count() > baseline_threads:
+        leftover = [t.name for t in threading.enumerate()]
+        return fail("shutdown-threads", f"threads leaked: {leftover}")
+    ok("no leaked threads after shutdown")
+
+    leaked = _shm_segments() - baseline_shm
+    if leaked:
+        return fail("shutdown-shm", f"leaked segments: {sorted(leaked)}")
+    ok("no leaked /dev/shm segments")
+
+    print(f"churn smoke: all {len(checks)} checks passed")
+    return 0
+
+
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(churn_main() if "--churn" in sys.argv[1:] else main())

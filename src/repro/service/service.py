@@ -40,6 +40,8 @@ from typing import Iterable, Optional, Sequence, Union
 from repro.core.dktg import DKTGResult
 from repro.core.branch_and_bound import KTGResult
 from repro.core.csr import validate_graph_layout
+from repro.core.epoch import DEFAULT_MAX_DELTA, DEFAULT_ROTATE_AFTER, EpochManager
+from repro.core.errors import EpochError
 from repro.core.graph import AttributedGraph
 from repro.core.parallel import EXECUTORS, ParallelBranchAndBoundSolver
 from repro.core.query import DKTGQuery, KTGQuery
@@ -124,10 +126,16 @@ class ServiceStats:
     p95_ms: float
     p99_ms: float
     latency_sample_size: int = 0
+    #: Epoch-mode serving state (``mutations=True`` services only; all
+    #: ``None`` otherwise and omitted from :meth:`as_dict`).
+    epoch_id: Optional[int] = None
+    delta_depth: Optional[int] = None
+    epoch_rotations: Optional[int] = None
+    last_rotation_ms: Optional[float] = None
 
     def as_dict(self) -> dict:
         """Flat dict for table/CSV rendering and bench ``extra_info``."""
-        return {
+        out = {
             "queries_served": self.queries_served,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -140,6 +148,12 @@ class ServiceStats:
             "p99_ms": round(self.p99_ms, 3),
             "latency_sample_size": self.latency_sample_size,
         }
+        if self.epoch_id is not None:
+            out["epoch_id"] = self.epoch_id
+            out["delta_depth"] = self.delta_depth
+            out["epoch_rotations"] = self.epoch_rotations
+            out["last_rotation_ms"] = round(self.last_rotation_ms or 0.0, 3)
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -292,6 +306,11 @@ class QueryService:
         distance_engine: str = "oracle",
         graph_layout: str = "adjacency",
         kernel_backend: str = "auto",
+        mutations: bool = False,
+        epoch_rotate_after: int = DEFAULT_ROTATE_AFTER,
+        epoch_max_delta: int = DEFAULT_MAX_DELTA,
+        epoch_shared: bool = False,
+        epoch_rotate_sync: bool = False,
         instruments: InstrumentRegistry = NULL_REGISTRY,
     ) -> None:
         if max_workers < 1:
@@ -299,6 +318,16 @@ class QueryService:
         if executor not in ("thread", "process"):
             raise ValueError(
                 f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if mutations and executor != "thread":
+            raise ValueError(
+                "mutations=True requires executor='thread': process workers "
+                "snapshot the graph at pool start and would serve stale answers"
+            )
+        if mutations and graph_layout != "adjacency":
+            raise ValueError(
+                "mutations=True requires graph_layout='adjacency': the csr "
+                "layout binds traversal to one frozen snapshot per version"
             )
         if distance_engine not in ("oracle", "bitset"):
             raise ValueError(
@@ -343,6 +372,23 @@ class QueryService:
         self._pool_graph_version: Optional[int] = None
         # Instruments are resolved once; against the null sink every
         # observe/inc below is a no-op method call.
+        # Epoch mode: mutations route through an EpochManager that keeps
+        # the live graph, the shared oracle and the kernel in lockstep
+        # (incremental repairs) and rotates CSR snapshots in the
+        # background.  Solves hold the manager's read gate so a delta
+        # apply never interleaves with an in-flight search.
+        self.mutations = mutations
+        self._epochs: Optional[EpochManager] = None
+        if mutations:
+            self._epochs = EpochManager(
+                graph,
+                rotate_after=epoch_rotate_after,
+                max_delta=epoch_max_delta,
+                shared=epoch_shared,
+                rotate_sync=epoch_rotate_sync,
+                instruments=instruments,
+            )
+            self._epochs.set_repair_targets(self._live_oracle, self._live_kernel)
         self.instruments = instruments
         self._cache_lookup_timer = instruments.timer("service.cache_lookup_ms")
         self._solve_timer = instruments.timer("service.solve_ms")
@@ -356,6 +402,8 @@ class QueryService:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut down the worker pool and any parallel engines (idempotent)."""
+        if self._epochs is not None:
+            self._epochs.close()
         self._close_pool()
         with self._engines_lock:
             engines = list(self._engines.values())
@@ -439,6 +487,50 @@ class QueryService:
         pool = self._thread_pool()
         return list(pool.map(lambda q: self._serve_one(q, tb, nb), lifted))
 
+    # ------------------------------------------------------------------
+    # Mutation (epoch mode)
+    # ------------------------------------------------------------------
+    @property
+    def epochs(self) -> EpochManager:
+        """The epoch manager (mutations mode only).
+
+        Raises :class:`repro.core.errors.EpochError` on a read-only
+        service — the server maps that to a 400, so a stray ``/mutate``
+        against a statically-served graph fails loudly, not silently.
+        """
+        if self._epochs is None:
+            raise EpochError(
+                "service is read-only; construct QueryService(..., "
+                "mutations=True) to accept graph mutations"
+            )
+        return self._epochs
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert edge ``(u, v)``: delta-buffered, index-repaired."""
+        self.epochs.add_edge(u, v)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``(u, v)``: delta-buffered, index-repaired."""
+        self.epochs.remove_edge(u, v)
+
+    def set_keywords(self, vertex: int, labels: Iterable[str]) -> None:
+        """Replace *vertex*'s keywords (distance-preserving mutation)."""
+        self.epochs.set_keywords(vertex, labels)
+
+    def add_vertex(self, labels: Iterable[str] = ()) -> int:
+        """Append an isolated vertex carrying *labels*; return its id."""
+        return self.epochs.add_vertex(labels)
+
+    def _live_oracle(self) -> Optional[DistanceOracle]:
+        """Repair-target provider: the shared oracle, if built."""
+        with self._oracle_lock:
+            return self._oracle
+
+    def _live_kernel(self):
+        """Repair-target provider: the shared ball kernel, if built."""
+        with self._oracle_lock:
+            return self._kernel
+
     def stats(self) -> ServiceStats:
         """Snapshot of the aggregate serving metrics.
 
@@ -453,6 +545,13 @@ class QueryService:
             served = self._queries_served
             degraded = self._degraded_answers
         cache_stats = self.cache.stats.snapshot()
+        epoch_id = delta_depth = rotations = last_rotation_ms = None
+        if self._epochs is not None:
+            epoch_stats = self._epochs.stats()
+            epoch_id = epoch_stats.epoch_id
+            delta_depth = epoch_stats.delta_depth
+            rotations = epoch_stats.rotations
+            last_rotation_ms = epoch_stats.last_rotation_ms
         return ServiceStats(
             queries_served=served,
             cache_hits=cache_stats.hits,
@@ -465,6 +564,10 @@ class QueryService:
             p95_ms=percentile_nearest_rank(sample, 0.95),
             p99_ms=percentile_nearest_rank(sample, 0.99),
             latency_sample_size=len(sample),
+            epoch_id=epoch_id,
+            delta_depth=delta_depth,
+            epoch_rotations=rotations,
+            last_rotation_ms=last_rotation_ms,
         )
 
     def instrument_report(self) -> dict:
@@ -509,6 +612,16 @@ class QueryService:
                 and cached.graph_version == self.graph.version,
                 "snapshot_bytes": cached.nbytes if cached is not None else 0,
                 **counter_totals(),
+            }
+        if self._epochs is not None:
+            from repro.core.epoch import counter_totals as epoch_counter_totals
+
+            # Manager-scoped stats win on shared keys (rotations,
+            # repairs); the process-wide totals contribute the
+            # counters only they track (delta_reads, lease_waits).
+            report["epoch"] = {
+                **epoch_counter_totals(),
+                **self._epochs.stats().as_dict(),
             }
         if self.instruments.enabled:
             report["instruments"] = self.instruments.report()
@@ -609,6 +722,22 @@ class QueryService:
         return engine
 
     def _serve_one(
+        self,
+        query: KTGQuery,
+        time_budget: Optional[float],
+        node_budget: Optional[int],
+        jobs: int = 1,
+    ) -> ServiceResult:
+        # Epoch mode: the whole serve (key computation included — it
+        # reads graph.version) runs under the manager's read gate, so no
+        # delta apply can interleave with an in-flight search.  Reads
+        # are shared; only the brief mutation applies exclude them.
+        if self._epochs is not None:
+            with self._epochs.read():
+                return self._serve_one_locked(query, time_budget, node_budget, jobs)
+        return self._serve_one_locked(query, time_budget, node_budget, jobs)
+
+    def _serve_one_locked(
         self,
         query: KTGQuery,
         time_budget: Optional[float],

@@ -1,0 +1,275 @@
+"""Lifecycle tests for :mod:`repro.core.epoch`.
+
+The rotation protocol's edge cases, each exercised directly against an
+:class:`EpochManager`:
+
+* a mutation landing *while* a rotation is compacting the delta (the
+  tail-replay path);
+* a reader lease pinning an epoch across two rotations (retired but not
+  released until the lease drops);
+* attaching to a released shared epoch raising
+  :class:`SnapshotAttachError`;
+* delta-buffer overflow forcing a synchronous rotation on the mutating
+  thread when the background rotator cannot keep up.
+
+The snapshot/attach lifecycle itself (ownership, double-release, byte
+layout) is covered in ``tests/core/test_csr.py``; these tests pin the
+epoch layer on top of it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.csr import CsrSnapshot
+from repro.core.epoch import EpochManager, GraphDelta
+from repro.core.errors import (
+    EpochError,
+    GraphConstructionError,
+    SnapshotAttachError,
+)
+from tests.conftest import make_random_attributed_graph
+
+
+def fresh_graph(seed: int = 3):
+    return make_random_attributed_graph(num_vertices=18, seed=seed)
+
+
+def edge_flips(graph, count: int, seed: int = 0):
+    """A deterministic stream of valid add/remove edge targets."""
+    import random
+
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    for _ in range(count):
+        u, v = rng.sample(range(n), 2)
+        yield u, v
+
+
+def apply_flip(manager, u: int, v: int) -> None:
+    if manager.graph.has_edge(u, v):
+        manager.remove_edge(u, v)
+    else:
+        manager.add_edge(u, v)
+
+
+def assert_version_invariant(manager) -> None:
+    """snapshot version + delta depth must always equal the live version."""
+    with manager._lock:
+        snapshot_version = manager._epoch.snapshot.graph_version
+        depth = manager._delta.depth
+    assert snapshot_version + depth == manager.graph.version
+
+
+# ----------------------------------------------------------------------
+# Mutation arriving mid-rebuild
+# ----------------------------------------------------------------------
+def test_mutation_during_rotation_lands_in_next_delta(monkeypatch):
+    """An edit applied while compaction runs is replayed into the new
+    epoch's delta — never lost, never double-applied."""
+    graph = fresh_graph()
+    manager = EpochManager(graph, rotate_after=64, max_delta=256)
+
+    compacting = threading.Event()
+    resume = threading.Event()
+    original = CsrSnapshot.from_graph.__func__
+
+    def stalling_from_graph(cls, source, **kwargs):
+        snapshot = original(cls, source, **kwargs)
+        if compacting.is_set() is False and isinstance(
+            source, type(manager.view())
+        ):
+            compacting.set()
+            assert resume.wait(timeout=5.0)
+        return snapshot
+
+    monkeypatch.setattr(
+        CsrSnapshot, "from_graph", classmethod(stalling_from_graph)
+    )
+
+    for u, v in edge_flips(graph, 5, seed=1):
+        apply_flip(manager, u, v)
+    depth_before = manager.stats().delta_depth
+    assert depth_before == 5
+
+    rotator = threading.Thread(target=manager.rotate, name="test-rotator")
+    rotator.start()
+    assert compacting.wait(timeout=5.0)
+
+    # The rotation thread is inside from_graph; this mutation must land
+    # in the live graph immediately and survive into the next delta.
+    mid_u, mid_v = next(edge_flips(graph, 1, seed=99))
+    version_before = graph.version
+    apply_flip(manager, mid_u, mid_v)
+    assert graph.version == version_before + 1
+
+    resume.set()
+    rotator.join(timeout=5.0)
+    assert not rotator.is_alive()
+
+    stats = manager.stats()
+    assert stats.rotations == 1
+    # The compaction cut was taken before the mid-rebuild edit: exactly
+    # that one op remains in the new delta.
+    assert stats.delta_depth == 1
+    assert_version_invariant(manager)
+
+    # The composite view agrees with the live graph everywhere.
+    view = manager.view()
+    for vertex in graph.vertices():
+        assert view.neighbors(vertex) == graph.neighbors(vertex)
+        assert view.keywords_of(vertex) == graph.keywords_of(vertex)
+    manager.close()
+
+
+# ----------------------------------------------------------------------
+# Lease across rotations
+# ----------------------------------------------------------------------
+def test_lease_pins_epoch_across_two_rotations():
+    graph = fresh_graph()
+    manager = EpochManager(
+        graph, rotate_after=4, max_delta=64, shared=True, rotate_sync=True
+    )
+    segment = manager.segment_name()
+    assert segment is not None
+
+    with manager.lease() as pinned:
+        assert pinned.epoch_id == 0
+        flips = edge_flips(graph, 8, seed=2)
+        for u, v in flips:
+            apply_flip(manager, u, v)
+        stats = manager.stats()
+        assert stats.rotations == 2
+        assert stats.epoch_id == 2
+        # Epoch 0 is retired but pinned: still attachable, counted as
+        # draining, not yet released.
+        assert pinned.retired and not pinned.released
+        assert stats.active_leases == 1
+        assert stats.draining_epochs >= 1
+        attached = CsrSnapshot.attach(segment)
+        assert bytes(attached._buf) == bytes(pinned.snapshot._buf)
+        attached.close()
+
+    # Lease dropped: the retired epoch's shared segment is gone.
+    assert pinned.released
+    with pytest.raises(SnapshotAttachError):
+        CsrSnapshot.attach(segment)
+    final = manager.stats()
+    assert final.active_leases == 0
+    assert final.draining_epochs == 0
+    manager.close()
+
+
+def test_attach_to_released_epoch_raises():
+    """Without a lease, rotation releases the old shared segment at
+    once — a late attach must fail loudly, not read freed memory."""
+    graph = fresh_graph()
+    manager = EpochManager(
+        graph, rotate_after=2, max_delta=64, shared=True, rotate_sync=True
+    )
+    stale_name = manager.segment_name()
+    for u, v in edge_flips(graph, 2, seed=4):
+        apply_flip(manager, u, v)
+    assert manager.stats().rotations == 1
+    assert manager.segment_name() != stale_name
+    with pytest.raises(SnapshotAttachError):
+        CsrSnapshot.attach(stale_name)
+    manager.close()
+
+
+# ----------------------------------------------------------------------
+# Overflow backpressure
+# ----------------------------------------------------------------------
+def test_delta_overflow_forces_synchronous_rotation(monkeypatch):
+    graph = fresh_graph()
+    manager = EpochManager(graph, rotate_after=2, max_delta=6)
+    # Simulate a wedged background rotator: threshold wakeups go nowhere,
+    # so only the max_delta backstop can compact.
+    monkeypatch.setattr(manager, "_ensure_rotator", lambda: None)
+
+    for u, v in edge_flips(graph, 13, seed=5):
+        apply_flip(manager, u, v)
+
+    stats = manager.stats()
+    assert stats.overflow_rotations >= 2
+    assert stats.rotations == stats.overflow_rotations
+    assert stats.delta_depth < 6
+    assert_version_invariant(manager)
+    manager.close()
+
+
+# ----------------------------------------------------------------------
+# Smaller guarantees the above rely on
+# ----------------------------------------------------------------------
+def test_mutations_validate_against_live_graph():
+    graph = fresh_graph()
+    with EpochManager(graph, rotate_sync=True) as manager:
+        u, v = next(iter(graph.edges()))
+        with pytest.raises(GraphConstructionError):
+            manager.add_edge(u, v)  # duplicate
+        with pytest.raises(GraphConstructionError):
+            manager.add_edge(u, u)  # self-loop
+        manager.remove_edge(u, v)
+        with pytest.raises(GraphConstructionError):
+            manager.remove_edge(u, v)  # already gone
+        assert_version_invariant(manager)
+
+
+def test_add_vertex_grows_view_and_delta():
+    graph = fresh_graph()
+    with EpochManager(graph) as manager:
+        before = graph.num_vertices
+        vertex = manager.add_vertex(["zz-epoch"])
+        assert vertex == before
+        view = manager.view()
+        assert view.num_vertices == before + 1
+        assert view.neighbors(vertex) == frozenset()
+        assert "zz-epoch" in view.keyword_labels(vertex)
+        manager.add_edge(vertex, 0)
+        assert manager.view().has_edge(vertex, 0)
+        assert_version_invariant(manager)
+
+
+def test_closed_manager_rejects_everything():
+    graph = fresh_graph()
+    manager = EpochManager(graph)
+    manager.close()
+    with pytest.raises(EpochError):
+        manager.add_edge(0, 1)
+    with pytest.raises(EpochError):
+        manager.view()
+    with pytest.raises(EpochError):
+        with manager.lease():
+            pass
+    manager.close()  # idempotent
+
+
+def test_manual_rotate_with_empty_delta_is_a_noop():
+    graph = fresh_graph()
+    with EpochManager(graph) as manager:
+        assert manager.rotate() is False
+        assert manager.stats().rotations == 0
+
+
+def test_delta_records_collapse_inverse_ops():
+    """add(u,v) then remove(u,v) in one delta must compose to a no-op
+    overlay for that row (the replay path, exercised directly)."""
+    graph = fresh_graph()
+    snapshot = CsrSnapshot.from_graph(graph)
+    delta = GraphDelta(snapshot)
+    u, v = 0, 1
+    had = graph.has_edge(u, v)
+    if had:
+        delta.record_remove_edge(u, v)
+        delta.record_add_edge(u, v)
+    else:
+        delta.record_add_edge(u, v)
+        delta.record_remove_edge(u, v)
+    assert delta.depth == 2
+    from repro.core.epoch import EpochGraphView
+
+    view = EpochGraphView(snapshot, delta, graph.keyword_table)
+    assert view.has_edge(u, v) == had
+    assert view.neighbors(u) == graph.neighbors(u)

@@ -130,8 +130,9 @@ class TestRebuild:
         assert not index.is_tenuous(0, 4, 3)
         assert not index.is_stale()
 
-    def test_insert_edge_helper_rebuilds(self, path_graph):
+    def test_insert_edge_helper_repairs_in_place(self, path_graph):
         index = NLIndex(path_graph, depth=2)
         index.insert_edge(0, 3)
         assert not index.is_tenuous(0, 3, 1)
-        assert not index.supports_incremental_updates()
+        assert not index.is_stale()
+        assert index.supports_incremental_updates()

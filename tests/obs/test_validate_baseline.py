@@ -134,10 +134,29 @@ def test_cli_baseline_pass_and_fail(artifact_dirs, capsys):
     assert "keyword_prunes" in captured.err
 
 
-def test_cli_missing_baseline_is_note_not_failure(artifact_dirs, capsys):
+def test_cli_missing_baseline_fails_with_remediation(artifact_dirs, capsys):
     current_dir, baseline_dir = artifact_dirs
     current = write_artifact(current_dir, prunes=100)
-    assert main([str(current), "--baseline", str(baseline_dir)]) == 0
+    assert main([str(current), "--baseline", str(baseline_dir)]) == 1
+    err = capsys.readouterr().err
+    assert "no committed baseline" in err
+    assert "--allow-missing-baseline" in err
+
+
+def test_cli_missing_baseline_allowed_is_note(artifact_dirs, capsys):
+    current_dir, baseline_dir = artifact_dirs
+    current = write_artifact(current_dir, prunes=100)
+    assert (
+        main(
+            [
+                str(current),
+                "--baseline",
+                str(baseline_dir),
+                "--allow-missing-baseline",
+            ]
+        )
+        == 0
+    )
     assert "no baseline" in capsys.readouterr().out
 
 
