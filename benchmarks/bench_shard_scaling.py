@@ -1,0 +1,146 @@
+"""Sharded scatter-gather scaling — throughput vs ``shards`` (dense-large).
+
+Runs the same dense-large workload (the Twitter profile, the paper's
+densest graph) through :class:`repro.shard.ShardedBranchAndBoundSolver`
+at ``shards`` in {1, 2, 4} — each shard served by its own process
+fleet — and reports, per shard count:
+
+* **cold latency**: the first solve through a fresh engine, paying the
+  label-propagation partition, the boundary-ball replication and the
+  per-shard pool spawn;
+* **warm latency / aggregate throughput**: steady-state queries per
+  second once the shard set and fleets are up;
+* **replication cost**: replica vertices and snapshot bytes the
+  boundary balls add on top of a 1-shard cut.
+
+Every sharded run's ranked groups are asserted bit-identical to the
+serial reference — the scaling curve is only meaningful because the
+answer is exact.  The headline claim (>1.5x aggregate throughput at
+``shards=4`` over 1) holds at full bench scale on a machine with at
+least four cores; under ``--smoke`` or on smaller runners it is
+softened to a warning like all other quantitative claims.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import bench_runner, bench_workload, check_claim, register_bench_meta
+
+register_bench_meta(
+    "shard_scaling",
+    title="sharded scatter-gather throughput vs shards (dense-large)",
+)
+
+from repro.shard import ShardedBranchAndBoundSolver
+from repro.workloads.runner import ALGORITHMS
+from repro.workloads.sweep import DEFAULTS
+
+#: Match bench_fig7_dense_large: the dense profile at its fig7 scale.
+DENSE_SCALE = 0.35
+ALGORITHM = "KTG-VKC-DEG-NLRNL"
+
+#: Serial reference + 1-shard throughput per workload key, measured
+#: once and reused by every parametrization so all speedups share one
+#: baseline.
+_serial_reference: dict[tuple, list] = {}
+_shard1_throughput: dict[tuple, float] = {}
+
+
+def _workload_settings() -> dict:
+    return dict(
+        keyword_size=DEFAULTS["keyword_size"],
+        group_size=4,  # deeper tree than the sweep default: more work to split
+        tenuity=1,  # denser graph: k=1 keeps the grid feasible (as in fig7a)
+        top_n=DEFAULTS["top_n"],
+    )
+
+
+def _serial_groups(runner, workload) -> list:
+    key = (id(runner), tuple(q.keywords for q in workload))
+    if key not in _serial_reference:
+        spec = ALGORITHMS[ALGORITHM]
+        solver = spec.build_solver(runner.graph, runner.oracle_for(spec))
+        _serial_reference[key] = [solver.solve(query).groups for query in workload]
+    return _serial_reference[key]
+
+
+def test_shard_scaling_shards1(benchmark):
+    _run_scaling_point(benchmark, shards=1)
+
+
+def test_shard_scaling_shards2(benchmark):
+    _run_scaling_point(benchmark, shards=2)
+
+
+def test_shard_scaling_shards4(benchmark):
+    _run_scaling_point(benchmark, shards=4)
+
+
+def _run_scaling_point(benchmark, shards):
+    runner = bench_runner("twitter", DENSE_SCALE)
+    spec = ALGORITHMS[ALGORITHM]
+    oracle = runner.oracle_for(spec)  # build outside timing
+    queries = tuple(bench_workload("twitter", DENSE_SCALE, **_workload_settings()))
+    serial_groups = _serial_groups(runner, queries)
+    workload_key = (id(runner), tuple(q.keywords for q in queries))
+
+    engine = ShardedBranchAndBoundSolver(
+        runner.graph,
+        oracle=oracle,
+        strategy=spec.build_solver(runner.graph, oracle).strategy,
+        num_shards=shards,
+        executor="process" if shards > 1 else "inline",
+    )
+    try:
+        # Cold latency: the first solve pays partition + replication +
+        # per-shard pool spawn.  Timed separately from the steady state.
+        cold_started = time.perf_counter()
+        cold = engine.solve(queries[0])
+        cold_seconds = time.perf_counter() - cold_started
+
+        results = benchmark.pedantic(
+            lambda: [engine.solve(query) for query in queries],
+            rounds=1,
+            iterations=1,
+        )
+        shard_set = engine.shard_set
+        replica_vertices = shard_set.replica_vertices if shard_set else 0
+        snapshot_bytes = shard_set.snapshot_bytes if shard_set else 0
+        effective = shard_set.num_shards if shard_set else 1
+    finally:
+        engine.close()
+
+    # Determinism: the sharded fleet returns serial's exact answer.
+    assert cold.groups == serial_groups[0]
+    assert [r.groups for r in results] == serial_groups
+
+    mean_s = benchmark.stats.stats.mean
+    throughput = len(queries) / mean_s if mean_s > 0 else 0.0
+    if shards == 1:
+        _shard1_throughput[workload_key] = throughput
+    base_throughput = _shard1_throughput.get(workload_key, 0.0)
+    speedup = throughput / base_throughput if base_throughput > 0 else 0.0
+
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["effective_shards"] = effective
+    benchmark.extra_info["cold_ms"] = round(cold_seconds * 1000.0, 3)
+    benchmark.extra_info["warm_query_ms"] = round(
+        mean_s * 1000.0 / len(queries), 3
+    )
+    benchmark.extra_info["throughput_qps"] = round(throughput, 3)
+    benchmark.extra_info["speedup_vs_shards1"] = round(speedup, 3)
+    benchmark.extra_info["replica_vertices"] = replica_vertices
+    benchmark.extra_info["snapshot_bytes"] = snapshot_bytes
+    # Only schedule-independent counters go into extras (see the
+    # parallel-scaling bench): subproblem counts are schedule-invariant.
+    benchmark.extra_info["subproblems"] = sum(r.subproblems for r in results)
+
+    if shards == 4:
+        cores = os.cpu_count() or 1
+        check_claim(
+            cores < 4 or speedup > 1.5,
+            f"shards=4 aggregate throughput speedup {speedup:.2f}x <= 1.5x "
+            f"over shards=1 on the dense-large workload ({cores} cores)",
+        )

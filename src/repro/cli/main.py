@@ -109,7 +109,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs-executor",
         default="process",
         choices=["process", "thread", "inline"],
-        help="fleet kind used when --jobs > 1",
+        help="fleet kind used when --jobs > 1 or --shards > 1",
+    )
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "partition the graph into N shards and scatter-gather the "
+            "solve across per-shard fleets (1 = unsharded; results stay "
+            "bit-identical)"
+        ),
+    )
+    query.add_argument(
+        "--shard-radius",
+        type=int,
+        default=None,
+        help=(
+            "boundary-ball replication radius for --shards > 1 "
+            "(default: max(2, tenuity))"
+        ),
     )
     query.add_argument(
         "--distance-engine",
@@ -314,6 +333,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="place epoch snapshots in shared memory (process fan-out)",
     )
+    serve.add_argument(
+        "--graphs",
+        default=None,
+        metavar="PROFILES",
+        help=(
+            "enable multi-graph serving and preload these comma-separated "
+            "dataset profiles as named tenants (e.g. 'brightkite,gowalla'; "
+            "adds GET /graphs, POST /graphs/load, POST /graphs/drop and a "
+            "'graph' field on /solve, /batch and /mutate)"
+        ),
+    )
+
+    graphs = commands.add_parser(
+        "graphs", help="manage a running server's graph registry over HTTP"
+    )
+    graphs_commands = graphs.add_subparsers(dest="graphs_command", required=True)
+    for action in ("list", "load", "drop"):
+        sub = graphs_commands.add_parser(
+            action,
+            help={
+                "list": "list the server's registered graphs",
+                "load": "load (or reload) a named graph from a dataset profile",
+                "drop": "drop a named graph and release its resources",
+            }[action],
+        )
+        sub.add_argument("--host", default="127.0.0.1")
+        sub.add_argument("--port", type=int, default=8765)
+        if action in ("load", "drop"):
+            sub.add_argument("--name", required=True, help="registry name")
+        if action == "load":
+            sub.add_argument(
+                "--profile", required=True, choices=sorted(PROFILES)
+            )
+            sub.add_argument("--scale", type=float, default=1.0)
+            sub.add_argument("--seed", type=int, default=None)
+            sub.add_argument(
+                "--shards",
+                type=int,
+                default=None,
+                help="serve this tenant through an N-shard scatter-gather engine",
+            )
+            sub.add_argument(
+                "--algorithm",
+                default=None,
+                choices=sorted(ALGORITHMS),
+            )
 
     sweep = commands.add_parser("sweep", help="run a Table I parameter sweep")
     sweep.add_argument("profile", choices=sorted(PROFILES))
@@ -446,6 +511,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "graphs":
+        return _cmd_graphs(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "case-study":
@@ -509,6 +576,31 @@ def _cmd_query(args: argparse.Namespace) -> int:
     oracle = spec.build_oracle(
         graph, graph_layout=args.graph_layout, kernel_backend=args.kernel_backend
     )
+    if args.shards > 1 and not spec.diversified:
+        from repro.shard import ShardedBranchAndBoundSolver
+
+        radius = args.shard_radius
+        if radius is None:
+            radius = max(2, args.tenuity)
+        with ShardedBranchAndBoundSolver(
+            graph,
+            oracle=oracle,
+            strategy=strategy_by_name(spec.strategy_name, graph),
+            num_shards=args.shards,
+            radius=radius,
+            executor=args.jobs_executor,
+            jobs_per_shard=max(1, args.jobs),
+            distance_engine=args.distance_engine,
+            kernel_backend=args.kernel_backend,
+        ) as engine:
+            result = engine.solve(query)
+        print(result)
+        print(
+            f"(latency: {result.stats.elapsed_seconds * 1000:.1f} ms, "
+            f"shards={result.shards}, radius={result.radius}, "
+            f"executor={result.executor}, subproblems={result.subproblems})"
+        )
+        return 0
     if args.jobs > 1 and not spec.diversified:
         from repro.core.parallel import ParallelBranchAndBoundSolver
 
@@ -629,8 +721,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         epoch_shared=args.epoch_shared,
         instruments=registry,
     )
+    graph_registry = None
+    if args.graphs is not None:
+        from repro.shard import GraphRegistry
+
+        graph_registry = GraphRegistry(
+            instruments=registry,
+            algorithm=args.algorithm,
+            max_workers=args.workers,
+            time_budget=args.time_budget,
+            node_budget=args.node_budget,
+            cache_capacity=args.cache_capacity,
+            distance_engine=args.distance_engine,
+            graph_layout=args.graph_layout,
+            kernel_backend=args.kernel_backend,
+        )
+        for profile in (p.strip() for p in args.graphs.split(",")):
+            if not profile:
+                continue
+            entry = graph_registry.load(profile, profile, scale=args.scale)
+            print(f"loaded graph {entry.graph_id} ({profile}, scale {args.scale})")
     server = KTGServer(
         service,
+        registry=graph_registry,
         host=args.host,
         port=args.port,
         rate_limit_qps=args.rate_limit,
@@ -648,6 +761,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         endpoints = "POST /solve, /batch; GET /stats, /healthz"
         if args.mutations:
             endpoints = "POST /solve, /batch, /mutate; GET /stats, /healthz"
+        if args.graphs is not None:
+            endpoints += "; GET /graphs, POST /graphs/load, /graphs/drop"
         print(
             f"serving {args.profile} ({args.algorithm}) "
             f"on http://{host}:{port} — {endpoints}"
@@ -665,7 +780,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("interrupted — shutting down")
     finally:
         service.close()
+        if graph_registry is not None:
+            graph_registry.close()
     return 0
+
+
+def _cmd_graphs(args: argparse.Namespace) -> int:
+    """``ktg graphs list|load|drop``: drive a server's registry over HTTP."""
+    from repro.server.client import http_request
+
+    if args.graphs_command == "list":
+        status, body = http_request(args.host, args.port, "GET", "/graphs")
+        if status != 200 or body is None:
+            print(f"error: GET /graphs answered {status}: {body}", file=sys.stderr)
+            return 1
+        rows = body.get("graphs", [])
+        if not rows:
+            print("no graphs registered")
+            return 0
+        print(render_table(rows, title=f"registered graphs ({body.get('count', len(rows))})"))
+        return 0
+    if args.graphs_command == "load":
+        payload: dict = {"name": args.name, "profile": args.profile, "scale": args.scale}
+        if args.seed is not None:
+            payload["seed"] = args.seed
+        if args.shards is not None:
+            payload["shards"] = args.shards
+        if args.algorithm is not None:
+            payload["algorithm"] = args.algorithm
+        status, body = http_request(args.host, args.port, "POST", "/graphs/load", payload)
+        if status != 200 or body is None:
+            print(f"error: POST /graphs/load answered {status}: {body}", file=sys.stderr)
+            return 1
+        print(
+            f"loaded {body['graph_id']}: {body['vertices']} vertices / "
+            f"{body['edges']} edges ({body['algorithm']})"
+        )
+        return 0
+    if args.graphs_command == "drop":
+        status, body = http_request(
+            args.host, args.port, "POST", "/graphs/drop", {"name": args.name}
+        )
+        if status != 200 or body is None:
+            print(f"error: POST /graphs/drop answered {status}: {body}", file=sys.stderr)
+            return 1
+        print(f"dropped {args.name}")
+        return 0
+    raise AssertionError(f"unhandled graphs command {args.graphs_command!r}")
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:

@@ -22,6 +22,8 @@ __all__ = [
     "SnapshotAttachError",
     "EpochError",
     "KernelBackendError",
+    "ShardError",
+    "UnknownGraphError",
     "DatasetError",
     "WorkloadError",
 ]
@@ -115,6 +117,25 @@ class KernelBackendError(ReproError, RuntimeError):
     environment where numpy is not importable; ``"auto"`` falls back to
     the pure-python kernels instead of raising.
     """
+
+
+class ShardError(ReproError):
+    """Raised for invalid shard partitioning or registry operations.
+
+    Examples: sharding an empty graph, a replication radius below 1, or
+    loading a registry entry without a dataset profile or graph.
+    """
+
+
+class UnknownGraphError(ShardError, KeyError):
+    """Raised when a registry operation names a graph never loaded."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:  # KeyError quotes its repr; give a message.
+        return f"no graph named {self.name!r} is registered"
 
 
 class DatasetError(ReproError):

@@ -87,6 +87,7 @@ from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
 __all__ = [
     "ParallelBranchAndBoundSolver",
     "ParallelKTGResult",
+    "aggregate_subproblem_stats",
     "make_parallel_solver",
     "root_frontier",
 ]
@@ -886,32 +887,7 @@ class ParallelBranchAndBoundSolver:
         outcomes: list[_SubproblemOutcome],
         accepted: int,
     ) -> SearchStats:
-        """Fold per-subproblem stats plus the root node's own accounting."""
-        total = SearchStats()
-        # The serial root expands exactly one interior node (degenerate
-        # roots took the serial fallback path before reaching here).
-        total.nodes_expanded = 1
-        total.nodes_interior = 1
-        total.kline_removed = root_stats.kline_removed
-        total.offers_accepted = accepted
-        offset = 1  # serial node numbering: root is node 1
-        for outcome in outcomes:
-            stats = outcome.stats
-            if total.first_feasible_node is None and stats.first_feasible_node is not None:
-                total.first_feasible_node = offset + stats.first_feasible_node
-            offset += stats.nodes_expanded
-            total.nodes_expanded += stats.nodes_expanded
-            total.feasible_groups += stats.feasible_groups
-            total.keyword_prunes += stats.keyword_prunes
-            total.kline_removed += stats.kline_removed
-            total.nodes_interior += stats.nodes_interior
-            total.nodes_completed += stats.nodes_completed
-            total.nodes_exhausted += stats.nodes_exhausted
-            total.node_prunes += stats.node_prunes
-            total.leaf_prunes += stats.leaf_prunes
-            total.union_prunes += stats.union_prunes
-            total.budget_exhausted = total.budget_exhausted or stats.budget_exhausted
-        return total
+        return aggregate_subproblem_stats(root_stats, outcomes, accepted)
 
     def __repr__(self) -> str:
         return (
@@ -919,6 +895,46 @@ class ParallelBranchAndBoundSolver:
             f"jobs={self.jobs}x{self.executor_kind}, "
             f"broadcast={self.bound_broadcast})"
         )
+
+
+def aggregate_subproblem_stats(
+    root_stats: SearchStats,
+    outcomes: Sequence[_SubproblemOutcome],
+    accepted: int,
+) -> SearchStats:
+    """Fold per-subproblem stats plus the root node's own accounting.
+
+    *outcomes* must be in root-position order: node renumbering assigns
+    each subtree the id range the serial search would have used, so
+    ``first_feasible_node`` matches serial bit for bit.  Shared by the
+    jobs-based engine and the sharded scatter-gather executor
+    (:mod:`repro.shard`), whose merged ledgers must agree.
+    """
+    total = SearchStats()
+    # The serial root expands exactly one interior node (degenerate
+    # roots took the serial fallback path before reaching here).
+    total.nodes_expanded = 1
+    total.nodes_interior = 1
+    total.kline_removed = root_stats.kline_removed
+    total.offers_accepted = accepted
+    offset = 1  # serial node numbering: root is node 1
+    for outcome in outcomes:
+        stats = outcome.stats
+        if total.first_feasible_node is None and stats.first_feasible_node is not None:
+            total.first_feasible_node = offset + stats.first_feasible_node
+        offset += stats.nodes_expanded
+        total.nodes_expanded += stats.nodes_expanded
+        total.feasible_groups += stats.feasible_groups
+        total.keyword_prunes += stats.keyword_prunes
+        total.kline_removed += stats.kline_removed
+        total.nodes_interior += stats.nodes_interior
+        total.nodes_completed += stats.nodes_completed
+        total.nodes_exhausted += stats.nodes_exhausted
+        total.node_prunes += stats.node_prunes
+        total.leaf_prunes += stats.leaf_prunes
+        total.union_prunes += stats.union_prunes
+        total.budget_exhausted = total.budget_exhausted or stats.budget_exhausted
+    return total
 
 
 def _replay(pool: TopNPool, outcomes: Sequence[_SubproblemOutcome]) -> int:

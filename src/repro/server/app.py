@@ -49,7 +49,7 @@ from typing import Optional
 
 import asyncio
 
-from repro.core.errors import QueryValidationError, ReproError
+from repro.core.errors import QueryValidationError, ReproError, UnknownGraphError
 from repro.core.query import DKTGQuery, KTGQuery
 from repro.obs.instruments import InstrumentRegistry
 from repro.server.coalesce import InflightCoalescer
@@ -62,11 +62,12 @@ from repro.server.http import (
 )
 from repro.server.ratelimit import RateLimiter
 from repro.service.service import QueryService, ServiceResult
+from repro.shard.registry import GraphRegistry
 
 __all__ = ["KTGServer"]
 
 #: Endpoint names used in per-endpoint counters/timers.
-_ENDPOINTS = ("solve", "batch", "stats", "healthz", "mutate")
+_ENDPOINTS = ("solve", "batch", "stats", "healthz", "mutate", "graphs")
 
 #: Mutation operations accepted by ``POST /mutate`` and the payload
 #: fields each one requires beyond ``op``.
@@ -155,6 +156,15 @@ class KTGServer:
         ``pressure_time_budget`` seconds so the server sheds load with
         partial (degraded) answers before it starts rejecting.
         ``pressure_threshold=None`` (default) disables the band.
+    registry:
+        Optional :class:`~repro.shard.registry.GraphRegistry` enabling
+        multi-graph serving: a ``graph`` field on ``/solve``/``/batch``
+        /``/mutate`` payloads routes the request to that tenant's own
+        service, ``GET /graphs`` lists the tenants, ``POST
+        /graphs/load`` / ``POST /graphs/drop`` manage them at runtime,
+        and ``GET /stats?graph=name`` scopes the instrument report.
+        Without a registry those surfaces answer 400 and the server
+        behaves exactly as before over its single default service.
     solver_threads:
         Width of the thread pool running ``service.submit``; defaults
         to the service's ``max_workers``.
@@ -168,6 +178,7 @@ class KTGServer:
         self,
         service: QueryService,
         *,
+        registry: Optional[GraphRegistry] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         rate_limit_qps: float = 0.0,
@@ -185,6 +196,7 @@ class KTGServer:
                 f"pressure_threshold must be >= 1, got {pressure_threshold}"
             )
         self.service = service
+        self.registry = registry
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
@@ -340,7 +352,9 @@ class KTGServer:
             if method != "GET":
                 raise HttpError(405, "stats is GET-only")
             return json_response(
-                200, self.stats_payload(), keep_alive=request.keep_alive
+                200,
+                self.stats_payload(graph=request.query.get("graph")),
+                keep_alive=request.keep_alive,
             )
         if path == "/solve":
             self._endpoint_counters["solve"].inc()
@@ -357,8 +371,118 @@ class KTGServer:
             if method != "POST":
                 raise HttpError(405, "mutate is POST-only")
             return await self._handle_mutate(request)
+        if path == "/graphs":
+            self._endpoint_counters["graphs"].inc()
+            if method != "GET":
+                raise HttpError(405, "graphs is GET-only")
+            registry = self._require_registry()
+            return json_response(
+                200,
+                {"graphs": registry.describe(), "count": len(registry)},
+                keep_alive=request.keep_alive,
+            )
+        if path == "/graphs/load":
+            self._endpoint_counters["graphs"].inc()
+            if method != "POST":
+                raise HttpError(405, "graphs/load is POST-only")
+            return await self._handle_graph_load(request)
+        if path == "/graphs/drop":
+            self._endpoint_counters["graphs"].inc()
+            if method != "POST":
+                raise HttpError(405, "graphs/drop is POST-only")
+            return await self._handle_graph_drop(request)
         self._not_found.inc()
         raise HttpError(404, f"no route for {path!r}")
+
+    # ------------------------------------------------------------------
+    # Multi-graph registry
+    # ------------------------------------------------------------------
+    def _require_registry(self) -> GraphRegistry:
+        if self.registry is None:
+            raise HttpError(
+                400, "this server has no graph registry (multi-graph serving is off)"
+            )
+        return self.registry
+
+    def _service_for(self, payload: dict) -> tuple[QueryService, Optional[str]]:
+        """Resolve the service a payload addresses (``graph`` field).
+
+        Returns ``(service, graph_name)`` — the default service and
+        ``None`` when the payload names no graph; 400 without a
+        registry, 404 for an unknown name.
+        """
+        name = payload.get("graph")
+        if name is None:
+            return self.service, None
+        if not isinstance(name, str) or not name:
+            raise HttpError(400, "'graph' must be a non-empty string")
+        registry = self._require_registry()
+        try:
+            return registry.get(name), name  # type: ignore[return-value]
+        except UnknownGraphError as exc:
+            raise HttpError(404, str(exc)) from exc
+
+    async def _handle_graph_load(self, request: HttpRequest) -> bytes:
+        payload = json_body(request)
+        registry = self._require_registry()
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise HttpError(400, "'name' must be a non-empty string")
+        profile = payload.get("profile")
+        if not isinstance(profile, str) or not profile:
+            raise HttpError(400, "'profile' must be a non-empty string")
+        scale = payload.get("scale", 1.0)
+        if isinstance(scale, bool) or not isinstance(scale, (int, float)):
+            raise HttpError(400, "'scale' must be a number")
+        seed = payload.get("seed")
+        if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+            raise HttpError(400, "'seed' must be an integer")
+        overrides: dict = {}
+        if "shards" in payload:
+            shards = payload["shards"]
+            if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+                raise HttpError(400, "'shards' must be an integer >= 1")
+            overrides["shards"] = shards
+        if "algorithm" in payload:
+            algorithm = payload["algorithm"]
+            if not isinstance(algorithm, str) or not algorithm:
+                raise HttpError(400, "'algorithm' must be a non-empty string")
+            overrides["algorithm"] = algorithm
+
+        # Dataset generation + service construction block; run them on
+        # the solver pool like any other heavy work.
+        load = functools.partial(
+            registry.load,
+            name,
+            profile,
+            scale=float(scale),
+            seed=seed,
+            **overrides,
+        )
+        loop = asyncio.get_running_loop()
+        entry = await loop.run_in_executor(self._solver_pool, load)
+        return json_response(
+            200, dict(entry.describe(), loaded=True), keep_alive=request.keep_alive
+        )
+
+    async def _handle_graph_drop(self, request: HttpRequest) -> bytes:
+        payload = json_body(request)
+        registry = self._require_registry()
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise HttpError(400, "'name' must be a non-empty string")
+        try:
+            # close() drains the tenant's pools and releases any shard
+            # segments — solver-pool work, not event-loop work.
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                self._solver_pool, functools.partial(registry.drop, name)
+            )
+        except UnknownGraphError as exc:
+            raise HttpError(404, str(exc)) from exc
+        return json_response(
+            200, {"name": name, "dropped": True}, keep_alive=request.keep_alive
+        )
 
     # ------------------------------------------------------------------
     # Solve path
@@ -407,8 +531,11 @@ class KTGServer:
             )
         started = time.perf_counter()
         shared_deadline = _parse_deadline_ms(request, payload)
+        shared_graph = payload.get("graph")
 
         async def one(entry: dict) -> dict:
+            if shared_graph is not None and "graph" not in entry:
+                entry = dict(entry, graph=shared_graph)
             try:
                 status, body = await self._admit_and_solve(
                     request, entry, started, inherited_deadline_ms=shared_deadline
@@ -434,6 +561,7 @@ class KTGServer:
         inherited_deadline_ms: Optional[float] = None,
     ) -> tuple[int, dict]:
         """Admission control + coalesced solve for one query payload."""
+        service, graph_name = self._service_for(payload)
         query = _parse_query(payload)
         deadline_ms = _parse_deadline_ms(request, payload)
         if deadline_ms is None:
@@ -460,7 +588,9 @@ class KTGServer:
         ):
             raise HttpError(400, "'node_budget' must be an integer")
 
-        key = self.service.cache_key(query)
+        # The cache key starts with the service's graph_id, so two
+        # tenants' identical queries can never coalesce onto one solve.
+        key = service.cache_key(query)
         future, is_leader = self.coalescer.join(key)
         if not is_leader:
             self._coalesced_followers.inc()
@@ -477,7 +607,9 @@ class KTGServer:
                     "error": "deadline expired awaiting coalesced solve",
                     "coalesced": True,
                 }
-            return 200, self._result_payload(served, coalesced=True)
+            return 200, self._result_payload(
+                served, coalesced=True, service=service, graph_name=graph_name
+            )
 
         # Leader path: overload control, then the real solve.
         if self._active_solves >= self.max_inflight:
@@ -496,8 +628,8 @@ class KTGServer:
             and self._active_solves >= self.pressure_threshold
         )
         effective_budget = math.inf
-        if self.service.time_budget is not None:
-            effective_budget = min(effective_budget, self.service.time_budget)
+        if service.time_budget is not None:
+            effective_budget = min(effective_budget, service.time_budget)
         if time_budget is not None:
             effective_budget = min(effective_budget, float(time_budget))
         if remaining is not None:
@@ -507,7 +639,7 @@ class KTGServer:
             self._pressure_degraded.inc()
 
         submit = functools.partial(
-            self.service.submit,
+            service.submit,
             query,
             time_budget=None if math.isinf(effective_budget) else effective_budget,
             node_budget=node_budget,
@@ -524,7 +656,13 @@ class KTGServer:
         if not served.from_cache:
             self._solver_runs.inc()
         self.coalescer.resolve(key, future, result=served)
-        return 200, self._result_payload(served, coalesced=False, pressure=pressure)
+        return 200, self._result_payload(
+            served,
+            coalesced=False,
+            pressure=pressure,
+            service=service,
+            graph_name=graph_name,
+        )
 
     # ------------------------------------------------------------------
     # Mutation path (epoch-mode services)
@@ -557,7 +695,7 @@ class KTGServer:
             ):
                 raise HttpError(400, "'keywords' must be a list of strings")
 
-        service = self.service
+        service, _ = self._service_for(payload)
         if op == "add_edge":
             apply = functools.partial(service.add_edge, payload["u"], payload["v"])
         elif op == "remove_edge":
@@ -588,8 +726,16 @@ class KTGServer:
         return json_response(200, body, keep_alive=request.keep_alive)
 
     def _result_payload(
-        self, served: ServiceResult, *, coalesced: bool, pressure: bool = False
+        self,
+        served: ServiceResult,
+        *,
+        coalesced: bool,
+        pressure: bool = False,
+        service: Optional[QueryService] = None,
+        graph_name: Optional[str] = None,
     ) -> dict:
+        if service is None:
+            service = self.service
         if served.degraded:
             self._degraded_responses.inc()
         payload = {
@@ -602,8 +748,11 @@ class KTGServer:
             "from_cache": served.from_cache,
             "coalesced": coalesced,
             "latency_ms": round(served.latency_ms, 3),
-            "algorithm": self.service.spec.name,
+            "algorithm": service.spec.name,
         }
+        if graph_name is not None:
+            payload["graph"] = graph_name
+            payload["graph_id"] = service.graph_id
         if pressure:
             payload["pressure"] = True
         return payload
@@ -611,9 +760,20 @@ class KTGServer:
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
-    def stats_payload(self) -> dict:
-        """The ``GET /stats`` body: server + service + instruments."""
-        report = self.service.instrument_report()
+    def stats_payload(self, graph: Optional[str] = None) -> dict:
+        """The ``GET /stats`` body: server + service + instruments.
+
+        ``graph`` scopes the service half of the report to one registry
+        tenant (``GET /stats?graph=name``); the server half and the
+        registry listing are global either way.
+        """
+        if graph is None:
+            report = self.service.instrument_report()
+        else:
+            service, _ = self._service_for({"graph": graph})
+            report = service.instrument_report()
+        if self.registry is not None:
+            report["graphs"] = self.registry.describe()
         report["server"] = {
             "uptime_s": round(time.time() - self._started_unix, 3),
             "active_solves": self._active_solves,

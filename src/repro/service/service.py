@@ -10,10 +10,14 @@ DKTG queries submitted singly or in batches:
   ``executor="process"`` ships the graph + prebuilt oracle to worker
   processes once and is the right choice for CPU-bound exact solves.
 * **Result caching** — answers are cached under
-  ``(graph.version, algorithm, canonical query)``.  Only *exact*
-  (non-degraded) answers are cached: a budget-truncated answer is an
-  artefact of one run's timing, not a property of the query.  Graph
-  mutations bump the version, so stale entries can never be returned.
+  ``(graph_id, graph.version, algorithm, canonical query)``.  Only
+  *exact* (non-degraded) answers are cached: a budget-truncated answer
+  is an artefact of one run's timing, not a property of the query.
+  Graph mutations bump the version, so stale entries can never be
+  returned; the stable ``graph_id`` keeps cache keys distinct across
+  *different* graphs that happen to share a version counter (the
+  multi-tenant registry, :class:`repro.shard.GraphRegistry`, issues one
+  id per load generation).
 * **Admission control / graceful degradation** — service-level
   ``time_budget`` / ``node_budget`` defaults are applied to every
   query (overridable per call).  When a budget trips, the anytime
@@ -50,6 +54,8 @@ from repro.index.base import DistanceOracle
 from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
 from repro.service.cache import ResultCache, canonical_query_key
 from repro.service.reservoir import DEFAULT_RESERVOIR_CAPACITY, LatencyReservoir
+from repro.shard.executor import ShardedBranchAndBoundSolver
+from repro.shard.partition import DEFAULT_SHARD_RADIUS
 from repro.workloads.runner import (
     ALGORITHMS,
     AlgorithmSpec,
@@ -243,7 +249,25 @@ class QueryService:
     jobs_executor:
         Fleet kind for per-query parallelism: ``"process"`` (default),
         ``"thread"`` or ``"inline"`` (see
-        :data:`repro.core.parallel.EXECUTORS`).
+        :data:`repro.core.parallel.EXECUTORS`).  Also selects the
+        executor of any sharded engine (``shards > 1``).
+    graph_id:
+        Stable identity of *this* graph, mixed into the result-cache
+        and engine-cache keys.  Two services over different graphs that
+        share a ``version`` counter (every freshly built graph starts
+        at 0) must carry distinct ids or a shared coalescing layer
+        could serve one tenant the other's groups.
+        :class:`repro.shard.GraphRegistry` issues ``"{name}#{gen}"``
+        ids automatically.
+    shards / shard_radius:
+        Default per-query sharding: with ``shards > 1`` each solve
+        scatters its root frontier across per-shard solver fleets
+        (:class:`repro.shard.ShardedBranchAndBoundSolver`, bit-identical
+        results) built from a community partition with
+        ``shard_radius``-hop boundary replication.  Like ``jobs``, the
+        default can be overridden per call; diversified specs ignore
+        it.  Incompatible with ``mutations=True`` (shard sets freeze
+        one version at a time).
     cache_capacity:
         LRU result-cache size; ``0`` disables caching.
     distance_engine:
@@ -302,6 +326,9 @@ class QueryService:
         node_budget: Optional[int] = None,
         jobs: int = 1,
         jobs_executor: str = "process",
+        graph_id: str = "default",
+        shards: int = 1,
+        shard_radius: int = DEFAULT_SHARD_RADIUS,
         cache_capacity: int = 1024,
         distance_engine: str = "oracle",
         graph_layout: str = "adjacency",
@@ -340,7 +367,21 @@ class QueryService:
             raise ValueError(
                 f"jobs_executor must be one of {EXECUTORS}, got {jobs_executor!r}"
             )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shard_radius < 1:
+            raise ValueError(f"shard_radius must be >= 1, got {shard_radius}")
+        if mutations and shards > 1:
+            raise ValueError(
+                "mutations=True is incompatible with shards > 1: shard sets "
+                "freeze one graph version per partition build"
+            )
+        if not graph_id:
+            raise ValueError("graph_id must be a non-empty string")
         self.graph = graph
+        self.graph_id = graph_id
+        self.shards = shards
+        self.shard_radius = shard_radius
         self.spec = ALGORITHMS[algorithm] if isinstance(algorithm, str) else algorithm
         self.max_workers = max_workers
         self.executor_kind = executor
@@ -355,7 +396,9 @@ class QueryService:
 
         self.kernel_backend = validate_kernel_backend(kernel_backend)
         self._kernel = None
-        self._engines: dict[tuple, ParallelBranchAndBoundSolver] = {}
+        self._engines: dict[
+            tuple, Union[ParallelBranchAndBoundSolver, ShardedBranchAndBoundSolver]
+        ] = {}
         # Lazy-init guards: concurrent submit/run_batch calls race to
         # build the parallel-engine cache and the worker pool; without
         # these locks the losers leaked whole pools (process fleets hold
@@ -434,12 +477,15 @@ class QueryService:
         time_budget: Optional[float] = None,
         node_budget: Optional[int] = None,
         jobs: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> ServiceResult:
         """Answer one query (cache-first, sequential).
 
         ``jobs`` overrides the service-level default for this call only;
         with ``jobs > 1`` the solve fans out across a parallel
         branch-and-bound fleet (bit-identical results, lower latency).
+        ``shards`` does the same for the scatter-gather sharded engine
+        and takes precedence over ``jobs`` when both exceed 1.
         """
         query = self._lift(query)
         return self._serve_one(
@@ -447,6 +493,7 @@ class QueryService:
             time_budget if time_budget is not None else self.time_budget,
             node_budget if node_budget is not None else self.node_budget,
             jobs if jobs is not None else self.jobs,
+            shards if shards is not None else self.shards,
         )
 
     def run_batch(
@@ -457,6 +504,7 @@ class QueryService:
         time_budget: Optional[float] = None,
         node_budget: Optional[int] = None,
         jobs: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> list[ServiceResult]:
         """Answer a workload (or any query iterable), in input order.
 
@@ -475,11 +523,15 @@ class QueryService:
         tb = time_budget if time_budget is not None else self.time_budget
         nb = node_budget if node_budget is not None else self.node_budget
         per_query_jobs = jobs if jobs is not None else self.jobs
+        per_query_shards = shards if shards is not None else self.shards
 
-        if per_query_jobs > 1:
+        if per_query_jobs > 1 or per_query_shards > 1:
             # Per-query parallelism owns the hardware: queries run one
             # after another, each using the whole fleet.
-            return [self._serve_one(q, tb, nb, per_query_jobs) for q in lifted]
+            return [
+                self._serve_one(q, tb, nb, per_query_jobs, per_query_shards)
+                for q in lifted
+            ]
         if not parallel or self.max_workers == 1 or len(lifted) <= 1:
             return [self._serve_one(query, tb, nb) for query in lifted]
         if self.executor_kind == "process":
@@ -578,6 +630,7 @@ class QueryService:
         registry attached — every named counter and latency histogram.
         """
         report: dict = {
+            "graph_id": self.graph_id,
             "service": self.stats().as_dict(),
             "cache": {
                 "capacity": self.cache.capacity,
@@ -613,6 +666,32 @@ class QueryService:
                 "snapshot_bytes": cached.nbytes if cached is not None else 0,
                 **counter_totals(),
             }
+        with self._engines_lock:
+            shard_engines = [
+                engine
+                for engine in self._engines.values()
+                if isinstance(engine, ShardedBranchAndBoundSolver)
+            ]
+        if shard_engines:
+            report["shard"] = [
+                {
+                    "num_shards": engine.num_shards,
+                    "radius": engine.radius,
+                    "executor": engine.executor_kind,
+                    "jobs_per_shard": engine.jobs_per_shard,
+                    "built": engine.shard_set is not None,
+                    "effective_shards": (
+                        engine.shard_set.num_shards if engine.shard_set else 0
+                    ),
+                    "replica_vertices": (
+                        engine.shard_set.replica_vertices if engine.shard_set else 0
+                    ),
+                    "snapshot_bytes": (
+                        engine.shard_set.snapshot_bytes if engine.shard_set else 0
+                    ),
+                }
+                for engine in shard_engines
+            ]
         if self._epochs is not None:
             from repro.core.epoch import counter_totals as epoch_counter_totals
 
@@ -630,10 +709,13 @@ class QueryService:
     def cache_key(self, query: KTGQuery) -> tuple:
         """Canonical identity of *query*'s answer on this service.
 
-        The same ``(graph.version, algorithm, canonical query)`` tuple
-        the result cache keys by — exposed publicly so the serving
-        front end (:mod:`repro.server`) can coalesce identical
-        concurrent requests onto one in-flight solve.
+        The same ``(graph_id, graph.version, algorithm, canonical
+        query)`` tuple the result cache keys by — exposed publicly so
+        the serving front end (:mod:`repro.server`) can coalesce
+        identical concurrent requests onto one in-flight solve.  The
+        leading ``graph_id`` makes the key tenant-safe: the server's
+        coalescer spans every registered graph, and without it two
+        same-version graphs would collide.
         """
         return self._cache_key(self._lift(query))
 
@@ -653,7 +735,12 @@ class QueryService:
         return query
 
     def _cache_key(self, query: KTGQuery) -> tuple:
-        return (self.graph.version, self.spec.name, canonical_query_key(query))
+        return (
+            self.graph_id,
+            self.graph.version,
+            self.spec.name,
+            canonical_query_key(query),
+        )
 
     def _ensure_oracle(self) -> DistanceOracle:
         """Build (or rebuild after graph mutation) the shared oracle."""
@@ -688,23 +775,30 @@ class QueryService:
                 )
             return self._kernel
 
+    def _evict_stale_engines_locked(self) -> None:
+        # Engine keys end in the graph version they were built against;
+        # a mutation retires them (their worker state snapshots the
+        # graph).  Caller holds _engines_lock.
+        stale = [k for k in self._engines if k[-1] != self.graph.version]
+        for k in stale:
+            self._engines.pop(k).close()
+
     def _parallel_engine(self, jobs: int) -> ParallelBranchAndBoundSolver:
         """Cached parallel engine for this spec at the given fleet size.
 
-        Keyed by ``(jobs, graph.version)`` so a graph mutation retires
-        stale engines (their shipped worker state snapshots the graph).
+        Keyed by ``(graph_id, "jobs", jobs, graph.version)`` so a graph
+        mutation retires stale engines and the key can never collide
+        with another graph's engines in any shared aggregation.
         Engines are closed by :meth:`close`.  Construction is serialized
         under ``_engines_lock``: racing submits must converge on *one*
         engine per key — the losing duplicate of a process fleet would
         leak worker processes and shared-memory segments.
         """
-        key = (jobs, self.graph.version)
+        key = (self.graph_id, "jobs", jobs, self.graph.version)
         with self._engines_lock:
             engine = self._engines.get(key)
             if engine is None:
-                stale = [k for k in self._engines if k[1] != self.graph.version]
-                for k in stale:
-                    self._engines.pop(k).close()
+                self._evict_stale_engines_locked()
                 oracle = self._ensure_oracle()
                 engine = ParallelBranchAndBoundSolver(
                     self.graph,
@@ -719,7 +813,38 @@ class QueryService:
                     instruments=self.instruments,
                 )
                 self._engines[key] = engine
-        return engine
+        return engine  # type: ignore[return-value]
+
+    def _shard_engine(self, shards: int) -> ShardedBranchAndBoundSolver:
+        """Cached scatter-gather engine at the given partition width.
+
+        Keyed by ``(graph_id, "shards", shards, graph.version)`` with
+        the same stale-eviction and single-construction guarantees as
+        :meth:`_parallel_engine`.  The engine builds its own router
+        stack per shard — the service's shared kernel wraps the global
+        oracle and cannot serve the shard views.
+        """
+        key = (self.graph_id, "shards", shards, self.graph.version)
+        with self._engines_lock:
+            engine = self._engines.get(key)
+            if engine is None:
+                self._evict_stale_engines_locked()
+                oracle = self._ensure_oracle()
+                engine = ShardedBranchAndBoundSolver(
+                    self.graph,
+                    oracle=oracle,
+                    strategy=strategy_by_name(self.spec.strategy_name, self.graph),
+                    num_shards=shards,
+                    radius=self.shard_radius,
+                    executor=self.jobs_executor,
+                    jobs_per_shard=1,
+                    distance_engine=self.distance_engine,
+                    graph_layout=self.graph_layout,
+                    kernel_backend=self.kernel_backend,
+                    instruments=self.instruments,
+                )
+                self._engines[key] = engine
+        return engine  # type: ignore[return-value]
 
     def _serve_one(
         self,
@@ -727,6 +852,7 @@ class QueryService:
         time_budget: Optional[float],
         node_budget: Optional[int],
         jobs: int = 1,
+        shards: int = 1,
     ) -> ServiceResult:
         # Epoch mode: the whole serve (key computation included — it
         # reads graph.version) runs under the manager's read gate, so no
@@ -734,8 +860,10 @@ class QueryService:
         # are shared; only the brief mutation applies exclude them.
         if self._epochs is not None:
             with self._epochs.read():
-                return self._serve_one_locked(query, time_budget, node_budget, jobs)
-        return self._serve_one_locked(query, time_budget, node_budget, jobs)
+                return self._serve_one_locked(
+                    query, time_budget, node_budget, jobs, shards
+                )
+        return self._serve_one_locked(query, time_budget, node_budget, jobs, shards)
 
     def _serve_one_locked(
         self,
@@ -743,6 +871,7 @@ class QueryService:
         time_budget: Optional[float],
         node_budget: Optional[int],
         jobs: int = 1,
+        shards: int = 1,
     ) -> ServiceResult:
         started = time.perf_counter()
         key = self._cache_key(query)
@@ -761,7 +890,13 @@ class QueryService:
             self._record(served)
             return served
         self._cache_miss_counter.inc()
-        if jobs > 1 and not self.spec.diversified:
+        if shards > 1 and not self.spec.diversified:
+            shard_engine = self._shard_engine(shards)
+            solve_started = time.perf_counter()
+            result = shard_engine.solve(
+                query, node_budget=node_budget, time_budget=time_budget
+            )
+        elif jobs > 1 and not self.spec.diversified:
             engine = self._parallel_engine(jobs)
             solve_started = time.perf_counter()
             result = engine.solve(

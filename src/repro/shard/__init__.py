@@ -1,0 +1,44 @@
+"""Sharded multi-graph serving: partitioning, routing, scatter-gather.
+
+Three pieces (see ``docs/sharding.md`` for the full protocol):
+
+* :mod:`repro.shard.partition` — balanced label-propagation communities
+  with k-hop boundary-ball replication, one frozen CSR snapshot (and
+  optionally one shared-memory segment) per shard;
+* :mod:`repro.shard.router` — global-id graph facade + exact distance
+  oracle routing every probe to the source vertex's home shard;
+* :mod:`repro.shard.executor` — per-shard solver fleets folded through
+  the ordered-replay merge of :mod:`repro.core.parallel`, bit-identical
+  to unsharded solving;
+* :mod:`repro.shard.registry` — many named graphs, each with its own
+  :class:`~repro.service.QueryService` and a stable ``graph_id``.
+"""
+
+from repro.shard.executor import ShardedBranchAndBoundSolver, ShardedKTGResult
+from repro.shard.partition import (
+    DEFAULT_SHARD_RADIUS,
+    Shard,
+    ShardMap,
+    ShardSet,
+    build_shard_set,
+    partition_vertices,
+    propagate_labels,
+)
+from repro.shard.registry import GraphRegistry, RegisteredGraph
+from repro.shard.router import ShardRouter, ShardUnionView
+
+__all__ = [
+    "DEFAULT_SHARD_RADIUS",
+    "GraphRegistry",
+    "RegisteredGraph",
+    "Shard",
+    "ShardMap",
+    "ShardSet",
+    "ShardRouter",
+    "ShardUnionView",
+    "ShardedBranchAndBoundSolver",
+    "ShardedKTGResult",
+    "build_shard_set",
+    "partition_vertices",
+    "propagate_labels",
+]

@@ -1,0 +1,694 @@
+"""Scatter-gather sharded branch-and-bound: per-shard fleets, one merge.
+
+:class:`ShardedBranchAndBoundSolver` is the shard-aware sibling of
+:class:`repro.core.parallel.ParallelBranchAndBoundSolver`.  The root
+frontier is split exactly the same way, but each root branch is
+**scattered to the home shard of its root vertex**: every shard runs
+its own worker fleet over its own shared-memory CSR segment, probing
+distances through the :class:`~repro.shard.router.ShardRouter` (exact
+for ``k <= radius``, see :mod:`repro.shard.partition`).
+
+The gather side is the existing ordered-replay merge: outcomes fold
+into one :class:`~repro.core.results.TopNPool` in global root order,
+and the merged threshold of the maximal **contiguous position prefix**
+is broadcast through one floor cell shared by *every* shard's fleet —
+the cross-shard extension of the incumbent-floor protocol whose
+exactness proof lives in :mod:`repro.core.parallel`.  Because each
+worker reproduces the serial subtree bit for bit (same candidates,
+same filters, same oracle answers) and the replay order equals root
+order, ``solve()`` returns groups **and** a ``SearchStats`` ledger
+bit-identical to the unsharded engines (stats require
+``bound_broadcast=False`` for schedule invariance, as ever).
+
+Queries with ``tenuity > radius`` transparently rebuild the shard set
+at the larger radius; a ``graph.version`` bump does the same.  Both
+rebuilds drain the fleets before unlinking segments.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.branch_and_bound import BranchAndBoundSolver, KTGResult, SearchStats
+from repro.core.coverage import CoverageContext
+from repro.core.csr import CsrSnapshot
+from repro.core.errors import IndexBuildError, ShardError
+from repro.core.graph import AttributedGraph
+from repro.core.parallel import (
+    EXECUTORS,
+    _FloorBox,
+    _RecordingFloorPool,
+    _SharedFloor,
+    _SubproblemOutcome,
+    _replay,
+    _solve_subtree,
+    _strategy_spec,
+    aggregate_subproblem_stats,
+    root_frontier,
+)
+from repro.core.query import KTGQuery
+from repro.core.results import TopNPool
+from repro.core.strategies import OrderingStrategy, strategy_by_name
+from repro.index.base import DistanceOracle
+from repro.kernels.engine import resolve_distance_engine
+from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
+
+from repro.shard.partition import (
+    DEFAULT_SHARD_RADIUS,
+    ShardMap,
+    ShardSet,
+    build_shard_set,
+)
+from repro.shard.router import ShardRouter, ShardUnionView
+
+__all__ = ["ShardedBranchAndBoundSolver", "ShardedKTGResult"]
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing.  Every worker — regardless of which shard's
+# fleet it belongs to — attaches ALL shard segments: a subtree rooted in
+# shard s still contains candidates homed anywhere, and the router
+# answers each probe from that vertex's own home shard.  Attachment is
+# zero-copy, so "all segments" costs name lookups, not memory.
+# ----------------------------------------------------------------------
+_SHARD_WORKER: Optional[dict] = None
+
+
+def _shard_worker_init(
+    segment_names: Sequence[str],
+    shard_map: ShardMap,
+    strategy: Optional[OrderingStrategy],
+    strategy_spec: Optional[tuple[str, dict]],
+    options: dict,
+    floor_cell: Any,
+) -> None:
+    global _SHARD_WORKER
+    snapshots: list[CsrSnapshot] = []
+    try:
+        for name in segment_names:
+            snapshots.append(CsrSnapshot.attach(name))
+        views = [snapshot.view() for snapshot in snapshots]
+        union = ShardUnionView(views, shard_map)
+        router = ShardRouter(union, views, shard_map)
+        if strategy_spec is not None:
+            strategy = strategy_by_name(strategy_spec[0], union, **strategy_spec[1])
+        _SHARD_WORKER = {
+            "solver": BranchAndBoundSolver(
+                union, oracle=router, strategy=strategy, **options
+            ),
+            "floor": _SharedFloor(floor_cell),
+            "context_key": None,
+            "context": None,
+            "snapshots": snapshots,
+        }
+    except BaseException:
+        # Same discipline as the jobs engine: a worker dying mid-init
+        # must close its mappings or the owner's unlink cannot empty
+        # /dev/shm (the CI leak check catches exactly this).
+        for snapshot in snapshots:
+            snapshot.close()
+        raise
+
+
+def _shard_worker_run(
+    chunk: Sequence[int],
+    query: KTGQuery,
+    initial: Sequence[int],
+    top_n: int,
+    deadline: Optional[float],
+    node_budget: Optional[int],
+) -> list[_SubproblemOutcome]:
+    assert _SHARD_WORKER is not None, "shard worker initializer did not run"
+    solver: BranchAndBoundSolver = _SHARD_WORKER["solver"]
+    solver.node_budget = node_budget
+    floor: _SharedFloor = _SHARD_WORKER["floor"]
+    if _SHARD_WORKER["context_key"] != query.keywords:
+        _SHARD_WORKER["context"] = CoverageContext(solver.graph, query.keywords)
+        _SHARD_WORKER["context_key"] = query.keywords
+    context: CoverageContext = _SHARD_WORKER["context"]
+    outcomes = []
+    for position in chunk:
+        pool = _RecordingFloorPool(top_n, floor.read)
+        stats = _solve_subtree(solver, query, context, initial, position, pool, deadline)
+        outcomes.append(_SubproblemOutcome(position, pool.offers, stats))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Result type
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardedKTGResult(KTGResult):
+    """A :class:`KTGResult` plus the sharded engine's provenance."""
+
+    shards: int = 1
+    radius: int = DEFAULT_SHARD_RADIUS
+    executor: str = "inline"
+    subproblems: int = 0
+    worker_stats: tuple[SearchStats, ...] = field(compare=False, default_factory=tuple)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class ShardedBranchAndBoundSolver:
+    """Exact top-N KTG solver over a community-partitioned graph.
+
+    Parameters mirror :class:`~repro.core.parallel.ParallelBranchAndBoundSolver`
+    plus:
+
+    num_shards:
+        Requested partition width.  The effective width is
+        ``min(num_shards, n)`` (empty bins are dropped).
+    radius:
+        Boundary-replication radius (k-ball closure).  Queries with
+        ``tenuity > radius`` rebuild the shard set at that tenuity —
+        transparent but costly, so size *radius* to the workload.
+    executor / jobs_per_shard:
+        ``"process"`` spawns one :class:`ProcessPoolExecutor` **per
+        shard** with *jobs_per_shard* workers, every worker attached to
+        all shard segments by name (zero-copy).  ``"thread"`` uses one
+        shared pool of ``shards * jobs_per_shard`` threads over
+        in-process shard views; ``"inline"`` runs the same schedule on
+        the caller thread (deterministic broadcasts; the property-test
+        reference).
+
+    Groups are bit-identical to the serial solver for every strategy,
+    distance engine and kernel backend; the aggregated ``SearchStats``
+    ledger additionally matches the jobs engine (and is schedule
+    invariant) when ``bound_broadcast=False``.  Budgets apply per
+    subproblem, exactly as in the jobs engine.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        oracle: Optional[DistanceOracle] = None,
+        strategy: Optional[OrderingStrategy] = None,
+        *,
+        num_shards: int = 2,
+        radius: int = DEFAULT_SHARD_RADIUS,
+        executor: str = "inline",
+        jobs_per_shard: int = 1,
+        keyword_pruning: bool = True,
+        kline_filtering: bool = True,
+        use_union_bound: bool = False,
+        node_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+        bound_broadcast: bool = True,
+        chunk_size: Optional[int] = None,
+        instruments: InstrumentRegistry = NULL_REGISTRY,
+        distance_engine: str = "oracle",
+        kernel=None,
+        graph_layout: str = "adjacency",
+        kernel_backend: str = "auto",
+    ) -> None:
+        if num_shards < 1:
+            raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+        if radius < 1:
+            raise ShardError(f"radius must be >= 1, got {radius}")
+        if jobs_per_shard < 1:
+            raise ShardError(f"jobs_per_shard must be >= 1, got {jobs_per_shard}")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if not isinstance(graph, AttributedGraph):
+            raise ShardError(
+                "sharding requires a mutable AttributedGraph, not a frozen view"
+            )
+        self.num_shards = num_shards
+        self.radius = radius
+        self.executor_kind = executor
+        self.jobs_per_shard = jobs_per_shard
+        self.bound_broadcast = bound_broadcast
+        self.chunk_size = chunk_size
+        self.instruments = instruments
+        self._template = BranchAndBoundSolver(
+            graph,
+            oracle=oracle,
+            strategy=strategy,
+            keyword_pruning=keyword_pruning,
+            kline_filtering=kline_filtering,
+            use_union_bound=use_union_bound,
+            node_budget=node_budget,
+            time_budget=time_budget,
+            distance_engine=distance_engine,
+            kernel=kernel,
+            graph_layout=graph_layout,
+            kernel_backend=kernel_backend,
+        )
+        self._shard_set: Optional[ShardSet] = None
+        # Worker stack over the local shard views (inline/thread).
+        self._stack: Optional[dict] = None
+        self._pools: Optional[list[Executor]] = None
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._floor_cell: Any = None
+        # Serializes solves: the floor cell, shard set and pools are
+        # shared engine state (same contract as the jobs engine).
+        self._fleet_lock = threading.Lock()
+        self._tasks_counter = instruments.counter("shard.tasks")
+        self._subproblem_counter = instruments.counter("shard.subproblems")
+        self._broadcast_counter = instruments.counter("shard.bound_broadcasts")
+        self._rebuild_counter = instruments.counter("shard.rebuilds")
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> AttributedGraph:
+        return self._template.graph
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        return self._template.oracle
+
+    @property
+    def strategy(self) -> OrderingStrategy:
+        return self._template.strategy
+
+    @property
+    def algorithm_name(self) -> str:
+        return self._template.algorithm_name
+
+    @property
+    def shard_set(self) -> Optional[ShardSet]:
+        """The currently materialized shards (``None`` before first use)."""
+        return self._shard_set
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the fleets and release every shard segment (idempotent)."""
+        with self._fleet_lock:
+            self._teardown_fleet()
+
+    def __enter__(self) -> "ShardedBranchAndBoundSolver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        query: KTGQuery,
+        candidates: Optional[Sequence[int]] = None,
+        *,
+        node_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> ShardedKTGResult:
+        """Answer *query* across the per-shard fleets.
+
+        Root preparation (coverage context, candidate selection, initial
+        order) happens on the coordinator against the full graph — it is
+        cheap and keeps the scattered subtrees' inputs bit-identical to
+        the serial root loop.
+        """
+        template = self._template
+        if template.oracle.is_stale():
+            raise IndexBuildError(
+                "the distance oracle was built on an older version of the "
+                "graph; call oracle.rebuild() before solving"
+            )
+        nb = node_budget if node_budget is not None else template.node_budget
+        tb = time_budget if time_budget is not None else template.time_budget
+        started = time.perf_counter()
+        root_stats = SearchStats()
+        context = CoverageContext(template.graph, query.keywords)
+        initial = template._initial_candidates(query, context, candidates, root_stats)
+        initial = template.strategy.initial_order(initial, context)
+
+        frontier = root_frontier(initial, query.group_size)
+        if query.group_size == 1 or len(frontier) == 0:
+            return self._wrap_serial(query, candidates, nb, tb)
+
+        deadline = started + tb if tb is not None else None
+        with self._fleet_lock:
+            shard_set = self._ensure_shards(query.tenuity)
+            chunks = self._chunk(frontier, initial, shard_set.shard_map)
+            self._tasks_counter.inc(len(chunks))
+            self._subproblem_counter.inc(len(frontier))
+            if self.executor_kind == "inline":
+                outcomes, merged, accepted, broadcasts = self._run_inline(
+                    frontier, query, initial, context, deadline, nb
+                )
+            elif self.executor_kind == "thread":
+                outcomes, merged, accepted, broadcasts = self._run_threads(
+                    chunks, frontier, query, initial, context, deadline, nb
+                )
+            else:
+                outcomes, merged, accepted, broadcasts = self._run_processes(
+                    chunks, frontier, query, initial, deadline, nb
+                )
+        self._broadcast_counter.inc(broadcasts)
+
+        outcomes.sort(key=lambda outcome: outcome.position)
+        stats = aggregate_subproblem_stats(root_stats, outcomes, accepted)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return ShardedKTGResult(
+            query=query,
+            algorithm=template.algorithm_name,
+            groups=tuple(merged.best()),
+            stats=stats,
+            shards=self._shard_set.num_shards if self._shard_set else 1,
+            radius=self._shard_set.radius if self._shard_set else self.radius,
+            executor=self.executor_kind,
+            subproblems=len(frontier),
+            worker_stats=tuple(outcome.stats for outcome in outcomes),
+        )
+
+    # ------------------------------------------------------------------
+    def _wrap_serial(
+        self,
+        query: KTGQuery,
+        candidates: Optional[Sequence[int]],
+        node_budget: Optional[int],
+        time_budget: Optional[float],
+    ) -> ShardedKTGResult:
+        serial = self._clone_template()
+        serial.node_budget = node_budget
+        serial.time_budget = time_budget
+        result = serial.solve(query, candidates)
+        return ShardedKTGResult(
+            query=result.query,
+            algorithm=result.algorithm,
+            groups=result.groups,
+            stats=result.stats,
+            shards=self._shard_set.num_shards if self._shard_set else self.num_shards,
+            radius=self._shard_set.radius if self._shard_set else self.radius,
+            executor=self.executor_kind,
+            subproblems=0,
+            worker_stats=(result.stats,),
+        )
+
+    def _clone_template(self) -> BranchAndBoundSolver:
+        template = self._template
+        return BranchAndBoundSolver(
+            template.graph,
+            oracle=template.oracle,
+            strategy=template.strategy,
+            keyword_pruning=template.keyword_pruning,
+            kline_filtering=template.kline_filtering,
+            use_union_bound=template.use_union_bound,
+            node_budget=template.node_budget,
+            time_budget=template.time_budget,
+            distance_engine=template.distance_engine,
+            kernel=template.kernel,
+            graph_layout=template.graph_layout,
+            kernel_backend=template.kernel_backend,
+        )
+
+    # ------------------------------------------------------------------
+    def _ensure_shards(self, tenuity: int) -> ShardSet:
+        """Return a shard set valid for *tenuity*, rebuilding if needed."""
+        needed = max(1, tenuity)
+        version = self.graph.version
+        shard_set = self._shard_set
+        if shard_set is not None and (
+            shard_set.shard_map.parent_version != version
+            or shard_set.radius < needed
+        ):
+            self._teardown_fleet()
+            shard_set = None
+        if shard_set is None:
+            shard_set = build_shard_set(
+                self.graph,
+                self.num_shards,
+                radius=max(self.radius, needed),
+                instruments=self.instruments,
+            )
+            self._shard_set = shard_set
+            self._rebuild_counter.inc(1)
+        return shard_set
+
+    def _teardown_fleet(self) -> None:
+        """Drain pools, then release segments (shutdown-before-unlink)."""
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+            self._pools = None
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        self._floor_cell = None
+        self._stack = None
+        if self._shard_set is not None:
+            self._shard_set.release()
+            self._shard_set = None
+
+    # ------------------------------------------------------------------
+    def _local_stack(self, shard_set: ShardSet) -> dict:
+        """Router + union view over the in-process shard views.
+
+        Inline and thread fleets share one stack (and one ball cache):
+        the router's per-shard BFS memos and the kernel's LRU are both
+        lock-protected, and ball values are immutable.
+        """
+        if self._stack is None:
+            template = self._template
+            views = shard_set.views()
+            union = ShardUnionView(views, shard_set.shard_map)
+            router = ShardRouter(union, views, shard_set.shard_map)
+            kernel = resolve_distance_engine(
+                template.distance_engine,
+                router,
+                None,
+                "adjacency",
+                template.kernel_backend,
+            )
+            self._stack = {
+                "union": union,
+                "router": router,
+                "kernel": kernel,
+            }
+        return self._stack
+
+    def _worker_solver(self, stack: dict) -> BranchAndBoundSolver:
+        template = self._template
+        return BranchAndBoundSolver(
+            stack["union"],
+            oracle=stack["router"],
+            strategy=template.strategy,
+            keyword_pruning=template.keyword_pruning,
+            kline_filtering=template.kline_filtering,
+            use_union_bound=template.use_union_bound,
+            node_budget=template.node_budget,
+            time_budget=template.time_budget,
+            distance_engine=template.distance_engine,
+            kernel=stack["kernel"],
+            graph_layout="adjacency",
+            kernel_backend=template.kernel_backend,
+        )
+
+    def _worker_options(self) -> dict:
+        template = self._template
+        return {
+            "keyword_pruning": template.keyword_pruning,
+            "kline_filtering": template.kline_filtering,
+            "use_union_bound": template.use_union_bound,
+            "distance_engine": template.distance_engine,
+            "kernel_backend": template.kernel_backend,
+            # Over a router-backed union view the ball engine must grow
+            # balls through oracle.within_k, never a CSR snapshot of the
+            # (non-materialized) union graph.
+            "graph_layout": "adjacency",
+        }
+
+    def _chunk(
+        self, frontier: range, initial: Sequence[int], shard_map: ShardMap
+    ) -> list[tuple[int, list[int]]]:
+        """Root positions grouped by the home shard of their root vertex."""
+        per_shard: dict[int, list[int]] = {}
+        for position in frontier:
+            shard = shard_map.home_of[initial[position]]
+            per_shard.setdefault(shard, []).append(position)
+        chunks: list[tuple[int, list[int]]] = []
+        for shard in sorted(per_shard):
+            positions = per_shard[shard]
+            size = self.chunk_size
+            if size is None:
+                size = max(1, -(-len(positions) // (self.jobs_per_shard * 4)))
+            for i in range(0, len(positions), size):
+                chunks.append((shard, positions[i : i + size]))
+        return chunks
+
+    # -- inline ---------------------------------------------------------
+    def _run_inline(
+        self,
+        frontier: range,
+        query: KTGQuery,
+        initial: Sequence[int],
+        context: CoverageContext,
+        deadline: Optional[float],
+        node_budget: Optional[int],
+    ) -> tuple[list[_SubproblemOutcome], TopNPool, int, int]:
+        # Inline runs positions in global root order regardless of shard
+        # affinity: completion order == root order, so the broadcast
+        # floor tracks the serial threshold as tightly as possible.
+        stack = self._local_stack(self._shard_set)  # type: ignore[arg-type]
+        solver = self._worker_solver(stack)
+        solver.node_budget = node_budget
+        floor = _FloorBox()
+        merged = TopNPool(query.top_n)
+        outcomes: list[_SubproblemOutcome] = []
+        accepted = 0
+        broadcasts = 0
+        for position in frontier:
+            pool = _RecordingFloorPool(query.top_n, floor.read)
+            stats = _solve_subtree(solver, query, context, initial, position, pool, deadline)
+            outcome = _SubproblemOutcome(position, pool.offers, stats)
+            outcomes.append(outcome)
+            accepted += _replay(merged, [outcome])
+            if self.bound_broadcast and merged.threshold > floor.read():
+                floor.write(merged.threshold)
+                broadcasts += 1
+        return outcomes, merged, accepted, broadcasts
+
+    # -- thread ---------------------------------------------------------
+    def _run_threads(
+        self,
+        chunks: list[tuple[int, list[int]]],
+        frontier: range,
+        query: KTGQuery,
+        initial: Sequence[int],
+        context: CoverageContext,
+        deadline: Optional[float],
+        node_budget: Optional[int],
+    ) -> tuple[list[_SubproblemOutcome], TopNPool, int, int]:
+        if self._thread_pool is None:
+            self._floor_cell = _FloorBox()
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=max(1, self.num_shards * self.jobs_per_shard),
+                thread_name_prefix="ktg-shard",
+            )
+        floor: _FloorBox = self._floor_cell
+        floor.write(0.0)
+        stack = self._local_stack(self._shard_set)  # type: ignore[arg-type]
+        solvers = [self._worker_solver(stack) for _ in range(len(chunks))]
+        for solver in solvers:
+            solver.node_budget = node_budget
+
+        def run_chunk(index: int) -> list[_SubproblemOutcome]:
+            solver = solvers[index]
+            results = []
+            for position in chunks[index][1]:
+                local = _RecordingFloorPool(query.top_n, floor.read)
+                stats = _solve_subtree(
+                    solver, query, context, initial, position, local, deadline
+                )
+                results.append(_SubproblemOutcome(position, local.offers, stats))
+            return results
+
+        futures = [self._thread_pool.submit(run_chunk, i) for i in range(len(chunks))]
+        return self._gather(futures, frontier, query, floor)
+
+    # -- process --------------------------------------------------------
+    def _ensure_process_pools(self, shard_set: ShardSet) -> list[Executor]:
+        if self._pools is not None:
+            return self._pools
+        import multiprocessing
+
+        template = self._template
+        names = shard_set.share()
+        self._floor_cell = multiprocessing.Value("d", 0.0)
+        spec = _strategy_spec(template.strategy)
+        pools: list[Executor] = []
+        try:
+            for _ in range(shard_set.num_shards):
+                pools.append(
+                    ProcessPoolExecutor(
+                        max_workers=self.jobs_per_shard,
+                        initializer=_shard_worker_init,
+                        initargs=(
+                            names,
+                            shard_set.shard_map,
+                            None if spec is not None else template.strategy,
+                            spec,
+                            self._worker_options(),
+                            self._floor_cell,
+                        ),
+                    )
+                )
+        except BaseException:
+            for pool in pools:
+                pool.shutdown(wait=True)
+            # Fleet construction failing halfway must not strand the
+            # shared segments until close().
+            shard_set.release()
+            self._shard_set = None
+            raise
+        self._pools = pools
+        return pools
+
+    def _run_processes(
+        self,
+        chunks: list[tuple[int, list[int]]],
+        frontier: range,
+        query: KTGQuery,
+        initial: Sequence[int],
+        deadline: Optional[float],
+        node_budget: Optional[int],
+    ) -> tuple[list[_SubproblemOutcome], TopNPool, int, int]:
+        shard_set = self._shard_set
+        assert shard_set is not None
+        pools = self._ensure_process_pools(shard_set)
+        floor = _SharedFloor(self._floor_cell)
+        floor.write(0.0)
+        futures = [
+            pools[shard].submit(
+                _shard_worker_run,
+                positions,
+                query,
+                list(initial),
+                query.top_n,
+                deadline,
+                node_budget,
+            )
+            for shard, positions in chunks
+        ]
+        return self._gather(futures, frontier, query, floor)
+
+    # -- gather ---------------------------------------------------------
+    def _gather(
+        self,
+        futures: list,
+        frontier: range,
+        query: KTGQuery,
+        floor: Any,
+    ) -> tuple[list[_SubproblemOutcome], TopNPool, int, int]:
+        """Ordered-replay merge over the combined per-shard futures.
+
+        Identical protocol to the jobs engine, tracked per *position*
+        instead of per chunk: shard-affine chunks are not contiguous in
+        root order, so the prefix pointer walks positions directly.
+        """
+        merged = TopNPool(query.top_n)
+        done: dict[int, _SubproblemOutcome] = {}
+        order = list(frontier)
+        next_index = 0
+        accepted = 0
+        broadcasts = 0
+        for future in as_completed(futures):
+            for outcome in future.result():
+                done[outcome.position] = outcome
+            # Advance the contiguous completed prefix and broadcast its
+            # merged threshold — the only bound provably at or below the
+            # serial threshold for every still-running subproblem.
+            while next_index < len(order) and order[next_index] in done:
+                accepted += _replay(merged, [done[order[next_index]]])
+                next_index += 1
+            if self.bound_broadcast and merged.threshold > floor.read():
+                floor.write(merged.threshold)
+                broadcasts += 1
+        outcomes = [done[position] for position in order]
+        return outcomes, merged, accepted, broadcasts
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedBranchAndBoundSolver({self.algorithm_name}, "
+            f"shards={self.num_shards}x{self.jobs_per_shard} "
+            f"{self.executor_kind}, radius={self.radius}, "
+            f"broadcast={self.bound_broadcast})"
+        )

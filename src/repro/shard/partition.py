@@ -1,0 +1,345 @@
+"""Community partitioning with k-hop boundary-ball replication.
+
+One graph becomes ``num_shards`` shards.  Every vertex has exactly one
+**home** shard (a balanced label-propagation community), and each shard
+additionally **replicates** every vertex within ``radius`` hops of its
+home set.  The resulting induced subgraph has a crucial property:
+
+    For any home vertex ``v`` and any ``k <= radius``, every shortest
+    path of length ``<= radius`` starting at ``v`` lies entirely inside
+    the shard, so a shard-local BFS from ``v`` is distance-exact up to
+    depth ``radius``.
+
+That closure is what lets :class:`repro.shard.router.ShardRouter`
+answer every tenuity probe from the *source vertex's home shard* and
+still be exact — the correctness linchpin of the scatter-gather
+executor.  ``radius >= 1`` is mandatory: it additionally guarantees
+every edge ``(u, v)`` appears in both endpoints' home shards, so
+degrees and neighbourhoods of home vertices are exact too.
+
+Shards are materialized as frozen CSR snapshots
+(:class:`repro.core.csr.CsrSnapshot`).  Because the induced subgraph
+shares its parent's :class:`~repro.core.graph.KeywordTable`, every
+shard snapshot embeds the *global* label table and packs per-vertex
+masks by global keyword id — worker-side coverage contexts are
+bit-identical to the parent's without any keyword remapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.csr import CsrSnapshot
+from repro.core.errors import ShardError
+from repro.core.graph import AttributedGraph
+from repro.obs.instruments import NULL_REGISTRY, InstrumentRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.csr import CsrGraphView
+
+__all__ = [
+    "DEFAULT_SHARD_RADIUS",
+    "Shard",
+    "ShardMap",
+    "ShardSet",
+    "build_shard_set",
+    "partition_vertices",
+    "propagate_labels",
+]
+
+#: Default boundary-replication radius.  Covers tenuity k <= 2 (the
+#: paper's common range) without a rebuild; larger-k queries trigger a
+#: transparent rebuild at the larger radius.
+DEFAULT_SHARD_RADIUS = 2
+
+#: Label-propagation round cap.  Synchronous updates can oscillate on
+#: bipartite structures; the cap keeps termination (and determinism)
+#: unconditional.
+MAX_LABEL_ROUNDS = 20
+
+
+def _bump(name: str, amount: int, instruments: InstrumentRegistry) -> None:
+    if amount:
+        instruments.counter(f"shard.{name}").inc(amount)
+
+
+def propagate_labels(
+    graph: AttributedGraph, *, max_rounds: int = MAX_LABEL_ROUNDS
+) -> list[int]:
+    """Synchronous label propagation with deterministic tie-breaks.
+
+    Labels start as vertex ids; each round every vertex adopts the most
+    frequent label among its neighbours (ties -> smallest label).
+    Isolated vertices keep their own label.  Updates read the previous
+    round's labels, so the result is schedule-independent.
+    """
+    labels = list(range(graph.num_vertices))
+    for _ in range(max_rounds):
+        changed = False
+        fresh = list(labels)
+        for v in graph.vertices():
+            neighbours = graph.neighbors(v)
+            if not neighbours:
+                continue
+            counts: dict[int, int] = {}
+            for w in neighbours:
+                label = labels[w]
+                counts[label] = counts.get(label, 0) + 1
+            best = min(counts.items(), key=lambda item: (-item[1], item[0]))[0]
+            if best != labels[v]:
+                fresh[v] = best
+                changed = True
+        labels = fresh
+        if not changed:
+            break
+    return labels
+
+
+def partition_vertices(
+    graph: AttributedGraph,
+    num_shards: int,
+    *,
+    max_rounds: int = MAX_LABEL_ROUNDS,
+) -> list[list[int]]:
+    """Home sets: label-propagation communities balanced across shards.
+
+    Communities larger than ``ceil(n / num_shards)`` are split into
+    contiguous slices first (one giant community must not serialize the
+    fleet), then greedily packed largest-first into the currently
+    smallest bin.  Empty bins are dropped, so the effective shard count
+    is ``min(num_shards, n)`` when communities are plentiful.  Fully
+    deterministic for a given graph.
+    """
+    if num_shards < 1:
+        raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    communities: dict[int, list[int]] = {}
+    for v, label in enumerate(propagate_labels(graph, max_rounds=max_rounds)):
+        communities.setdefault(label, []).append(v)
+    target = -(-n // num_shards)
+    pieces: list[list[int]] = []
+    for label in sorted(communities):
+        members = communities[label]  # ascending vertex ids
+        for i in range(0, len(members), target):
+            pieces.append(members[i : i + target])
+    pieces.sort(key=lambda piece: (-len(piece), piece[0]))
+    bins: list[list[int]] = [[] for _ in range(num_shards)]
+    sizes = [0] * num_shards
+    for piece in pieces:
+        best = min(range(num_shards), key=lambda b: (sizes[b], b))
+        bins[best].extend(piece)
+        sizes[best] += len(piece)
+    return [sorted(b) for b in bins if b]
+
+
+def _ball(graph: AttributedGraph, sources: Sequence[int], radius: int) -> set[int]:
+    """Vertices within *radius* hops of the source set (sources included)."""
+    seen = set(sources)
+    frontier = list(sources)
+    for _ in range(radius):
+        grown: list[int] = []
+        for v in frontier:
+            for w in graph.neighbors(v):
+                if w not in seen:
+                    seen.add(w)
+                    grown.append(w)
+        if not grown:
+            break
+        frontier = grown
+    return seen
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Picklable vertex -> shard routing tables (ships to process workers).
+
+    ``home_of[v]`` is v's home shard, ``home_local[v]`` its local id
+    there; ``shard_global_ids[s][i]`` maps shard-local id ``i`` back to
+    the global vertex id.  The adjacency itself never travels — workers
+    attach the shared CSR segments by name.
+    """
+
+    num_vertices: int
+    radius: int
+    parent_version: int
+    home_of: tuple[int, ...]
+    home_local: tuple[int, ...]
+    shard_global_ids: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_global_ids)
+
+
+@dataclass
+class Shard:
+    """One materialized shard: home set, replicated ball, CSR snapshot."""
+
+    index: int
+    home: tuple[int, ...]
+    global_ids: tuple[int, ...]
+    graph: AttributedGraph
+    snapshot: CsrSnapshot
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.global_ids) - len(self.home)
+
+
+class ShardSet:
+    """The materialized shards of one graph version, plus their lifecycle.
+
+    Owns the per-shard local snapshots and (once :meth:`share` is
+    called) the shared-memory copies process fleets attach to.  Release
+    is deterministic and idempotent; the CI shm-leak check pins it.
+    """
+
+    def __init__(
+        self,
+        shards: list[Shard],
+        shard_map: ShardMap,
+        *,
+        instruments: InstrumentRegistry = NULL_REGISTRY,
+    ) -> None:
+        self.shards = shards
+        self.shard_map = shard_map
+        self.instruments = instruments
+        self._shared: Optional[list[CsrSnapshot]] = None
+        self._released = False
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def radius(self) -> int:
+        return self.shard_map.radius
+
+    @property
+    def replica_vertices(self) -> int:
+        return sum(shard.replica_count for shard in self.shards)
+
+    @property
+    def snapshot_bytes(self) -> int:
+        return sum(shard.snapshot.nbytes for shard in self.shards)
+
+    def views(self) -> list["CsrGraphView"]:
+        """Read-only views over the local (in-process) snapshots."""
+        return [shard.snapshot.view() for shard in self.shards]
+
+    def share(self) -> list[str]:
+        """Publish every shard as a shared-memory segment; return names.
+
+        Idempotent: repeat calls return the existing segment names.  The
+        set owns the segments until :meth:`release`.
+        """
+        if self._released:
+            raise ShardError("cannot share a released shard set")
+        if self._shared is None:
+            shared: list[CsrSnapshot] = []
+            try:
+                for shard in self.shards:
+                    shared.append(shard.snapshot.share(instruments=self.instruments))
+            except BaseException:
+                for snapshot in shared:
+                    snapshot.release(instruments=self.instruments)
+                raise
+            self._shared = shared
+            _bump("segments", len(shared), self.instruments)
+            _bump(
+                "segment_bytes",
+                sum(snapshot.nbytes for snapshot in shared),
+                self.instruments,
+            )
+        return [snapshot.name for snapshot in self._shared]
+
+    def release(self) -> None:
+        """Unlink shared segments and close local snapshots (idempotent).
+
+        Callers must drain any attached worker pools first — the same
+        shutdown-before-unlink order :mod:`repro.core.parallel` uses.
+        """
+        if self._released:
+            return
+        self._released = True
+        if self._shared is not None:
+            for snapshot in self._shared:
+                snapshot.release(instruments=self.instruments)
+            _bump("segment_releases", len(self._shared), self.instruments)
+            self._shared = None
+        for shard in self.shards:
+            shard.snapshot.close()
+
+    def __enter__(self) -> "ShardSet":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardSet(shards={self.num_shards}, radius={self.radius}, "
+            f"replicas={self.replica_vertices}, bytes={self.snapshot_bytes})"
+        )
+
+
+def build_shard_set(
+    graph: AttributedGraph,
+    num_shards: int,
+    *,
+    radius: int = DEFAULT_SHARD_RADIUS,
+    max_rounds: int = MAX_LABEL_ROUNDS,
+    instruments: InstrumentRegistry = NULL_REGISTRY,
+) -> ShardSet:
+    """Partition *graph* and materialize one CSR snapshot per shard.
+
+    Each shard is the induced subgraph on ``home ∪ ball(home, radius)``
+    built via :meth:`AttributedGraph.subgraph`, which shares the parent
+    keyword table (global keyword ids flow into the snapshot masks).
+    """
+    if radius < 1:
+        raise ShardError(
+            f"replication radius must be >= 1 (edge coverage), got {radius}"
+        )
+    if not isinstance(graph, AttributedGraph):
+        raise ShardError("sharding requires a mutable AttributedGraph, not a frozen view")
+    if graph.num_vertices == 0:
+        raise ShardError("cannot shard an empty graph")
+    homes = partition_vertices(graph, num_shards, max_rounds=max_rounds)
+    shards: list[Shard] = []
+    home_of = [0] * graph.num_vertices
+    home_local = [0] * graph.num_vertices
+    global_ids_per_shard: list[tuple[int, ...]] = []
+    for index, home in enumerate(homes):
+        shard_vertices = sorted(_ball(graph, home, radius))
+        local_of = {vertex: i for i, vertex in enumerate(shard_vertices)}
+        for vertex in home:
+            home_of[vertex] = index
+            home_local[vertex] = local_of[vertex]
+        subgraph = graph.subgraph(shard_vertices)
+        snapshot = CsrSnapshot.from_graph(subgraph, instruments=instruments)
+        shards.append(
+            Shard(
+                index=index,
+                home=tuple(home),
+                global_ids=tuple(shard_vertices),
+                graph=subgraph,
+                snapshot=snapshot,
+            )
+        )
+        global_ids_per_shard.append(tuple(shard_vertices))
+    shard_map = ShardMap(
+        num_vertices=graph.num_vertices,
+        radius=radius,
+        parent_version=graph.version,
+        home_of=tuple(home_of),
+        home_local=tuple(home_local),
+        shard_global_ids=tuple(global_ids_per_shard),
+    )
+    shard_set = ShardSet(shards, shard_map, instruments=instruments)
+    _bump("partitions", 1, instruments)
+    _bump("replica_vertices", shard_set.replica_vertices, instruments)
+    return shard_set

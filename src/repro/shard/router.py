@@ -1,0 +1,200 @@
+"""Global-id facades over a set of shards: union view + routing oracle.
+
+Workers in the sharded executor run the ordinary serial search over
+**global** vertex ids; these two classes hide the partition:
+
+* :class:`ShardUnionView` — an :class:`~repro.core.graph.AttributedGraph`-
+  shaped read-only facade answering every per-vertex question (keywords,
+  degree, neighbours) from that vertex's *home* shard.  Exact because
+  ``radius >= 1`` replicates every home vertex's full neighbourhood.
+* :class:`ShardRouter` — a :class:`~repro.index.base.DistanceOracle`
+  answering every tenuity probe from the **source vertex's home shard**.
+  The boundary-ball closure (see :mod:`repro.shard.partition`) makes a
+  shard-local BFS from a home vertex distance-exact up to ``radius``
+  hops, so for ``k <= radius`` the answer matches a global BFS bit for
+  bit; a target absent from the source's shard is at distance
+  ``> radius >= k`` and therefore tenuous.
+
+The router deliberately never delegates ``is_tenuous`` to a shard-local
+oracle's own two-ended probe: :class:`repro.index.bfs.BFSOracle` grows
+the ball from whichever endpoint is cached or cheaper, and over a shard
+that endpoint could be a boundary *replica* whose ball is incomplete.
+Routing by the home vertex side-steps that trap.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.errors import ShardError, UnknownVertexError
+from repro.index.base import DistanceOracle
+from repro.index.bfs import BFSOracle
+
+from repro.shard.partition import ShardMap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.csr import CsrGraphView
+    from repro.core.graph import KeywordTable
+
+__all__ = ["ShardRouter", "ShardUnionView"]
+
+
+class ShardUnionView:
+    """Read-only global-id graph facade over per-shard CSR views.
+
+    Exposes exactly the surface the worker-side solver stack touches:
+    :class:`~repro.core.coverage.CoverageContext` (keyword table, vertex
+    iteration, per-vertex keyword ids), the ordering strategies
+    (degrees), and the ball-bitset engine (``num_vertices``, a stable
+    ``version``).  Mutation is impossible — shards are frozen snapshots.
+    """
+
+    def __init__(self, views: Sequence["CsrGraphView"], shard_map: ShardMap) -> None:
+        if len(views) != shard_map.num_shards:
+            raise ShardError(
+                f"shard map describes {shard_map.num_shards} shards, "
+                f"got {len(views)} views"
+            )
+        if not views:
+            raise ShardError("a shard union view needs at least one shard")
+        self._views = list(views)
+        self._map = shard_map
+        #: Stable version stamp: the parent graph version the shards
+        #: were cut from (ball caches key on it).
+        self.version = shard_map.parent_version
+
+    # -- identity ------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._map.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        # Each edge (u, v) is counted once from u's home shard and once
+        # from v's — exact because radius >= 1 keeps home degrees exact.
+        return sum(self.degree(v) for v in self.vertices()) // 2
+
+    @property
+    def keyword_table(self) -> "KeywordTable":
+        # Every shard snapshot embeds the full global label table (the
+        # induced subgraphs share the parent KeywordTable), so any view
+        # serves.
+        return self._views[0].keyword_table
+
+    def _home(self, vertex: int) -> tuple["CsrGraphView", int]:
+        if not 0 <= vertex < self._map.num_vertices:
+            raise UnknownVertexError(vertex)
+        shard = self._map.home_of[vertex]
+        return self._views[shard], self._map.home_local[vertex]
+
+    # -- read API ------------------------------------------------------
+    def vertices(self) -> range:
+        return range(self._map.num_vertices)
+
+    def keywords_of(self, vertex: int) -> frozenset[int]:
+        view, local = self._home(vertex)
+        return view.keywords_of(local)
+
+    def keyword_labels(self, vertex: int) -> list[str]:
+        return self.keyword_table.labels(self.keywords_of(vertex))
+
+    def degree(self, vertex: int) -> int:
+        view, local = self._home(vertex)
+        return view.degree(local)
+
+    def degrees(self) -> list[int]:
+        return [self.degree(v) for v in self.vertices()]
+
+    def neighbors(self, vertex: int) -> frozenset[int]:
+        view, local = self._home(vertex)
+        shard = self._map.home_of[vertex]
+        ids = self._map.shard_global_ids[shard]
+        return frozenset(ids[w] for w in view.neighbors(local))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.neighbors(u)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardUnionView(shards={self._map.num_shards}, "
+            f"n={self._map.num_vertices}, radius={self._map.radius})"
+        )
+
+
+class ShardRouter(DistanceOracle):
+    """Exact distance oracle routing every probe to its home shard.
+
+    ``is_tenuous(u, v, k)`` translates both endpoints into **u's** home
+    shard and consults that shard's memoised BFS ball of u; ``v`` absent
+    from the shard means ``dist(u, v) > radius >= k``, i.e. tenuous.
+    Valid only for ``k <= radius`` — the sharded executor rebuilds the
+    shard set at a larger radius before a bigger-k query ever reaches
+    the router, so a :class:`~repro.core.errors.ShardError` here is a
+    programming-error backstop, not a runtime path.
+    """
+
+    name = "shard"
+
+    def __init__(
+        self,
+        union: ShardUnionView,
+        views: Sequence["CsrGraphView"],
+        shard_map: ShardMap,
+        *,
+        oracles: Optional[Sequence[DistanceOracle]] = None,
+    ) -> None:
+        super().__init__(union)
+        self._map = shard_map
+        if oracles is None:
+            oracles = [BFSOracle(view, graph_layout="csr") for view in views]
+        self._oracles = list(oracles)
+        # Lazily-built per-shard {global id: local id} tables for the
+        # target-endpoint lookup (the source side uses home_local).
+        self._local_of: list[Optional[dict[int, int]]] = [None] * shard_map.num_shards
+
+    def _locals(self, shard: int) -> dict[int, int]:
+        table = self._local_of[shard]
+        if table is None:
+            ids = self._map.shard_global_ids[shard]
+            table = {vertex: i for i, vertex in enumerate(ids)}
+            self._local_of[shard] = table
+        return table
+
+    def _check_radius(self, k: int) -> None:
+        if k > self._map.radius:
+            raise ShardError(
+                f"tenuity k={k} exceeds the shard replication radius "
+                f"{self._map.radius}; rebuild the shard set with a larger radius"
+            )
+
+    # -- DistanceOracle ------------------------------------------------
+    def is_tenuous(self, u: int, v: int, k: int) -> bool:
+        self.check_k(k)
+        self.stats.probes += 1
+        if u == v:
+            return False
+        if k == 0:
+            return True
+        self._check_radius(k)
+        shard = self._map.home_of[u]
+        local_u = self._map.home_local[u]
+        local_v = self._locals(shard).get(v)
+        if local_v is None:
+            return True
+        return local_v not in self._oracles[shard].within_k(local_u, k)
+
+    def within_k(self, vertex: int, k: int) -> set[int]:
+        self.check_k(k)
+        if k == 0:
+            return set()
+        self._check_radius(k)
+        shard = self._map.home_of[vertex]
+        ids = self._map.shard_global_ids[shard]
+        ball = self._oracles[shard].within_k(self._map.home_local[vertex], k)
+        return {ids[w] for w in ball}
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(shards={self._map.num_shards}, "
+            f"radius={self._map.radius}, n={self._map.num_vertices})"
+        )

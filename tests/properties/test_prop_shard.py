@@ -1,0 +1,261 @@
+"""Property tests: ``solve(shards=N)`` is bit-identical to unsharded.
+
+The sharded executor's determinism contract, exercised over random
+graphs and queries:
+
+* ranked groups (members AND coverages, in order) are identical to the
+  serial :class:`BranchAndBoundSolver` for ``shards in {1, 2, 4}``,
+  every ordering strategy, both distance engines and both kernel
+  backends;
+* with bound broadcasting off, the aggregate :class:`SearchStats`
+  profile equals the jobs=1 inline :class:`ParallelBranchAndBoundSolver`
+  reference exactly — the scatter-gather merge replays the same
+  subproblem schedule, so every prune counter lands on the same value;
+* the boundary-replication closure invariant holds on every shard set:
+  for each home vertex and every ``k <= radius``, the shard-local BFS
+  ball (translated to global ids) equals the global BFS ball — the
+  fact that makes shard-local tenuity probes exact;
+* queries whose tenuity exceeds the initial replication radius are
+  answered transparently (the executor rebuilds at a larger radius).
+
+The process executor is exercised by one non-property smoke test at the
+bottom — spawning two pools per hypothesis example would dominate
+runtime without adding coverage (worker code paths are identical).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.graph import AttributedGraph
+from repro.core.parallel import ParallelBranchAndBoundSolver
+from repro.core.query import KTGQuery
+from repro.core.strategies import QKCOrdering, VKCDegreeOrdering, VKCOrdering
+from repro.index.bfs import BFSOracle
+from repro.shard import ShardedBranchAndBoundSolver, build_shard_set
+
+KEYWORD_POOL = ["a", "b", "c", "d", "e", "f"]
+
+STRATEGIES = [
+    ("qkc", lambda g: QKCOrdering()),
+    ("vkc", lambda g: VKCOrdering()),
+    ("vkc-deg", lambda g: VKCDegreeOrdering(g.degrees())),
+]
+
+ENGINES = [
+    ("oracle", "auto"),
+    ("bitset", "auto"),
+    ("bitset", "python"),
+]
+
+
+@st.composite
+def attributed_graphs(draw):
+    """Random graphs of 4-14 vertices with random keyword sets."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=2 * n)
+    )
+    keywords = {
+        v: draw(st.lists(st.sampled_from(KEYWORD_POOL), unique=True, max_size=3))
+        for v in range(n)
+    }
+    return AttributedGraph(n, edges, keywords)
+
+
+@st.composite
+def queries(draw):
+    keywords = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(KEYWORD_POOL), unique=True, min_size=1, max_size=4
+            )
+        )
+    )
+    return KTGQuery(
+        keywords=keywords,
+        group_size=draw(st.integers(min_value=2, max_value=4)),
+        tenuity=draw(st.integers(min_value=0, max_value=3)),
+        top_n=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+def ranked_groups(result):
+    return [(group.members, round(group.coverage, 12)) for group in result.groups]
+
+
+def stats_profile(stats):
+    """Every schedule-invariant SearchStats field (broadcast off)."""
+    return (
+        stats.nodes_expanded,
+        stats.nodes_interior,
+        stats.nodes_completed,
+        stats.nodes_exhausted,
+        stats.node_prunes,
+        stats.leaf_prunes,
+        stats.union_prunes,
+        stats.keyword_prunes,
+        stats.kline_removed,
+        stats.offers_accepted,
+        stats.feasible_groups,
+        stats.first_feasible_node,
+        stats.budget_exhausted,
+    )
+
+
+def reference_solve(graph, query, strategy_factory):
+    """The stats reference: jobs=1 inline fan-out with a constant floor."""
+    with ParallelBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=strategy_factory(graph),
+        jobs=1,
+        executor="inline",
+        bound_broadcast=False,
+    ) as engine:
+        return engine.solve(query)
+
+
+def sharded_solve(graph, query, strategy_factory, shards, **options):
+    options.setdefault("executor", "inline")
+    options.setdefault("bound_broadcast", False)
+    with ShardedBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=strategy_factory(graph),
+        num_shards=shards,
+        **options,
+    ) as engine:
+        return engine.solve(query)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    query=queries(),
+    strategy_index=st.integers(0, 2),
+    shards=st.sampled_from([1, 2, 4]),
+    engine_index=st.integers(0, 2),
+)
+def test_sharded_groups_and_stats_identical_to_unsharded(
+    graph, query, strategy_index, shards, engine_index
+):
+    _, factory = STRATEGIES[strategy_index]
+    distance_engine, kernel_backend = ENGINES[engine_index]
+    serial = BranchAndBoundSolver(
+        graph, oracle=BFSOracle(graph), strategy=factory(graph)
+    ).solve(query)
+    reference = reference_solve(graph, query, factory)
+    sharded = sharded_solve(
+        graph,
+        query,
+        factory,
+        shards,
+        distance_engine=distance_engine,
+        kernel_backend=kernel_backend,
+    )
+    assert ranked_groups(sharded) == ranked_groups(serial)
+    assert stats_profile(sharded.stats) == stats_profile(reference.stats)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    query=queries(),
+    strategy_index=st.integers(0, 2),
+)
+def test_groups_and_stats_shard_count_invariant(graph, query, strategy_index):
+    """The full profile is identical for shards in {1, 2, 4}."""
+    _, factory = STRATEGIES[strategy_index]
+    outcomes = [
+        (
+            ranked_groups(result),
+            stats_profile(result.stats),
+        )
+        for result in (
+            sharded_solve(graph, query, factory, shards) for shards in (1, 2, 4)
+        )
+    ]
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    num_shards=st.sampled_from([2, 3, 4]),
+    radius=st.integers(min_value=1, max_value=3),
+)
+def test_boundary_replication_ball_closure(graph, num_shards, radius):
+    """Shard-local balls of home vertices equal global balls up to radius.
+
+    This is the invariant the router's correctness rests on: every
+    vertex within ``radius`` hops of a home vertex is replicated into
+    its shard *with all the edges of every shorter path*, so a
+    shard-local BFS cannot miss or shortcut anything.
+    """
+    global_oracle = BFSOracle(graph)
+    with build_shard_set(graph, num_shards, radius=radius) as shard_set:
+        assert shard_set.radius == radius
+        seen_homes: set[int] = set()
+        for shard in shard_set.shards:
+            assert not seen_homes.intersection(shard.home)
+            seen_homes.update(shard.home)
+            local_of = {vertex: i for i, vertex in enumerate(shard.global_ids)}
+            local_oracle = BFSOracle(shard.graph)
+            for vertex in shard.home:
+                for k in range(1, radius + 1):
+                    local_ball = {
+                        shard.global_ids[w]
+                        for w in local_oracle.within_k(local_of[vertex], k)
+                    }
+                    assert local_ball == global_oracle.within_k(vertex, k)
+        # The homes partition the vertex set exactly.
+        assert seen_homes == set(range(graph.num_vertices))
+
+
+@settings(max_examples=10, deadline=None)
+@given(graph=attributed_graphs(), query=queries())
+def test_radius_upgrade_transparent(graph, query):
+    """A k > radius query triggers a rebuild, never a wrong answer."""
+    serial = BranchAndBoundSolver(graph, oracle=BFSOracle(graph)).solve(query)
+    with ShardedBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        num_shards=2,
+        radius=1,
+        executor="inline",
+        bound_broadcast=False,
+    ) as engine:
+        result = engine.solve(query)
+        if query.tenuity > 1 and engine.shard_set is not None:
+            assert engine.shard_set.radius >= query.tenuity
+    assert ranked_groups(result) == ranked_groups(serial)
+
+
+def test_process_executor_matches_serial_once():
+    """One real per-shard process-fleet run (pool spawn is slow)."""
+    from tests.conftest import make_random_attributed_graph
+
+    graph = make_random_attributed_graph(num_vertices=36, seed=5)
+    query = KTGQuery(
+        keywords=("kw000", "kw001", "kw002"), group_size=3, tenuity=2, top_n=3
+    )
+    for _, factory in STRATEGIES:
+        serial = BranchAndBoundSolver(
+            graph, oracle=BFSOracle(graph), strategy=factory(graph)
+        ).solve(query)
+        with ShardedBranchAndBoundSolver(
+            graph,
+            oracle=BFSOracle(graph),
+            strategy=factory(graph),
+            num_shards=2,
+            executor="process",
+        ) as engine:
+            result = engine.solve(query)
+            # Pool reuse: a second solve goes through the same fleet.
+            repeat = engine.solve(query)
+        assert ranked_groups(result) == ranked_groups(serial)
+        assert ranked_groups(repeat) == ranked_groups(serial)
+        assert result.stats.offers_accepted == serial.stats.offers_accepted

@@ -245,7 +245,9 @@ class TestLazyInitRaces:
         ) as service:
             self._hammer(8, lambda worker: service.submit(query, jobs=2))
             assert len(built) == 1  # exactly one construction, no leaked loser
-            assert set(service._engines) == {(2, graph.version)}
+            assert set(service._engines) == {
+                (service.graph_id, "jobs", 2, graph.version)
+            }
 
     def test_distinct_fleet_sizes_get_distinct_engines(self, monkeypatch):
         graph = make_random_attributed_graph(num_vertices=30, seed=5)
@@ -273,8 +275,8 @@ class TestLazyInitRaces:
             )
             assert len(built) == 2
             assert set(service._engines) == {
-                (2, graph.version),
-                (3, graph.version),
+                (service.graph_id, "jobs", 2, graph.version),
+                (service.graph_id, "jobs", 3, graph.version),
             }
 
     def test_racing_thread_batches_share_one_pool(self, monkeypatch):
@@ -364,7 +366,9 @@ class TestLazyInitRaces:
         ) as service:
             self._hammer(4, lambda worker: service.submit(query, jobs=2))
             assert len(built) == 1
-            assert set(service._engines) == {(2, graph.version)}
+            assert set(service._engines) == {
+                (service.graph_id, "jobs", 2, graph.version)
+            }
         leaked = set(glob.glob("/dev/shm/psm_*")) - baseline_shm
         assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
 
@@ -424,5 +428,7 @@ class TestMixedInterleavings:
             assert not failures
             # Both lazy layers were exercised: the jobs fleet registry
             # holds exactly one engine, and the batch pool exists.
-            assert set(service._engines) == {(2, graph.version)}
+            assert set(service._engines) == {
+                (service.graph_id, "jobs", 2, graph.version)
+            }
             assert service._pool is not None

@@ -1,0 +1,117 @@
+"""Unit tests for the partitioner and the shard-set lifecycle."""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+from repro.core.errors import ShardError
+from repro.shard import (
+    ShardRouter,
+    ShardUnionView,
+    build_shard_set,
+    partition_vertices,
+    propagate_labels,
+)
+from tests.conftest import make_random_attributed_graph
+
+
+def _shm_segments() -> set[str]:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def test_label_propagation_is_deterministic():
+    graph = make_random_attributed_graph(num_vertices=30, seed=3)
+    first = propagate_labels(graph)
+    second = propagate_labels(graph)
+    assert first == second
+    assert len(first) == graph.num_vertices
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 7])
+def test_partition_covers_disjointly_and_balances(num_shards):
+    graph = make_random_attributed_graph(num_vertices=40, seed=11)
+    bins = partition_vertices(graph, num_shards)
+    assert 1 <= len(bins) <= num_shards
+    flat = [v for bin_ in bins for v in bin_]
+    assert sorted(flat) == list(range(graph.num_vertices))
+    assert len(set(flat)) == len(flat)
+    # Communities are split to chunks of at most ceil(n / num_shards)
+    # before packing, so no bin can run away with the whole graph.
+    target = -(-graph.num_vertices // num_shards)
+    assert max(len(bin_) for bin_ in bins) <= 2 * target
+    # Determinism: the same graph partitions the same way every time.
+    assert partition_vertices(graph, num_shards) == bins
+
+
+def test_partition_validates_inputs():
+    graph = make_random_attributed_graph(num_vertices=10, seed=0)
+    with pytest.raises(ShardError):
+        partition_vertices(graph, 0)
+    with pytest.raises(ShardError):
+        build_shard_set(graph, 2, radius=0)
+    with pytest.raises(ShardError):
+        build_shard_set(object(), 2)  # type: ignore[arg-type]
+
+
+def test_more_shards_than_vertices_drops_empty_bins():
+    graph = make_random_attributed_graph(num_vertices=5, seed=2)
+    with build_shard_set(graph, 16) as shard_set:
+        assert 1 <= shard_set.num_shards <= 5
+        homes = [v for shard in shard_set.shards for v in shard.home]
+        assert sorted(homes) == list(range(5))
+
+
+def test_shards_share_the_global_keyword_table():
+    graph = make_random_attributed_graph(num_vertices=24, seed=7)
+    with build_shard_set(graph, 3) as shard_set:
+        union = ShardUnionView(shard_set.views(), shard_set.shard_map)
+        assert sorted(union.keyword_table) == sorted(graph.keyword_table)
+        for vertex in graph.vertices():
+            assert union.keywords_of(vertex) == graph.keywords_of(vertex)
+            assert union.degree(vertex) == graph.degree(vertex)
+            assert union.neighbors(vertex) == graph.neighbors(vertex)
+        assert union.num_edges == graph.num_edges
+
+
+def test_share_and_release_are_idempotent():
+    baseline = _shm_segments()
+    graph = make_random_attributed_graph(num_vertices=20, seed=5)
+    shard_set = build_shard_set(graph, 2)
+    names = shard_set.share()
+    assert len(names) == shard_set.num_shards
+    assert shard_set.share() == names  # second share is a no-op
+    live = _shm_segments() - baseline
+    assert len(live) == shard_set.num_shards
+    shard_set.release()
+    shard_set.release()  # double release must be safe
+    assert _shm_segments() == baseline
+
+
+def test_context_manager_releases_segments():
+    baseline = _shm_segments()
+    graph = make_random_attributed_graph(num_vertices=20, seed=5)
+    with build_shard_set(graph, 2) as shard_set:
+        shard_set.share()
+        assert _shm_segments() != baseline
+    assert _shm_segments() == baseline
+
+
+def test_router_backstop_rejects_k_beyond_radius():
+    graph = make_random_attributed_graph(num_vertices=16, seed=9)
+    with build_shard_set(graph, 2, radius=1) as shard_set:
+        union = ShardUnionView(shard_set.views(), shard_set.shard_map)
+        router = ShardRouter(union, shard_set.views(), shard_set.shard_map)
+        assert router.is_tenuous(0, 0, 1) is False
+        with pytest.raises(ShardError):
+            router.is_tenuous(0, 1, 2)
+        with pytest.raises(ShardError):
+            router.within_k(0, 2)
+
+
+def test_union_view_validates_shard_count():
+    graph = make_random_attributed_graph(num_vertices=12, seed=4)
+    with build_shard_set(graph, 2) as shard_set:
+        with pytest.raises(ShardError):
+            ShardUnionView(shard_set.views()[:1], shard_set.shard_map)

@@ -1,0 +1,131 @@
+"""Unit tests for the graph registry and graph_id cache isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ShardError, UnknownGraphError
+from repro.core.query import KTGQuery
+from repro.datasets.registry import load_dataset
+from repro.shard import GraphRegistry
+from repro.service import QueryService
+from tests.conftest import make_random_attributed_graph
+
+
+def _query() -> KTGQuery:
+    return KTGQuery(
+        keywords=("kw000", "kw001"), group_size=2, tenuity=2, top_n=2
+    )
+
+
+def test_load_get_drop_lifecycle():
+    graph = make_random_attributed_graph(num_vertices=20, seed=1)
+    with GraphRegistry(max_workers=1) as registry:
+        entry = registry.load("alpha", graph=graph)
+        assert entry.graph_id == "alpha#1"
+        assert registry.names() == ["alpha"]
+        assert "alpha" in registry
+        assert len(registry) == 1
+        assert registry.get("alpha") is entry.service
+        rows = registry.describe()
+        assert rows[0]["graph_id"] == "alpha#1"
+        assert rows[0]["vertices"] == graph.num_vertices
+        registry.drop("alpha")
+        assert registry.names() == []
+        with pytest.raises(UnknownGraphError):
+            registry.get("alpha")
+        with pytest.raises(UnknownGraphError):
+            registry.drop("alpha")
+
+
+def test_load_requires_profile_or_graph_and_a_name():
+    with GraphRegistry() as registry:
+        with pytest.raises(ShardError):
+            registry.load("nameless")
+        with pytest.raises(ShardError):
+            registry.load("")
+
+
+def test_reload_bumps_generation_and_swaps_service():
+    graph = make_random_attributed_graph(num_vertices=20, seed=1)
+    with GraphRegistry(max_workers=1) as registry:
+        first = registry.load("alpha", graph=graph)
+        second = registry.load("alpha", graph=graph)
+        assert second.graph_id == "alpha#2"
+        assert registry.get("alpha") is second.service
+        assert second.service is not first.service
+        # A third incarnation after a drop keeps counting upward, so a
+        # dropped-and-reloaded name can never reuse an old graph_id.
+        registry.drop("alpha")
+        third = registry.load("alpha", graph=graph)
+        assert third.graph_id == "alpha#3"
+
+
+def test_load_from_dataset_profile():
+    with GraphRegistry(max_workers=1) as registry:
+        entry = registry.load("bk", "brightkite", scale=0.08, seed=0)
+        assert entry.profile == "brightkite"
+        assert entry.graph.num_vertices > 0
+        served = entry.service.submit(_query())
+        assert served.result is not None
+
+
+def test_same_version_graphs_get_distinct_cache_keys():
+    """The graph_id regression: two tenants must never share a cache slot.
+
+    Both graphs sit at the same version with the same algorithm spec, so
+    before graph_id entered the cache key their canonical queries
+    collided — one tenant would be served the other's groups.
+    """
+    graph_a, _ = load_dataset("brightkite", scale=0.08)
+    graph_b, _ = load_dataset("brightkite", scale=0.08)
+    assert graph_a.version == graph_b.version
+    query = _query()
+    with QueryService(graph_a, "KTG-VKC-NLRNL", max_workers=1, graph_id="a#1") as sa:
+        with QueryService(graph_b, "KTG-VKC-NLRNL", max_workers=1, graph_id="b#1") as sb:
+            assert sa.cache_key(query) != sb.cache_key(query)
+            first = sa.submit(query)
+            second = sb.submit(query)
+            # Identical datasets: same answer, but each from its own solve.
+            assert not first.from_cache and not second.from_cache
+            assert [g.members for g in first.result.groups] == [
+                g.members for g in second.result.groups
+            ]
+            assert sa.submit(query).from_cache
+            assert sb.submit(query).from_cache
+
+
+def test_registry_tenants_are_cache_isolated():
+    with GraphRegistry(max_workers=1, algorithm="KTG-VKC-NLRNL") as registry:
+        registry.load("t1", "brightkite", scale=0.08)
+        registry.load("t2", "brightkite", scale=0.08)
+        query = _query()
+        s1, s2 = registry.get("t1"), registry.get("t2")
+        assert s1.cache_key(query) != s2.cache_key(query)
+        assert not s1.submit(query).from_cache
+        assert not s2.submit(query).from_cache
+
+
+def test_sharded_tenant_matches_plain_tenant():
+    with GraphRegistry(max_workers=1, algorithm="KTG-VKC-NLRNL") as registry:
+        registry.load("plain", "brightkite", scale=0.08)
+        registry.load("sharded", "brightkite", scale=0.08, shards=2)
+        query = _query()
+        plain = registry.get("plain").submit(query)
+        sharded = registry.get("sharded").submit(query)
+        assert [g.members for g in plain.result.groups] == [
+            g.members for g in sharded.result.groups
+        ]
+        report = registry.get("sharded").instrument_report()
+        assert report["shard"][0]["num_shards"] == 2
+        assert report["shard"][0]["built"] is True
+
+
+def test_mutable_service_rejects_sharding():
+    graph = make_random_attributed_graph(num_vertices=16, seed=2)
+    with pytest.raises(ValueError):
+        QueryService(graph, mutations=True, shards=2)
+    with pytest.raises(ValueError):
+        QueryService(graph, shards=0)
+    with pytest.raises(ValueError):
+        QueryService(graph, graph_id="")
