@@ -150,8 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=["auto", "numpy", "python"],
         help=(
-            "bitset-kernel vectorization: auto (numpy when importable), "
-            "numpy (forced; errors without numpy) or python (scalar)"
+            "bitset-kernel and batched solver-core vectorization: auto "
+            "(numpy when importable), numpy (forced; errors without "
+            "numpy) or python (scalar); bit-identical either way"
         ),
     )
 
@@ -226,7 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel-backend",
         default="auto",
         choices=["auto", "numpy", "python"],
-        help="bitset-kernel vectorization backend for the service's kernels",
+        help="bitset-kernel and batched solver-core backend for the service",
     )
 
     serve = commands.add_parser(
@@ -306,7 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel-backend",
         default="auto",
         choices=["auto", "numpy", "python"],
-        help="bitset-kernel vectorization backend",
+        help="bitset-kernel and batched solver-core vectorization backend",
     )
     serve.add_argument(
         "--mutations",
@@ -446,7 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel-backend",
         default="auto",
         choices=["auto", "numpy", "python"],
-        help="bitset-kernel vectorization backend for the instrumented solve",
+        help="bitset-kernel and batched solver-core backend for the instrumented solve",
     )
     stats.add_argument(
         "--churn",

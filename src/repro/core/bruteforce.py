@@ -80,7 +80,7 @@ class BruteForceSolver:
         stats = SearchStats()
         started = time.perf_counter()
 
-        context = CoverageContext(self.graph, query.keywords)
+        context = query.cached_context(self.graph)
         pool = TopNPool(query.top_n)
 
         if candidates is None:

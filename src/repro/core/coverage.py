@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import warnings
 from collections.abc import Iterable, Sequence
+from typing import Any, Optional
 
 from repro.core.errors import QueryValidationError
 from repro.core.graph import AttributedGraph
@@ -71,7 +72,15 @@ class CoverageContext:
     0.6666666666666666
     """
 
-    __slots__ = ("graph", "query_labels", "query_size", "full_mask", "masks")
+    __slots__ = (
+        "graph",
+        "query_labels",
+        "query_size",
+        "full_mask",
+        "masks",
+        "_packed",
+        "__weakref__",
+    )
 
     def __init__(self, graph: AttributedGraph, query_keywords: Sequence[str]) -> None:
         deduped: list[str] = []
@@ -106,6 +115,7 @@ class CoverageContext:
                         mask |= 1 << position
                 masks[vertex] = mask
         self.masks: list[int] = masks
+        self._packed: Optional[tuple[int, Any]] = None
 
     # ------------------------------------------------------------------
     # Mask-level API (used by the solver hot path)
@@ -113,6 +123,29 @@ class CoverageContext:
     def mask_of(self, vertex: int) -> int:
         """Bitmask of query keywords carried by *vertex*."""
         return self.masks[vertex]
+
+    def packed_masks(self, mask_bytes: Optional[int] = None) -> Any:
+        """The mask table as one ``(num_vertices, mask_bytes)`` uint8 matrix.
+
+        Row ``v`` is ``masks[v]`` little-endian — the layout the batched
+        solver core (:mod:`repro.kernels.solve`) scores against.  Packed
+        once per context and cached, so every node family of a solve
+        (and every solver clone sharing this context) reuses the same
+        matrix instead of re-packing per node.  *mask_bytes* defaults to
+        the query's natural width; requires numpy.
+        """
+        if mask_bytes is None:
+            mask_bytes = (self.query_size + 7) >> 3
+        cached = self._packed
+        if cached is not None and cached[0] == mask_bytes:
+            return cached[1]
+        from repro.kernels.vec import pack_masks
+
+        matrix = pack_masks(self.masks, mask_bytes)
+        # Benign race under the GIL: concurrent packers build identical
+        # matrices and the last assignment wins.
+        self._packed = (mask_bytes, matrix)
+        return matrix
 
     def union_mask(self, vertices: Iterable[int]) -> int:
         """OR of the member masks of *vertices*."""

@@ -28,7 +28,6 @@ from typing import Optional, Sequence
 
 from repro.core.branch_and_bound import BranchAndBoundSolver, SearchStats
 from repro.core.graph import AttributedGraph
-from repro.core.coverage import CoverageContext
 from repro.core.query import DKTGQuery
 from repro.core.results import Group
 from repro.core.strategies import VKCDegreeOrdering
@@ -166,7 +165,7 @@ class DKTGGreedySolver:
         started = time.perf_counter()
         totals = SearchStats()
 
-        context = CoverageContext(self.graph, query.keywords)
+        context = query.cached_context(self.graph)
         available = context.qualified_vertices()
         single = query.with_(top_n=1)
         if not isinstance(single, DKTGQuery):  # pragma: no cover - defensive

@@ -136,6 +136,10 @@ class AttributedGraph:
         "_num_edges",
         "_version",
         "_csr_cache",
+        # Weak-referenceable so per-query coverage contexts can be
+        # memoised against (graph, version) without pinning the graph
+        # (see KTGQuery.cached_context).
+        "__weakref__",
     )
 
     def __init__(
@@ -497,7 +501,11 @@ class AttributedGraph:
         # The cached CsrSnapshot is process-local (it may wrap a shared
         # memory mapping) and deliberately unpicklable; drop it so the
         # graph itself stays cheap and safe to ship to process workers.
-        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state = {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "__weakref__"
+        }
         state["_csr_cache"] = None
         return state
 

@@ -575,7 +575,8 @@ class ParallelBranchAndBoundSolver:
         tb = time_budget if time_budget is not None else template.time_budget
         started = time.perf_counter()
         root_stats = SearchStats()
-        context = CoverageContext(template.graph, query.keywords)
+        context = query.cached_context(template.graph)
+        template._last_context = context
         initial = template._initial_candidates(query, context, candidates, root_stats)
         initial = template.strategy.initial_order(initial, context)
 
@@ -692,7 +693,7 @@ class ParallelBranchAndBoundSolver:
         if self.executor_kind == "thread":
             floor = self._floor_cell
             floor.write(0.0)
-            context = CoverageContext(self._template.graph, query.keywords)
+            context = query.cached_context(self._template.graph)
             solvers = [self._clone_template() for _ in range(len(chunks))]
             for solver in solvers:
                 solver.node_budget = node_budget

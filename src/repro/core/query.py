@@ -18,9 +18,14 @@ never be constructed.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.core.errors import QueryValidationError
+
+if TYPE_CHECKING:
+    from repro.core.coverage import CoverageContext
 
 __all__ = ["KTGQuery", "DKTGQuery", "DEFAULT_GROUP_SIZE", "DEFAULT_TENUITY", "DEFAULT_TOP_N"]
 
@@ -81,6 +86,48 @@ class KTGQuery:
     def with_(self, **changes) -> "KTGQuery":
         """Return a copy with the given fields replaced (sweep helper)."""
         return replace(self, **changes)
+
+    def cached_context(self, graph) -> "CoverageContext":
+        """A :class:`repro.core.coverage.CoverageContext` for this query
+        on *graph*, memoised on the query object.
+
+        The packed keyword masks (and the batched solver core's mask
+        matrix cached inside the context) are a pure function of
+        ``(graph, graph.version, keywords)``, so repeat solves of the
+        same query object — DKTG-Greedy rounds, warm service traffic —
+        skip the per-solve re-pack.  The memo holds the graph *and* the
+        context weakly: it never extends either's lifetime (solvers
+        keep the last context alive between solves), and it is dropped
+        by pickling and by ``with_``.  A graph mutation changes
+        ``graph.version`` and misses the memo.
+        """
+        memo = self.__dict__.get("_context_memo")
+        version = getattr(graph, "version", None)
+        if memo is not None:
+            graph_ref, memo_version, context_ref = memo
+            context = context_ref()
+            if (
+                context is not None
+                and graph_ref() is graph
+                and memo_version == version
+            ):
+                return context
+        from repro.core.coverage import CoverageContext
+
+        context = CoverageContext(graph, self.keywords)
+        try:
+            memo = (weakref.ref(graph), version, weakref.ref(context))
+        except TypeError:  # non-weakref-able graph type: skip the memo
+            return context
+        object.__setattr__(self, "_context_memo", memo)
+        return context
+
+    def __getstate__(self) -> dict:
+        # The context memo is process-local (weakrefs do not pickle and
+        # the context is graph-identity-keyed); fields travel as-is.
+        state = dict(self.__dict__)
+        state.pop("_context_memo", None)
+        return state
 
     def describe(self) -> str:
         """One-line human-readable rendering used by the CLI and examples."""

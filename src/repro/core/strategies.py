@@ -27,7 +27,7 @@ oracle.
 from __future__ import annotations
 
 import abc
-from typing import Literal
+from typing import Literal, Optional
 
 from repro.core.coverage import CoverageContext
 
@@ -61,6 +61,18 @@ class OrderingStrategy(abc.ABC):
         covers *covered_mask*.  Default: keep the incoming order."""
         return candidates
 
+    def batch_sort_spec(self) -> Optional[tuple]:
+        """Recipe for the vectorized ordering twin, or ``None`` to opt out.
+
+        The batched solver core (:mod:`repro.kernels.solve`) replicates
+        a strategy's sort as one ``np.lexsort`` when this returns
+        ``(kind, degree_sign, degrees)``; ``kind`` names which built-in
+        scalar sort must be reproduced bit for bit.  The default
+        ``None`` keeps custom strategies on the scalar path — their
+        ``reorder`` is the only source of truth for their order.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -81,6 +93,9 @@ class QKCOrdering(OrderingStrategy):
     def initial_order(self, candidates: list[int], context: CoverageContext) -> list[int]:
         masks = context.masks
         return sorted(candidates, key=lambda v: -masks[v].bit_count())
+
+    def batch_sort_spec(self) -> Optional[tuple]:
+        return ("qkc", 0, None)
 
 
 class VKCOrdering(OrderingStrategy):
@@ -103,6 +118,9 @@ class VKCOrdering(OrderingStrategy):
         masks = context.masks
         uncovered = ~covered_mask
         return sorted(candidates, key=lambda v: -(masks[v] & uncovered).bit_count())
+
+    def batch_sort_spec(self) -> Optional[tuple]:
+        return ("vkc", 0, None)
 
 
 class VKCDegreeOrdering(OrderingStrategy):
@@ -156,6 +174,12 @@ class VKCDegreeOrdering(OrderingStrategy):
                 -((masks[v] & uncovered).bit_count() << 32) + sign * degrees[v]
             ),
         )
+
+    def batch_sort_spec(self) -> Optional[tuple]:
+        # The composite int key above orders exactly like the pair
+        # (-gain, sign * degree) because |sign * degree| < 2**31; the
+        # batched twin lexsorts that pair (see repro.kernels.solve).
+        return ("vkc-deg", self._degree_sign, self._degrees)
 
     def __repr__(self) -> str:
         return f"VKCDegreeOrdering(degree_order={self.degree_order!r})"

@@ -17,7 +17,11 @@ twins of those hot paths:
 * :func:`popcount_bytes` / :func:`bulk_popcount` — bulk popcount over
   packed keyword masks, preferring ``np.bitwise_count`` (numpy >= 2.0),
   then ``np.unpackbits``, then a chunked ``int.from_bytes(...).bit_count()``
-  pure-python fallback.
+  pure-python fallback;
+* :func:`pack_masks` / :func:`popcount_rows` — the matrix halves of the
+  batched solver core (:mod:`repro.kernels.solve`): lay keyword-mask
+  ints out as one ``(n, mask_bytes)`` little-endian uint8 matrix and
+  count its set bits row-wise.
 
 numpy stays an *optional* dependency.  Backend selection is explicit::
 
@@ -36,6 +40,7 @@ to) and the packed bitsets use the same little-endian weight
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.core.errors import KernelBackendError
@@ -53,6 +58,8 @@ __all__ = [
     "decode_mask",
     "popcount_bytes",
     "bulk_popcount",
+    "pack_masks",
+    "popcount_rows",
     "UNREACHABLE",
 ]
 
@@ -324,11 +331,15 @@ def popcount_bytes(data: bytes | bytearray | memoryview) -> int:
     Prefers ``np.bitwise_count`` (numpy >= 2.0), then ``np.unpackbits``,
     then a chunked ``int.from_bytes(...).bit_count()`` pure-python
     fallback — the same ladder :func:`bulk_popcount` uses, so numpy
-    presence changes speed, never values.
+    presence changes speed, never values.  The buffer is consumed
+    zero-copy (``np.frombuffer`` on the caller's bytes / bytearray /
+    contiguous memoryview); the empty buffer counts 0.
     """
+    if len(data) == 0:
+        return 0
     np = numpy_or_none()
     if np is not None:
-        arr = np.frombuffer(bytes(data), dtype=np.uint8)
+        arr = np.frombuffer(data, dtype=np.uint8)
         if hasattr(np, "bitwise_count"):
             return int(np.bitwise_count(arr).sum())
         return int(np.unpackbits(arr).sum())
@@ -344,19 +355,81 @@ def bulk_popcount(masks: Sequence[int], mask_bytes: Optional[int] = None) -> lis
     """Per-mask popcounts of packed keyword-mask ints.
 
     With numpy the masks are laid out as one contiguous
-    ``(len(masks), mask_bytes)`` uint8 matrix and counted row-wise;
-    without it each mask falls back to ``int.bit_count``.  *mask_bytes*
-    defaults to the widest mask's byte length.
+    ``(len(masks), mask_bytes)`` uint8 matrix (written straight into a
+    preallocated buffer — no per-mask ``bytes`` temporaries or join
+    copy) and counted row-wise; without numpy each mask falls back to
+    ``int.bit_count``.  *mask_bytes* defaults to the widest mask's byte
+    length; an explicit *mask_bytes* too narrow for some mask (or a
+    negative mask) raises :class:`ValueError`.  An empty sequence
+    returns ``[]``.
     """
     if not masks:
         return []
+    if mask_bytes is not None:
+        # Validate up front so both backends reject the same inputs.
+        if mask_bytes < 1:
+            raise ValueError(f"mask_bytes must be >= 1, got {mask_bytes}")
+        if min(masks) < 0 or max(masks).bit_length() > mask_bytes * 8:
+            raise ValueError(f"a mask does not fit in mask_bytes={mask_bytes}")
+    elif min(masks) < 0:
+        raise ValueError("masks must be non-negative ints")
     np = numpy_or_none()
     if np is None:
         return [mask.bit_count() for mask in masks]
     if mask_bytes is None:
         mask_bytes = max(1, (max(masks).bit_length() + 7) >> 3)
-    raw = b"".join(mask.to_bytes(mask_bytes, "little") for mask in masks)
-    matrix = np.frombuffer(raw, dtype=np.uint8).reshape(len(masks), mask_bytes)
+    return popcount_rows(pack_masks(masks, mask_bytes)).tolist()
+
+
+def pack_masks(masks: Sequence[int], mask_bytes: int) -> Any:
+    """Keyword-mask ints as one ``(len(masks), mask_bytes)`` uint8 matrix.
+
+    Row *i* holds ``masks[i]`` little-endian, so bit ``j`` of byte ``b``
+    in row *i* is bit ``8 b + j`` of the int — byte-compatible with the
+    scalar path's ``int`` masks and with :func:`popcount_bytes`.  Masks
+    of at most 8 bytes take a fast path (one int-to-uint64 conversion
+    viewed as bytes on little-endian hosts); wider masks are written
+    ``to_bytes`` into a single preallocated buffer.  A mask that does
+    not fit *mask_bytes* (or is negative) raises :class:`ValueError`.
+    """
+    np = _require_numpy()
+    if mask_bytes < 1:
+        raise ValueError(f"mask_bytes must be >= 1, got {mask_bytes}")
+    n = len(masks)
+    if mask_bytes <= 8 and sys.byteorder == "little":
+        try:
+            packed = np.asarray(masks, dtype=np.uint64)
+        except (OverflowError, ValueError) as exc:
+            raise ValueError(
+                f"a mask does not fit in mask_bytes={mask_bytes}"
+            ) from exc
+        wide = packed.view(np.uint8).reshape(n, 8)
+        if mask_bytes < 8 and bool((wide[:, mask_bytes:] != 0).any()):
+            raise ValueError(f"a mask does not fit in mask_bytes={mask_bytes}")
+        return wide[:, :mask_bytes]
+    buf = bytearray(n * mask_bytes)
+    offset = 0
+    try:
+        for mask in masks:
+            buf[offset : offset + mask_bytes] = mask.to_bytes(mask_bytes, "little")
+            offset += mask_bytes
+    except OverflowError as exc:
+        raise ValueError(
+            f"a mask does not fit in mask_bytes={mask_bytes}"
+        ) from exc
+    return np.frombuffer(buf, dtype=np.uint8).reshape(n, mask_bytes)
+
+
+def popcount_rows(matrix: Any) -> Any:
+    """Row-wise popcount of a ``(n, mask_bytes)`` uint8 matrix (int64).
+
+    Same backend ladder as :func:`popcount_bytes` — ``np.bitwise_count``
+    when available, else ``np.unpackbits`` — so the counts match the
+    scalar ``int.bit_count`` values exactly.
+    """
+    np = _require_numpy()
     if hasattr(np, "bitwise_count"):
-        return np.bitwise_count(matrix).sum(axis=1).tolist()
-    return np.unpackbits(matrix, axis=1).sum(axis=1).tolist()
+        return np.bitwise_count(matrix).sum(axis=1, dtype=np.int64)
+    return np.unpackbits(np.ascontiguousarray(matrix), axis=1).sum(
+        axis=1, dtype=np.int64
+    )

@@ -290,7 +290,9 @@ class QueryService:
         (the shared one, parallel fleets' and process workers'):
         ``"auto"`` (default) uses the numpy kernels from
         :mod:`repro.kernels.vec` when importable, ``"numpy"`` forces
-        them, ``"python"`` forces the scalar path.  Served answers are
+        them, ``"python"`` forces the scalar path.  On the numpy
+        backend the solvers also run the batched node-expansion core
+        (:mod:`repro.kernels.solve`).  Served answers are
         bit-identical across backends; :meth:`instrument_report` tags
         the kernel section with the resolved backend.
     instruments:

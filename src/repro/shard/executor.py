@@ -316,7 +316,8 @@ class ShardedBranchAndBoundSolver:
         tb = time_budget if time_budget is not None else template.time_budget
         started = time.perf_counter()
         root_stats = SearchStats()
-        context = CoverageContext(template.graph, query.keywords)
+        context = query.cached_context(template.graph)
+        template._last_context = context
         initial = template._initial_candidates(query, context, candidates, root_stats)
         initial = template.strategy.initial_order(initial, context)
 

@@ -1,0 +1,354 @@
+"""Unit tests for the batched expansion core (``repro.kernels.solve``).
+
+The property suite pins whole-solver bit-identity; these tests pin the
+individual primitives against their scalar twins, the engine's byte-ball
+cache invalidation, the new observability counters, and the opt-in /
+opt-out rules of :meth:`SolveBatch.for_solver`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.kernels.solve as solve_mod
+from repro.core.branch_and_bound import BranchAndBoundSolver
+from repro.core.coverage import CoverageContext
+from repro.core.query import KTGQuery
+from repro.core.strategies import VKCDegreeOrdering, VKCOrdering
+from repro.index.bfs import BFSOracle
+from repro.kernels import BallBitsetEngine, SolveBatch, vec
+from repro.obs.instruments import InstrumentRegistry
+
+from tests.conftest import make_random_attributed_graph
+
+pytestmark = pytest.mark.skipif(
+    not vec.numpy_available(), reason="numpy not importable"
+)
+
+KEYWORDS = ("kw000", "kw001", "kw002", "kw003")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_random_attributed_graph(num_vertices=40, seed=11)
+
+
+@pytest.fixture()
+def solver(graph):
+    return BranchAndBoundSolver(
+        graph,
+        strategy=VKCDegreeOrdering(graph.degrees()),
+        distance_engine="bitset",
+        kernel_backend="numpy",
+        use_union_bound=True,
+    )
+
+
+@pytest.fixture()
+def context(graph):
+    return CoverageContext(graph, KEYWORDS)
+
+
+def make_batch(solver, context):
+    batch = SolveBatch.for_solver(solver, context)
+    assert batch is not None
+    return batch
+
+
+class TestForSolver:
+    def test_numpy_backend_opts_in(self, solver, context):
+        assert SolveBatch.for_solver(solver, context) is not None
+
+    def test_python_backend_opts_out(self, graph, context):
+        scalar = BranchAndBoundSolver(
+            graph, distance_engine="bitset", kernel_backend="python"
+        )
+        assert SolveBatch.for_solver(scalar, context) is None
+
+    def test_oracle_engine_opts_out(self, graph, context):
+        oracle_solver = BranchAndBoundSolver(graph)
+        assert SolveBatch.for_solver(oracle_solver, context) is None
+
+    def test_custom_strategy_opts_out(self, graph, context):
+        class ReversedVKC(VKCOrdering):
+            def reorder(self, candidates, covered_mask, context):
+                return super().reorder(candidates, covered_mask, context)[::-1]
+
+        custom = BranchAndBoundSolver(
+            graph,
+            strategy=ReversedVKC(),
+            distance_engine="bitset",
+            kernel_backend="numpy",
+        )
+        assert SolveBatch.for_solver(custom, context) is None
+
+    def test_custom_strategy_still_solves(self, graph):
+        """An opted-out strategy runs the scalar path end to end."""
+
+        class ReversedVKC(VKCOrdering):
+            def initial_order(self, candidates, context):
+                return super().initial_order(candidates, context)[::-1]
+
+            def reorder(self, candidates, covered_mask, context):
+                return super().reorder(candidates, covered_mask, context)[::-1]
+
+        query = KTGQuery(keywords=KEYWORDS[:3], group_size=3, tenuity=1, top_n=2)
+        results = [
+            BranchAndBoundSolver(
+                graph,
+                strategy=ReversedVKC(),
+                distance_engine="bitset",
+                kernel_backend=backend,
+            ).solve(query)
+            for backend in ("python", "numpy")
+        ]
+        assert [g.members for g in results[0].groups] == [
+            g.members for g in results[1].groups
+        ]
+
+    def test_solver_caches_batch_per_context(self, solver, context):
+        first = solver._solve_batch(context)
+        assert solver._solve_batch(context) is first
+        other = CoverageContext(solver.graph, KEYWORDS[:2])
+        assert solver._solve_batch(other) is not first
+
+
+class TestPrimitiveTwins:
+    """Each batched primitive against its scalar twin on one frontier."""
+
+    def test_make_node_scores_match_scalar(self, solver, context):
+        batch = make_batch(solver, context)
+        frontier = context.qualified_vertices()
+        covered = context.masks[frontier[0]]
+        node = batch.make_node(frontier, covered)
+        expected = [
+            (context.masks[v] & ~covered).bit_count() for v in frontier
+        ]
+        assert node.gains.tolist() == expected
+
+    def test_reorder_matches_strategy(self, solver, context):
+        batch = make_batch(solver, context)
+        frontier = context.qualified_vertices()
+        covered = context.masks[frontier[0]]
+        node = batch.make_node(frontier, 0)
+        ids, child = batch.reorder(node, covered)
+        assert ids == solver.strategy.reorder(frontier, covered, context)
+        assert child.ids.tolist() == ids
+
+    def test_reorder_is_stable_like_sorted(self, graph, context):
+        # Plain VKC: many equal gains, stability is the whole contract.
+        solver = BranchAndBoundSolver(
+            graph,
+            strategy=VKCOrdering(),
+            distance_engine="bitset",
+            kernel_backend="numpy",
+        )
+        batch = make_batch(solver, context)
+        frontier = context.qualified_vertices()
+        node = batch.make_node(frontier, 0)
+        covered = context.masks[frontier[0]]
+        ids, _ = batch.reorder(node, covered)
+        assert ids == solver.strategy.reorder(frontier, covered, context)
+
+    def test_eliminate_matches_filter_mask(self, solver, context):
+        batch = make_batch(solver, context)
+        kernel = solver.kernel
+        frontier = context.qualified_vertices()
+        node = batch.make_node(frontier, 0)
+        member, k = frontier[0], 2
+        keep, survivors = batch.eliminate(node, 0, member, k)
+        tail = frontier[1:]
+        tail_mask = kernel.encode(tail)
+        rest_mask = kernel.filter_mask(tail_mask, member, k)
+        scalar_survivors = kernel.select(tail, tail_mask, rest_mask)
+        assert survivors == len(scalar_survivors)
+        assert [v for v, keep_it in zip(tail, keep) if keep_it] == scalar_survivors
+
+    def test_prune_decision_matches_scalar(self, solver, context):
+        from repro.core.pruning import keyword_prune_decision
+
+        batch = make_batch(solver, context)
+        frontier = solver.strategy.initial_order(
+            context.qualified_vertices(), context
+        )
+        node = batch.make_node(frontier, 0)
+        for slots in (1, 2, 3, len(frontier) + 1):
+            assert batch.prune_decision(0, node, slots) == keyword_prune_decision(
+                0,
+                frontier,
+                slots,
+                context,
+                presorted_by_vkc=True,
+                use_union_bound=True,
+            )
+
+    def test_tail_union_matches_suffix(self, solver, context):
+        batch = make_batch(solver, context)
+        frontier = context.qualified_vertices()
+        node = batch.make_node(frontier, 0)
+        for position in range(len(frontier) - 1):
+            row = batch._tail_union(node, position)
+            expected = 0
+            for v in frontier[position + 1 :]:
+                expected |= context.masks[v]
+            assert int.from_bytes(row.tobytes(), "little") == expected
+
+    def test_leaf_gains_are_python_ints(self, solver, context):
+        batch = make_batch(solver, context)
+        frontier = context.qualified_vertices()
+        node = batch.make_node(frontier, 0)
+        gains = batch.leaf_gains(node, 0)
+        assert all(type(g) is int for g in gains)
+
+    def test_child_views_inherit_only_valid_gains(self, solver, context):
+        batch = make_batch(solver, context)
+        frontier = context.qualified_vertices()
+        node = batch.make_node(frontier, 0)
+        same = batch.child_tail(node, 0, True)
+        assert same.gains is not None
+        assert same.gains.tolist() == node.gains[1:].tolist()
+        changed = batch.child_tail(node, 0, False)
+        assert changed.gains is None
+
+
+class TestBatchCutoff:
+    def test_small_frontiers_run_scalar(self, graph, monkeypatch):
+        """Below BATCH_MIN_CANDIDATES no node batches are created."""
+        monkeypatch.setattr(solve_mod, "BATCH_MIN_CANDIDATES", 10_000)
+        solver = BranchAndBoundSolver(
+            graph, distance_engine="bitset", kernel_backend="numpy"
+        )
+        query = KTGQuery(keywords=KEYWORDS[:3], group_size=3, tenuity=1)
+        solver.solve(query)
+        assert solver.kernel.node_batches == 0
+
+    def test_batched_run_counts_batches(self, graph, monkeypatch):
+        monkeypatch.setattr(solve_mod, "BATCH_MIN_CANDIDATES", 0)
+        solver = BranchAndBoundSolver(
+            graph, distance_engine="bitset", kernel_backend="numpy"
+        )
+        query = KTGQuery(keywords=KEYWORDS[:3], group_size=3, tenuity=1)
+        solver.solve(query)
+        kernel = solver.kernel
+        assert kernel.node_batches > 0
+        assert kernel.batched_scores > 0
+        assert kernel.bulk_eliminations > 0
+
+
+class TestCounters:
+    def test_counters_surface_everywhere(self, graph):
+        registry = InstrumentRegistry()
+        kernel = BallBitsetEngine(
+            BFSOracle(graph), kernel_backend="numpy", instruments=registry
+        )
+        kernel.note_batch(nodes=2, scores=3, eliminations=4)
+        counters = kernel.counters()
+        assert counters["node_batches"] == 2
+        assert counters["batched_scores"] == 3
+        assert counters["bulk_eliminations"] == 4
+        # A bulk elimination IS a mask filter: one batched pass stands
+        # in for one scalar filter_mask call.
+        assert counters["mask_filters"] == 4
+        report = registry.report()["counters"]
+        assert report["kernels.node_batches"] == 2
+        assert report["kernels.batched_scores"] == 3
+        assert report["kernels.bulk_eliminations"] == 4
+
+
+class TestBallBytesCache:
+    def test_matches_big_int_ball(self, graph):
+        kernel = BallBitsetEngine(BFSOracle(graph), kernel_backend="numpy")
+        nbytes = (graph.num_vertices + 7) >> 3
+        for vertex in (0, 5, 17):
+            for k in (1, 2):
+                arr = kernel.ball_bytes(vertex, k, nbytes)
+                assert int.from_bytes(arr.tobytes(), "little") == kernel.ball(
+                    vertex, k
+                )
+
+    def test_cached_until_version_bump(self, graph):
+        kernel = BallBitsetEngine(BFSOracle(graph), kernel_backend="numpy")
+        nbytes = (graph.num_vertices + 7) >> 3
+        first = kernel.ball_bytes(0, 2, nbytes)
+        assert kernel.ball_bytes(0, 2, nbytes) is first
+
+    def test_invalidated_by_mutation(self, graph):
+        oracle = BFSOracle(graph)
+        kernel = BallBitsetEngine(oracle, kernel_backend="numpy")
+        nbytes = (graph.num_vertices + 7) >> 3
+        stale = kernel.ball_bytes(0, 2, nbytes)
+        other = next(
+            v for v in range(1, graph.num_vertices) if v not in graph.neighbors(0)
+        )
+        graph.add_edge(0, other)
+        try:
+            oracle.rebuild()
+            fresh = kernel.ball_bytes(0, 2, nbytes)
+            assert fresh is not stale
+            assert int.from_bytes(fresh.tobytes(), "little") == kernel.ball(0, 2)
+        finally:
+            graph.remove_edge(0, other)
+            oracle.rebuild()
+
+    def test_apply_edge_update_drops_byte_cache(self, graph):
+        oracle = BFSOracle(graph)
+        kernel = BallBitsetEngine(oracle, kernel_backend="numpy")
+        nbytes = (graph.num_vertices + 7) >> 3
+        stale = kernel.ball_bytes(0, 2, nbytes)
+        other = next(
+            v for v in range(1, graph.num_vertices) if v not in graph.neighbors(0)
+        )
+        graph.add_edge(0, other)
+        try:
+            oracle.rebuild()
+            kernel.apply_edge_update(0, other)
+            fresh = kernel.ball_bytes(0, 2, nbytes)
+            assert fresh is not stale
+            assert int.from_bytes(fresh.tobytes(), "little") == kernel.ball(0, 2)
+        finally:
+            graph.remove_edge(0, other)
+            oracle.rebuild()
+
+    def test_pickle_drops_byte_cache(self, graph):
+        kernel = BallBitsetEngine(BFSOracle(graph), kernel_backend="numpy")
+        nbytes = (graph.num_vertices + 7) >> 3
+        kernel.ball_bytes(0, 2, nbytes)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert len(clone._ball_bytes) == 0
+        arr = clone.ball_bytes(0, 2, nbytes)
+        assert int.from_bytes(arr.tobytes(), "little") == kernel.ball(0, 2)
+
+
+class TestCachedContext:
+    def test_memo_hit_same_graph_version(self, graph):
+        query = KTGQuery(keywords=KEYWORDS[:2])
+        first = query.cached_context(graph)
+        assert query.cached_context(graph) is first
+
+    def test_memo_miss_on_version_bump(self, graph):
+        query = KTGQuery(keywords=KEYWORDS[:2])
+        first = query.cached_context(graph)
+        other = next(
+            v for v in range(1, graph.num_vertices) if v not in graph.neighbors(0)
+        )
+        graph.add_edge(0, other)
+        try:
+            assert query.cached_context(graph) is not first
+        finally:
+            graph.remove_edge(0, other)
+
+    def test_memo_not_pickled(self, graph):
+        query = KTGQuery(keywords=KEYWORDS[:2])
+        keep = query.cached_context(graph)
+        clone = pickle.loads(pickle.dumps(query))
+        assert clone == query
+        assert "_context_memo" not in clone.__dict__
+        assert keep is not None
+
+    def test_packed_matrix_cached_on_context(self, graph):
+        context = CoverageContext(graph, KEYWORDS)
+        matrix = context.packed_masks()
+        assert context.packed_masks() is matrix
+        assert context.packed_masks(8) is not matrix

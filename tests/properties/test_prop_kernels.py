@@ -9,12 +9,18 @@ Two contracts, exercised over random graphs and queries:
   ranked groups (members AND coverages) *and* search stats identical to
   the oracle engine, for every strategy, serial and parallel fleets,
   with k-line filtering on or off, with budgets on or off.
+* **Backend equivalence** — the two kernel backends (scalar vs numpy,
+  which on numpy also engages the batched expansion core of
+  :mod:`repro.kernels.solve`) return identical ranked groups and
+  identical :class:`SearchStats` ledgers, across strategies, serial /
+  parallel / sharded engines, and jobs / shards counts.
 """
 
 from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
+import repro.kernels.solve as solve_mod
 from repro.core.branch_and_bound import BranchAndBoundSolver
 from repro.core.bruteforce import BruteForceSolver
 from repro.core.graph import AttributedGraph
@@ -27,6 +33,7 @@ from repro.index.nlrnl import NLRNLIndex
 from repro.index.pll import PLLIndex
 from repro.kernels import BallBitsetEngine
 from repro.kernels.vec import numpy_available
+from repro.shard import ShardedBranchAndBoundSolver
 
 KEYWORD_POOL = ["a", "b", "c", "d", "e", "f"]
 
@@ -212,6 +219,105 @@ def test_bitset_bruteforce_identical(graph, query):
         graph, oracle=BFSOracle(graph), distance_engine="bitset"
     ).solve(query)
     assert ranked_groups(fast) == ranked_groups(base)
+
+
+# ----------------------------------------------------------------------
+# Backend equivalence (scalar vs batched expansion core)
+# ----------------------------------------------------------------------
+def full_stats_profile(stats):
+    """Every SearchStats counter except wall time — the full ledger the
+    batched solver core must reproduce bit for bit."""
+    profile = vars(stats).copy()
+    profile.pop("elapsed_seconds")
+    return profile
+
+
+def _backend_solve(graph, query, strategy_factory, backend, engine_kind, width):
+    if engine_kind == "serial":
+        return BranchAndBoundSolver(
+            graph,
+            oracle=BFSOracle(graph),
+            strategy=strategy_factory(graph),
+            distance_engine="bitset",
+            kernel_backend=backend,
+        ).solve(query)
+    if engine_kind == "parallel":
+        # bound_broadcast off: cross-chunk floor updates are timing
+        # dependent, and the sweep pins the FULL stats ledger.
+        with ParallelBranchAndBoundSolver(
+            graph,
+            oracle=BFSOracle(graph),
+            strategy=strategy_factory(graph),
+            jobs=width,
+            executor="inline" if width == 1 else "thread",
+            distance_engine="bitset",
+            kernel_backend=backend,
+            bound_broadcast=False,
+        ) as engine:
+            return engine.solve(query)
+    with ShardedBranchAndBoundSolver(
+        graph,
+        oracle=BFSOracle(graph),
+        strategy=strategy_factory(graph),
+        num_shards=width,
+        executor="inline",
+        bound_broadcast=False,
+        distance_engine="bitset",
+        kernel_backend=backend,
+    ) as engine:
+        return engine.solve(query)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=attributed_graphs(),
+    query=queries(),
+    strategy_index=st.integers(0, 2),
+    engine_pick=st.sampled_from(
+        [("serial", 1), ("parallel", 1), ("parallel", 4), ("sharded", 1), ("sharded", 2)]
+    ),
+    kline=st.booleans(),
+    union=st.booleans(),
+)
+def test_solver_backend_bit_identical(
+    graph, query, strategy_index, engine_pick, kline, union
+):
+    """The two kernel backends answer every configuration with identical
+    ranked groups AND an identical SearchStats ledger.  On numpy this
+    pins the batched expansion core (repro.kernels.solve) against the
+    scalar path; on the numpy-absent CI lane it pins scalar vs the auto
+    fallback.  BATCH_MIN_CANDIDATES drops to 0 so the tiny property
+    graphs exercise the batched path at every node."""
+    engine_kind, width = engine_pick
+    if engine_kind != "serial" and (not kline or union):
+        # Fleet engines always run with default pruning; the ablation
+        # dimensions only vary on the serial solver.
+        kline, union = True, False
+    _, factory = STRATEGIES[strategy_index]
+
+    def run(backend):
+        if engine_kind == "serial":
+            return BranchAndBoundSolver(
+                graph,
+                oracle=BFSOracle(graph),
+                strategy=factory(graph),
+                distance_engine="bitset",
+                kernel_backend=backend,
+                kline_filtering=kline,
+                use_union_bound=union,
+            ).solve(query)
+        return _backend_solve(graph, query, factory, backend, engine_kind, width)
+
+    saved = solve_mod.BATCH_MIN_CANDIDATES
+    solve_mod.BATCH_MIN_CANDIDATES = 0
+    try:
+        outcomes = [
+            (ranked_groups(result), full_stats_profile(result.stats))
+            for result in (run(backend) for backend in KERNEL_BACKENDS)
+        ]
+    finally:
+        solve_mod.BATCH_MIN_CANDIDATES = saved
+    assert outcomes[0] == outcomes[1], (engine_kind, width, kline, union)
 
 
 @settings(max_examples=15, deadline=None)

@@ -130,6 +130,9 @@ class TestKernelReuse:
             "ball_evictions",
             "mask_filters",
             "vec_sweeps",
+            "node_batches",
+            "batched_scores",
+            "bulk_eliminations",
         }
         assert kernel["backend"] in ("numpy", "python")
 
